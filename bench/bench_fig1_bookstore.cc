@@ -1,0 +1,46 @@
+// Figure 1: the motivating bookstore scenario — relational
+// R(orderID, userID) joined with the invoices XML through the twig
+// invoice[orderID]/orderLine[ISBN]/price, output Q(userID, ISBN, price).
+// Sweeps the data size and compares XJoin against the baseline.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/bookstore.h"
+
+namespace xjoin::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 1: bookstore multi-model join Q(userID, ISBN, price)");
+  Table table({"orders", "invoices", "|Q|", "baseline time", "xjoin time",
+               "time ratio", "base max-inter", "xjoin max-inter"});
+  for (int64_t scale : {1, 4, 16, 64}) {
+    BookstoreOptions opts;
+    opts.num_orders = 250 * scale;
+    opts.num_invoices = 200 * scale;
+    opts.num_users = 50 * scale;
+    opts.num_books = 100 * scale;
+    BookstoreInstance inst = MakeBookstore(opts);
+    MultiModelQuery query = inst.Figure1Query();
+    RunStats base = RunBaseline(query);
+    RunStats xj = RunXJoin(query);
+    XJ_CHECK(base.output_rows == xj.output_rows);
+    table.AddRow({FmtInt(opts.num_orders), FmtInt(opts.num_invoices),
+                  FmtInt(xj.output_rows), FmtSeconds(base.seconds),
+                  FmtSeconds(xj.seconds), FmtRatio(base.seconds, xj.seconds),
+                  FmtInt(base.max_intermediate), FmtInt(xj.max_intermediate)});
+  }
+  table.Print();
+  std::printf(
+      "\nOn this benign (realistic) workload the two engines produce the\n"
+      "same answer; XJoin's advantage is bounded intermediates. The\n"
+      "adversarial gap is measured in bench_fig3_xjoin_vs_baseline.\n");
+}
+
+}  // namespace
+}  // namespace xjoin::bench
+
+int main() {
+  xjoin::bench::Run();
+  return 0;
+}

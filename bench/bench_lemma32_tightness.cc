@@ -1,0 +1,73 @@
+// Lemma 3.1/3.2: the LP bound is an upper bound on the result, and it
+// is achievable. For several query shapes, generate the AGM-tight
+// instance (full cross products over n^{y_a}-sized domains) and compare
+// the LP bound against the actual join size XJoin produces.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "lp/edge_cover.h"
+#include "lp/hypergraph.h"
+#include "workload/adversarial.h"
+
+namespace xjoin::bench {
+namespace {
+
+void RunShape(const std::string& name,
+              const std::vector<std::vector<std::string>>& schemas, int64_t n,
+              Table* table) {
+  auto inst = MakeAgmTightInstance(schemas, n);
+  XJ_CHECK(inst.ok()) << inst.status().ToString();
+
+  Hypergraph graph;
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    HyperEdge edge;
+    edge.name = "R" + std::to_string(i + 1);
+    edge.attributes = schemas[i];
+    edge.size = static_cast<double>(inst->relations[i]->num_rows());
+    XJ_CHECK_OK(graph.AddEdge(std::move(edge)));
+  }
+  auto cover = SolveFractionalEdgeCover(graph);
+  XJ_CHECK(cover.ok());
+
+  MultiModelQuery query;
+  for (size_t i = 0; i < inst->relations.size(); ++i) {
+    query.relations.push_back(
+        {"R" + std::to_string(i + 1), inst->relations[i].get()});
+  }
+  RunStats xj = RunXJoin(query);
+  double bound = std::exp2(cover->log2_bound);
+  table->AddRow({name, FmtInt(n), FmtF(cover->uniform_exponent, 2),
+                 FmtF(bound, 0), FmtInt(xj.output_rows),
+                 FmtF(static_cast<double>(xj.output_rows) / bound, 3),
+                 FmtSeconds(xj.seconds)});
+}
+
+void Run() {
+  Banner("Lemma 3.2: AGM-tight instances saturate the bound");
+  Table table({"query shape", "n", "rho*", "LP bound", "|join| actual",
+               "saturation", "xjoin time"});
+  RunShape("triangle R(A,B) S(B,C) T(C,A)",
+           {{"A", "B"}, {"B", "C"}, {"C", "A"}}, 256, &table);
+  RunShape("4-cycle", {{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "A"}}, 256,
+           &table);
+  RunShape("star R(A,B) S(A,C) T(A,D)", {{"A", "B"}, {"A", "C"}, {"A", "D"}},
+           64, &table);
+  RunShape("paper paths (Fig 2, twig side)",
+           {{"A", "B"}, {"A", "D"}, {"C", "E"}, {"F", "H"}, {"G"}}, 16, &table);
+  RunShape("Loomis-Whitney LW3",
+           {{"A", "B"}, {"B", "C"}, {"A", "C"}}, 1024, &table);
+  table.Print();
+  std::printf(
+      "\nSaturation = actual / bound; 1.000 means the instance meets the\n"
+      "worst case exactly (Lemma 3.2). Values slightly below 1 arise from\n"
+      "integer rounding of fractional domain sizes n^{y_a}.\n");
+}
+
+}  // namespace
+}  // namespace xjoin::bench
+
+int main() {
+  xjoin::bench::Run();
+  return 0;
+}

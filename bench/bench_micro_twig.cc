@@ -1,0 +1,83 @@
+// Micro-2 (google-benchmark): twig matching strategies on XMark-like
+// documents — structural-join plan vs PathStack vs naive, plus the XML
+// parser throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/dictionary.h"
+#include "twigjoin/naive_twig.h"
+#include "twigjoin/twig_matchers.h"
+#include "twigjoin/twigstack.h"
+#include "workload/xmark.h"
+#include "xml/parser.h"
+#include "xml/serialize.h"
+
+namespace xjoin {
+namespace {
+
+struct Fixture {
+  XMarkInstance inst;
+  Twig twig;
+  Fixture() : inst(MakeXMark(XMarkOptions{})) {
+    auto t = Twig::Parse("open_auction[bidder/personref]/itemref");
+    twig = *std::move(t);
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+void BM_TwigStructuralPlan(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    auto result =
+        MatchTwigStructuralPlan(*f.inst.doc, *f.inst.index, f.twig);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TwigStructuralPlan);
+
+void BM_TwigPathStack(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    auto result = MatchTwigPathStack(*f.inst.doc, *f.inst.index, f.twig);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TwigPathStack);
+
+void BM_TwigStack(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    auto result = MatchTwigStack(*f.inst.doc, *f.inst.index, f.twig);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TwigStack);
+
+void BM_TwigNaive(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    auto result = MatchTwigNaive(*f.inst.doc, f.twig);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TwigNaive);
+
+void BM_XmlParse(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  std::string text = WriteXml(*f.inst.doc);
+  for (auto _ : state) {
+    auto doc = ParseXml(text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+}  // namespace
+}  // namespace xjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Micro-3 (harness): the classical twig matchers head-to-head as Q2
+// evaluators inside the baseline — naive vs structural-join plan vs
+// PathStack vs TwigStack — on documents that stress their known
+// weaknesses (P-C edges for TwigStack, dying path solutions for
+// PathStack, big edge pair lists for the plan).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "twigjoin/naive_twig.h"
+#include "twigjoin/twig_matchers.h"
+#include "twigjoin/twigstack.h"
+#include "workload/xmark.h"
+#include "xml/parser.h"
+
+namespace xjoin::bench {
+namespace {
+
+struct MatchStats {
+  double seconds;
+  int64_t matches;
+  int64_t intermediates;
+};
+
+MatchStats Time(const char* which, const XmlDocument& doc,
+                const NodeIndex& index, const Twig& twig) {
+  Metrics metrics;
+  Timer timer;
+  int64_t rows = 0;
+  std::string name(which);
+  if (name == "naive") {
+    rows = static_cast<int64_t>(MatchTwigNaive(doc, twig).size());
+  } else if (name == "plan") {
+    auto rel = MatchTwigStructuralPlan(doc, index, twig, &metrics);
+    XJ_CHECK(rel.ok());
+    rows = static_cast<int64_t>(rel->num_rows());
+  } else if (name == "pathstack") {
+    auto rel = MatchTwigPathStack(doc, index, twig, &metrics);
+    XJ_CHECK(rel.ok());
+    rows = static_cast<int64_t>(rel->num_rows());
+  } else {
+    auto rel = MatchTwigStack(doc, index, twig, &metrics);
+    XJ_CHECK(rel.ok());
+    rows = static_cast<int64_t>(rel->num_rows());
+  }
+  MatchStats stats;
+  stats.seconds = timer.ElapsedSeconds();
+  stats.matches = rows;
+  stats.intermediates = metrics.Get("twig_plan.total_intermediate") +
+                        metrics.Get("twig_path.path_solutions") +
+                        metrics.Get("twigstack.path_solutions");
+  return stats;
+}
+
+void Compare(const char* label, const XmlDocument& doc, const NodeIndex& index,
+             const Twig& twig, bool include_naive) {
+  Banner(std::string("Q2 strategies: ") + label + "  (twig " +
+         twig.ToString() + ")");
+  Table table({"matcher", "time", "matches", "intermediates"});
+  std::vector<const char*> matchers = {"plan", "pathstack", "twigstack"};
+  if (include_naive) matchers.insert(matchers.begin(), "naive");
+  for (const char* m : matchers) {
+    MatchStats stats = Time(m, doc, index, twig);
+    table.AddRow({m, FmtSeconds(stats.seconds), FmtInt(stats.matches),
+                  FmtInt(stats.intermediates)});
+  }
+  table.Print();
+}
+
+void Run() {
+  // XMark: realistic branching twig.
+  {
+    XMarkOptions opts;
+    opts.num_items = 400;
+    opts.num_persons = 200;
+    opts.num_open_auctions = 240;
+    opts.num_closed_auctions = 200;
+    XMarkInstance inst = MakeXMark(opts);
+    auto twig = Twig::Parse("open_auction[bidder/personref]/itemref");
+    Compare("xmark branching", *inst.doc, *inst.index, *twig, true);
+  }
+  // PathStack stressor: many path solutions that die in the merge.
+  {
+    std::string xml = "<root>";
+    for (int i = 0; i < 2000; ++i) xml += "<a><b/></a>";
+    for (int i = 0; i < 5; ++i) xml += "<a><b/><c/></a>";
+    xml += "</root>";
+    auto doc = ParseXml(xml);
+    XJ_CHECK(doc.ok());
+    Dictionary dict;
+    NodeIndex index = NodeIndex::Build(&*doc, &dict);
+    auto twig = Twig::Parse("a[b]/c");
+    Compare("dying (a,b) path solutions", *doc, index, *twig, false);
+  }
+  // TwigStack P-C stressor: deep nesting breaks its optimality.
+  {
+    std::string xml;
+    for (int i = 0; i < 400; ++i) xml += "<a><m>";
+    xml += "<b/>";
+    for (int i = 0; i < 400; ++i) xml += "</m></a>";
+    xml = "<root>" + xml + "<a><b/></a></root>";
+    auto doc = ParseXml(xml);
+    XJ_CHECK(doc.ok());
+    Dictionary dict;
+    NodeIndex index = NodeIndex::Build(&*doc, &dict);
+    auto twig = Twig::Parse("a/b");
+    Compare("deep P-C chain", *doc, index, *twig, false);
+  }
+}
+
+}  // namespace
+}  // namespace xjoin::bench
+
+int main() {
+  xjoin::bench::Run();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ext-1: scaling behaviour of XJoin vs the baseline as n grows, on both
+// the adversarial paper instance (baseline degrades as ~n^5) and random
+// data (both engines scale gracefully).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/paper_example.h"
+
+namespace xjoin::bench {
+namespace {
+
+void Sweep(PaperDataMode mode, const char* label) {
+  Banner(std::string("Scaling on ") + label + " data (Example 3.4 schema)");
+  Table table({"n", "baseline time", "xjoin time", "base total-inter",
+               "xjoin total-inter", "|Q|"});
+  // The baseline materializes the ~n^5 twig result on this document, so
+  // the sweep stops where that blow-up is still measurable in seconds.
+  std::vector<int64_t> ns = mode == PaperDataMode::kAdversarial
+                                ? std::vector<int64_t>{2, 4, 8, 12}
+                                : std::vector<int64_t>{4, 8, 12, 16};
+  for (int64_t n : ns) {
+    PaperInstance inst = MakePaperInstance(n, PaperSchema::kExample34, mode);
+    MultiModelQuery query = inst.Query();
+    RunStats base = RunBaseline(query);
+    RunStats xj = RunXJoin(query);
+    table.AddRow({FmtInt(n), FmtSeconds(base.seconds), FmtSeconds(xj.seconds),
+                  FmtInt(base.total_intermediate),
+                  FmtInt(xj.total_intermediate), FmtInt(xj.output_rows)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace xjoin::bench
+
+int main() {
+  xjoin::bench::Sweep(xjoin::PaperDataMode::kAdversarial, "adversarial");
+  xjoin::bench::Sweep(xjoin::PaperDataMode::kRandom, "random");
+  return 0;
+}

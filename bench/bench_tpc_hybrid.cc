@@ -1,0 +1,41 @@
+// Ext-3: the TPC-ish hybrid workload at larger scale — three relational
+// tables (orders, customers, books) joined with the invoice document.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/bookstore.h"
+
+namespace xjoin::bench {
+namespace {
+
+void Run() {
+  Banner("TPC-ish hybrid: 3 tables x invoice twig, enriched output");
+  Table table({"orders", "invoices", "|Q|", "baseline time", "xjoin time",
+               "time ratio", "base max-inter", "xjoin max-inter"});
+  for (int64_t scale : {1, 2, 4, 8}) {
+    BookstoreOptions opts;
+    opts.num_orders = 1000 * scale;
+    opts.num_invoices = 800 * scale;
+    opts.num_users = 200 * scale;
+    opts.num_books = 300 * scale;
+    opts.max_lines_per_invoice = 5;
+    BookstoreInstance inst = MakeBookstore(opts);
+    MultiModelQuery query = inst.EnrichedQuery();
+    RunStats base = RunBaseline(query);
+    RunStats xj = RunXJoin(query);
+    XJ_CHECK(base.output_rows == xj.output_rows);
+    table.AddRow({FmtInt(opts.num_orders), FmtInt(opts.num_invoices),
+                  FmtInt(xj.output_rows), FmtSeconds(base.seconds),
+                  FmtSeconds(xj.seconds), FmtRatio(base.seconds, xj.seconds),
+                  FmtInt(base.max_intermediate), FmtInt(xj.max_intermediate)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace xjoin::bench
+
+int main() {
+  xjoin::bench::Run();
+  return 0;
+}

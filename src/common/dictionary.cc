@@ -1,0 +1,27 @@
+#include "common/dictionary.h"
+
+#include "common/logging.h"
+
+namespace xjoin {
+
+int64_t Dictionary::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  int64_t code = static_cast<int64_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), code);
+  return code;
+}
+
+int64_t Dictionary::Lookup(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  if (it == index_.end()) return -1;
+  return it->second;
+}
+
+const std::string& Dictionary::Decode(int64_t code) const {
+  XJ_CHECK(Contains(code)) << "dictionary code out of range: " << code;
+  return strings_[static_cast<size_t>(code)];
+}
+
+}  // namespace xjoin

@@ -1,0 +1,46 @@
+// String dictionary: bijective mapping string <-> int64 code. All join
+// columns in xjoin are dictionary codes, so heterogeneous sources
+// (relational CSV values, XML text content) join by integer equality.
+#ifndef XJOIN_COMMON_DICTIONARY_H_
+#define XJOIN_COMMON_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xjoin {
+
+/// Dense code space: codes are assigned 0,1,2,... in first-seen order.
+/// Codes only guarantee equality semantics across sources; their numeric
+/// order is insertion order, which is a valid (arbitrary) total order for
+/// trie-based joins.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the code for `s`, inserting it if new.
+  int64_t Intern(std::string_view s);
+
+  /// Returns the code for `s` or -1 if absent. Does not insert.
+  int64_t Lookup(std::string_view s) const;
+
+  /// Returns the string for a code. Precondition: 0 <= code < size().
+  const std::string& Decode(int64_t code) const;
+
+  /// Whether `code` is a valid interned code.
+  bool Contains(int64_t code) const {
+    return code >= 0 && static_cast<size_t>(code) < strings_.size();
+  }
+
+  int64_t size() const { return static_cast<int64_t>(strings_.size()); }
+
+ private:
+  std::unordered_map<std::string, int64_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_COMMON_DICTIONARY_H_

@@ -1,0 +1,21 @@
+// Hash combinators shared by hash-join keys and memo tables.
+#ifndef XJOIN_COMMON_HASH_H_
+#define XJOIN_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xjoin {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style with a 64-bit
+/// golden-ratio constant and extra avalanche).
+inline size_t HashCombine(size_t seed, size_t value) {
+  value *= 0xff51afd7ed558ccdULL;
+  value ^= value >> 33;
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+}  // namespace xjoin
+
+#endif  // XJOIN_COMMON_HASH_H_

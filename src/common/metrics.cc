@@ -1,0 +1,15 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace xjoin {
+
+std::string Metrics::ToString() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << name << "=" << value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace xjoin

@@ -1,0 +1,77 @@
+// Execution metrics: named counters recorded by the join engines so the
+// benchmark harness can report intermediate-result sizes, seek counts,
+// and per-stage timings the same way the paper's Figure 3 does.
+#ifndef XJOIN_COMMON_METRICS_H_
+#define XJOIN_COMMON_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace xjoin {
+
+/// A bag of named int64 counters. Engines take a Metrics* (may be null,
+/// in which case recording is a no-op) and bump counters as they run.
+class Metrics {
+ public:
+  /// Adds `delta` to counter `name`, creating it at 0 if absent.
+  void Add(const std::string& name, int64_t delta) { counters_[name] += delta; }
+
+  /// Sets counter `name` to max(current, value); used for high-watermarks.
+  void RecordMax(const std::string& name, int64_t value) {
+    auto& slot = counters_[name];
+    if (value > slot) slot = value;
+  }
+
+  /// Current value; 0 for unknown counters.
+  int64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// All counters in name order (stable output for tests and benches).
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+
+  void Clear() { counters_.clear(); }
+
+  /// One "name=value" pair per line.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+};
+
+/// Helper: bump a possibly-null Metrics.
+inline void MetricsAdd(Metrics* m, const std::string& name, int64_t delta) {
+  if (m != nullptr) m->Add(name, delta);
+}
+
+/// Wall-clock stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Seconds elapsed, as a double.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_COMMON_METRICS_H_

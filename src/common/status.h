@@ -1,0 +1,152 @@
+// Status and Result<T>: Arrow/RocksDB-style error propagation without
+// exceptions. All fallible public APIs in xjoin return one of these.
+#ifndef XJOIN_COMMON_STATUS_H_
+#define XJOIN_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xjoin {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+  kResourceExhausted,
+};
+
+/// Human-readable name for a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// An error-or-success outcome. Cheap to move; success carries no
+/// allocation. Inspect with ok()/code()/message().
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() = default;
+
+  /// Constructs a failure status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context + ": "` prepended to the
+  /// message. No-op on success.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error. Like arrow::Result: construct from T or Status,
+/// test with ok(), then take the value with ValueOrDie()/operator*.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status. Must not be OK.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; OK() when this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The contained value. Precondition: ok().
+  const T& ValueOrDie() const& { return std::get<T>(payload_); }
+  T& ValueOrDie() & { return std::get<T>(payload_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// The value if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    if (ok()) return ValueOrDie();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a failed Status from the current function.
+#define XJ_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::xjoin::Status _xj_st = (expr);           \
+    if (!_xj_st.ok()) return _xj_st;           \
+  } while (false)
+
+#define XJ_CONCAT_IMPL(x, y) x##y
+#define XJ_CONCAT(x, y) XJ_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on failure returns its Status, on
+/// success assigns the value to `lhs` (which may be a declaration).
+#define XJ_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  XJ_ASSIGN_OR_RETURN_IMPL(XJ_CONCAT(_xj_result_, __LINE__), lhs, rexpr)
+
+#define XJ_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                             \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).ValueOrDie();
+
+}  // namespace xjoin
+
+#endif  // XJOIN_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+// Small string helpers shared by the parsers and CSV reader.
+#ifndef XJOIN_COMMON_STRING_UTIL_H_
+#define XJOIN_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xjoin {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Parses a base-10 signed integer; rejects trailing garbage and overflow.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a floating point number; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Renders a double compactly ("3.5", not "3.500000").
+std::string FormatDouble(double v);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,116 @@
+#include "core/baseline.h"
+
+#include <algorithm>
+
+#include "relational/operators.h"
+#include "twigjoin/twig_matchers.h"
+#include "twigjoin/twigstack.h"
+
+namespace xjoin {
+
+namespace {
+
+// Replaces node-id bindings with join values, preserving the schema.
+Relation BindingsToValues(const Relation& bindings, const NodeIndex& index) {
+  Relation out(bindings.schema());
+  Tuple row(bindings.num_columns());
+  for (size_t r = 0; r < bindings.num_rows(); ++r) {
+    for (size_t c = 0; c < bindings.num_columns(); ++c) {
+      row[c] = index.ValueOf(static_cast<NodeId>(bindings.at(r, c)));
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> ExecuteBaseline(const MultiModelQuery& query,
+                                 const BaselineOptions& options) {
+  XJ_RETURN_NOT_OK(ValidateQuery(query));
+  Metrics* metrics = options.metrics;
+  int64_t max_intermediate = 0;
+  int64_t total_intermediate = 0;
+
+  // Q1: relational-only join.
+  std::vector<Relation> partials;
+  if (!query.relations.empty()) {
+    std::vector<const Relation*> rels;
+    rels.reserve(query.relations.size());
+    for (const auto& nr : query.relations) rels.push_back(nr.relation);
+    Metrics local;
+    XJ_ASSIGN_OR_RETURN(Relation q1, JoinAll(rels, &local));
+    max_intermediate = std::max(max_intermediate, local.Get("plan.max_intermediate"));
+    total_intermediate += local.Get("plan.total_intermediate");
+    MetricsAdd(metrics, "baseline.q1_size", static_cast<int64_t>(q1.num_rows()));
+    partials.push_back(std::move(q1));
+  }
+
+  // Q2 per twig: classical matching, then node->value conversion.
+  for (const auto& ti : query.twigs) {
+    Metrics local;
+    Relation bindings(Schema{});
+    switch (options.strategy) {
+      case TwigMatchStrategy::kPathStack: {
+        XJ_ASSIGN_OR_RETURN(
+            bindings, MatchTwigPathStack(ti.index->doc(), *ti.index, ti.twig,
+                                         &local));
+        max_intermediate =
+            std::max(max_intermediate, local.Get("twig_path.max_intermediate"));
+        total_intermediate += local.Get("twig_path.path_solutions");
+        break;
+      }
+      case TwigMatchStrategy::kStructuralPlan: {
+        XJ_ASSIGN_OR_RETURN(
+            bindings, MatchTwigStructuralPlan(ti.index->doc(), *ti.index,
+                                              ti.twig, &local));
+        max_intermediate =
+            std::max(max_intermediate, local.Get("twig_plan.max_intermediate"));
+        total_intermediate += local.Get("twig_plan.total_intermediate");
+        break;
+      }
+      case TwigMatchStrategy::kTwigStack: {
+        XJ_ASSIGN_OR_RETURN(
+            bindings, MatchTwigStack(ti.index->doc(), *ti.index, ti.twig,
+                                     &local));
+        max_intermediate =
+            std::max(max_intermediate, local.Get("twigstack.max_intermediate"));
+        total_intermediate += local.Get("twigstack.path_solutions");
+        break;
+      }
+      case TwigMatchStrategy::kNaive: {
+        std::vector<TwigMatch> matches =
+            MatchTwigNaive(ti.index->doc(), ti.twig);
+        XJ_ASSIGN_OR_RETURN(bindings, MatchesToRelation(ti.twig, matches));
+        break;
+      }
+    }
+    MetricsAdd(metrics, "baseline.q2_matches",
+               static_cast<int64_t>(bindings.num_rows()));
+    max_intermediate =
+        std::max(max_intermediate, static_cast<int64_t>(bindings.num_rows()));
+    total_intermediate += static_cast<int64_t>(bindings.num_rows());
+    Relation values = BindingsToValues(bindings, *ti.index);
+    values.SortAndDedup();
+    partials.push_back(std::move(values));
+  }
+
+  // Combine the per-model results.
+  std::vector<const Relation*> inputs;
+  inputs.reserve(partials.size());
+  for (const auto& p : partials) inputs.push_back(&p);
+  Metrics combine;
+  XJ_ASSIGN_OR_RETURN(Relation combined, JoinAll(inputs, &combine));
+  max_intermediate =
+      std::max(max_intermediate, combine.Get("plan.max_intermediate"));
+  total_intermediate += combine.Get("plan.total_intermediate");
+
+  if (metrics != nullptr) {
+    metrics->RecordMax("baseline.max_intermediate", max_intermediate);
+    metrics->Add("baseline.total_intermediate", total_intermediate);
+  }
+  if (query.output_attributes.empty()) return combined;
+  return Project(combined, query.output_attributes);
+}
+
+}  // namespace xjoin

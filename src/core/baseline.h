@@ -1,0 +1,40 @@
+// The paper's baseline (Figure 3, Example 3.4): evaluate Q1 (the
+// relational-only join) and Q2 (each twig matched independently by a
+// classical XML algorithm), then join the per-model results. Correct,
+// but its intermediate results are bounded only by each model's own
+// worst case (n^5 in Example 3.4 against the true n^2).
+#ifndef XJOIN_CORE_BASELINE_H_
+#define XJOIN_CORE_BASELINE_H_
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "relational/relation.h"
+
+namespace xjoin {
+
+/// Which twig matcher evaluates Q2.
+enum class TwigMatchStrategy {
+  kPathStack,       ///< PathStack per root-leaf path + merge (default)
+  kStructuralPlan,  ///< binary stack-tree structural joins
+  kTwigStack,       ///< holistic TwigStack (Bruno et al. 2002)
+  kNaive,           ///< brute force (oracle; for tests/small inputs)
+};
+
+/// Baseline options.
+struct BaselineOptions {
+  TwigMatchStrategy strategy = TwigMatchStrategy::kPathStack;
+  /// Nullable counters: "baseline.q1_size", "baseline.q2_matches" (raw
+  /// embeddings before value conversion), "baseline.max_intermediate",
+  /// "baseline.total_intermediate".
+  Metrics* metrics = nullptr;
+};
+
+/// Runs the baseline plan; the result is identical (as a set) to
+/// ExecuteXJoin's on every valid query.
+Result<Relation> ExecuteBaseline(const MultiModelQuery& query,
+                                 const BaselineOptions& options = {});
+
+}  // namespace xjoin
+
+#endif  // XJOIN_CORE_BASELINE_H_

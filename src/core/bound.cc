@@ -1,0 +1,67 @@
+#include "core/bound.h"
+
+#include <algorithm>
+
+#include "core/decompose.h"
+#include "core/virtual_relation.h"
+
+namespace xjoin {
+
+Result<Hypergraph> BuildQueryHypergraph(const MultiModelQuery& query,
+                                        const BoundOptions& options) {
+  XJ_RETURN_NOT_OK(ValidateQuery(query));
+  Hypergraph graph;
+  for (const auto& nr : query.relations) {
+    HyperEdge edge;
+    edge.name = nr.name;
+    edge.attributes = nr.relation->schema().attributes();
+    edge.size = options.path_size_mode == PathSizeMode::kUniform
+                    ? options.uniform_n
+                    : std::max<double>(1.0,
+                                       static_cast<double>(nr.relation->num_rows()));
+    XJ_RETURN_NOT_OK(graph.AddEdge(std::move(edge)));
+  }
+  for (size_t t = 0; t < query.twigs.size(); ++t) {
+    const TwigInput& ti = query.twigs[t];
+    XJ_ASSIGN_OR_RETURN(TwigDecomposition d, DecomposeTwig(ti.twig));
+    for (size_t p = 0; p < d.paths.size(); ++p) {
+      XJ_ASSIGN_OR_RETURN(PathRelation rel,
+                          PathRelation::Make(ti.twig, d.paths[p], ti.index));
+      HyperEdge edge;
+      edge.name = "twig" + std::to_string(t + 1) + ".P" + std::to_string(p + 1);
+      edge.attributes = d.paths[p].attributes;
+      switch (options.path_size_mode) {
+        case PathSizeMode::kExact: {
+          XJ_ASSIGN_OR_RETURN(Relation mat, rel.Materialize());
+          edge.size = std::max<double>(1.0, static_cast<double>(mat.num_rows()));
+          break;
+        }
+        case PathSizeMode::kChainCount:
+          edge.size = std::max<double>(1.0, static_cast<double>(rel.CountChains()));
+          break;
+        case PathSizeMode::kUniform:
+          edge.size = options.uniform_n;
+          break;
+      }
+      XJ_RETURN_NOT_OK(graph.AddEdge(std::move(edge)));
+    }
+  }
+  return graph;
+}
+
+Result<MultiModelBound> ComputeBound(const MultiModelQuery& query,
+                                     const BoundOptions& options) {
+  MultiModelBound bound;
+  XJ_ASSIGN_OR_RETURN(bound.hypergraph, BuildQueryHypergraph(query, options));
+  XJ_ASSIGN_OR_RETURN(bound.cover, SolveFractionalEdgeCover(bound.hypergraph));
+  if (query.output_attributes.empty()) {
+    bound.log2_output_bound = bound.cover.log2_bound;
+  } else {
+    XJ_ASSIGN_OR_RETURN(
+        bound.log2_output_bound,
+        Log2BoundForSubset(bound.hypergraph, query.output_attributes));
+  }
+  return bound;
+}
+
+}  // namespace xjoin

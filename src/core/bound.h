@@ -1,0 +1,54 @@
+// Multi-model worst-case size bounds (paper Section 3, Equation 1,
+// Example 3.3): build the hypergraph of relational schemas plus
+// decomposed twig-path schemas and solve the fractional edge cover LPs.
+#ifndef XJOIN_CORE_BOUND_H_
+#define XJOIN_CORE_BOUND_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "lp/edge_cover.h"
+#include "lp/hypergraph.h"
+
+namespace xjoin {
+
+/// How twig-path edge cardinalities are determined.
+enum class PathSizeMode {
+  /// Exact: materialize each path relation and count tuples.
+  kExact,
+  /// DP chain count — an enumeration-free upper bound (DESIGN.md S10).
+  kChainCount,
+  /// All edges get size `uniform_n` — the paper's "each tag consists of n
+  /// nodes" analytical setting (Examples 3.3/3.4).
+  kUniform,
+};
+
+/// Options for BuildQueryHypergraph.
+struct BoundOptions {
+  PathSizeMode path_size_mode = PathSizeMode::kExact;
+  double uniform_n = 1.0;  ///< used by kUniform (applies to relations too)
+};
+
+/// Builds the Equation-1 hypergraph: one edge per relational table, one
+/// edge per decomposed twig path.
+Result<Hypergraph> BuildQueryHypergraph(const MultiModelQuery& query,
+                                        const BoundOptions& options = {});
+
+/// The complete bound report for a query.
+struct MultiModelBound {
+  Hypergraph hypergraph;
+  EdgeCoverResult cover;
+  /// Bound restricted to the query's output attributes (== full bound
+  /// when output_attributes is empty).
+  double log2_output_bound = 0.0;
+};
+
+/// Computes the AGM-style bound of the multi-model query.
+Result<MultiModelBound> ComputeBound(const MultiModelQuery& query,
+                                     const BoundOptions& options = {});
+
+}  // namespace xjoin
+
+#endif  // XJOIN_CORE_BOUND_H_

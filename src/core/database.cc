@@ -1,0 +1,212 @@
+#include "core/database.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/bound.h"
+#include "core/decompose.h"
+#include "core/order.h"
+#include "xml/parser.h"
+#include "xml/twig.h"
+
+namespace xjoin {
+
+Status MultiModelDatabase::RegisterRelationCsv(const std::string& name,
+                                               std::string_view csv,
+                                               const CsvOptions& options) {
+  XJ_ASSIGN_OR_RETURN(Relation rel, ReadCsv(csv, options, &dict_));
+  return RegisterRelation(name, std::move(rel));
+}
+
+Status MultiModelDatabase::RegisterRelation(const std::string& name,
+                                            Relation relation) {
+  if (name.empty()) return Status::InvalidArgument("empty relation name");
+  if (relations_.count(name) || documents_.count(name)) {
+    return Status::AlreadyExists(name + " is already registered");
+  }
+  relations_.emplace(name, std::move(relation));
+  return Status::OK();
+}
+
+Status MultiModelDatabase::RegisterDocumentXml(const std::string& name,
+                                               std::string_view xml,
+                                               ValuePolicy policy) {
+  XJ_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml));
+  return RegisterDocument(name, std::move(doc), policy);
+}
+
+Status MultiModelDatabase::RegisterDocument(const std::string& name,
+                                            XmlDocument doc,
+                                            ValuePolicy policy) {
+  if (name.empty()) return Status::InvalidArgument("empty document name");
+  if (relations_.count(name) || documents_.count(name)) {
+    return Status::AlreadyExists(name + " is already registered");
+  }
+  Document entry;
+  entry.doc = std::make_unique<XmlDocument>(std::move(doc));
+  entry.index = std::make_unique<NodeIndex>(
+      NodeIndex::Build(entry.doc.get(), &dict_, policy));
+  documents_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Result<const Relation*> MultiModelDatabase::relation(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("no relation " + name);
+  return &it->second;
+}
+
+Result<const NodeIndex*> MultiModelDatabase::document_index(
+    const std::string& name) const {
+  auto it = documents_.find(name);
+  if (it == documents_.end()) return Status::NotFound("no document " + name);
+  return it->second.index.get();
+}
+
+std::vector<std::string> MultiModelDatabase::RelationNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, rel] : relations_) {
+    (void)rel;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> MultiModelDatabase::DocumentNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, doc] : documents_) {
+    (void)doc;
+    names.push_back(name);
+  }
+  return names;
+}
+
+namespace {
+
+// Splits on commas at bracket depth zero (twig branches keep their
+// commas).
+std::vector<std::string> SplitTopLevel(std::string_view text) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+}  // namespace
+
+Result<PreparedQuery> MultiModelDatabase::Prepare(const std::string& text) const {
+  PreparedQuery prepared;
+  std::string_view rest = TrimWhitespace(text);
+
+  // Optional head "Name(attrs) :=".
+  auto assign = rest.find(":=");
+  if (assign != std::string_view::npos) {
+    std::string_view head = TrimWhitespace(rest.substr(0, assign));
+    rest = TrimWhitespace(rest.substr(assign + 2));
+    auto open = head.find('(');
+    if (open == std::string_view::npos || head.back() != ')') {
+      return Status::ParseError("query head must look like Q(a, b)");
+    }
+    std::string_view attrs = head.substr(open + 1, head.size() - open - 2);
+    if (TrimWhitespace(attrs) != "*") {
+      for (const auto& part : SplitString(attrs, ',')) {
+        std::string attr(TrimWhitespace(part));
+        if (attr.empty()) return Status::ParseError("empty output attribute");
+        prepared.query.output_attributes.push_back(std::move(attr));
+      }
+    }
+  }
+  if (rest.empty()) return Status::ParseError("query has no inputs");
+
+  for (const auto& part : SplitTopLevel(rest)) {
+    std::string_view input = TrimWhitespace(part);
+    if (input.empty()) return Status::ParseError("empty query input");
+    auto colon = input.find(':');
+    if (colon == std::string_view::npos) {
+      // Relation reference.
+      std::string name(input);
+      auto rel = relation(name);
+      if (!rel.ok()) return rel.status();
+      prepared.query.relations.push_back({name, *rel});
+    } else {
+      std::string doc_name(TrimWhitespace(input.substr(0, colon)));
+      std::string pattern(TrimWhitespace(input.substr(colon + 1)));
+      auto index = document_index(doc_name);
+      if (!index.ok()) return index.status();
+      XJ_ASSIGN_OR_RETURN(Twig twig, Twig::Parse(pattern));
+      prepared.query.twigs.push_back(TwigInput{std::move(twig), *index});
+    }
+  }
+  XJ_RETURN_NOT_OK(ValidateQuery(prepared.query));
+  return prepared;
+}
+
+Result<Relation> MultiModelDatabase::Query(const std::string& text,
+                                           Engine engine,
+                                           Metrics* metrics) const {
+  XJ_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
+  if (engine == Engine::kXJoin) {
+    XJoinOptions options;
+    options.metrics = metrics;
+    return ExecuteXJoin(prepared.query, options);
+  }
+  BaselineOptions options;
+  options.metrics = metrics;
+  return ExecuteBaseline(prepared.query, options);
+}
+
+Result<std::string> MultiModelDatabase::Explain(const std::string& text) const {
+  XJ_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
+  const MultiModelQuery& query = prepared.query;
+  std::ostringstream out;
+
+  out << "inputs:\n";
+  for (const auto& nr : query.relations) {
+    out << "  relation " << nr.relation->schema().ToString(nr.name) << "  ["
+        << nr.relation->num_rows() << " rows]\n";
+  }
+  for (size_t t = 0; t < query.twigs.size(); ++t) {
+    const TwigInput& ti = query.twigs[t];
+    out << "  twig " << ti.twig.ToString() << "  [document: "
+        << ti.index->doc().num_nodes() << " nodes]\n";
+    XJ_ASSIGN_OR_RETURN(TwigDecomposition d, DecomposeTwig(ti.twig));
+    out << "    transform(Sx): " << DecompositionToString(ti.twig, d) << "\n";
+  }
+
+  XJ_ASSIGN_OR_RETURN(std::vector<std::string> order,
+                      ChooseAttributeOrder(query));
+  out << "expansion order (PA): " << JoinStrings(order, " -> ") << "\n";
+
+  auto bound = ComputeBound(query);
+  if (bound.ok()) {
+    out << "worst-case size bound: 2^"
+        << FormatDouble(bound->cover.log2_bound) << " = "
+        << FormatDouble(std::exp2(bound->cover.log2_bound)) << " tuples\n";
+    if (!query.output_attributes.empty()) {
+      out << "bound on output attributes: 2^"
+          << FormatDouble(bound->log2_output_bound) << "\n";
+    }
+  }
+  out << "output: ";
+  if (query.output_attributes.empty()) {
+    out << "all attributes\n";
+  } else {
+    out << JoinStrings(query.output_attributes, ", ") << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace xjoin

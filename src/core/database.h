@@ -1,0 +1,103 @@
+// MultiModelDatabase: the convenience facade a downstream application
+// uses — it owns the shared dictionary, registered relations (from CSV
+// or tuples) and XML documents (parsed and indexed at registration),
+// and evaluates textual multi-model queries:
+//
+//     Q(userID, ISBN, price) := R, invoices : invoice[orderID]/orderLine[ISBN]/price
+//
+// Grammar:
+//     query   := [ head ":=" ] input ("," input)*
+//     head    := NAME "(" attr ("," attr)* ")" | NAME "(*)"
+//     input   := relation-name | document-name ":" twig-pattern
+// Commas inside twig branch brackets do not split inputs. Without a
+// head, the result contains every attribute.
+#ifndef XJOIN_CORE_DATABASE_H_
+#define XJOIN_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "common/status.h"
+#include "core/baseline.h"
+#include "core/query.h"
+#include "core/xjoin.h"
+#include "relational/csv.h"
+#include "relational/relation.h"
+#include "xml/document.h"
+#include "xml/node_index.h"
+
+namespace xjoin {
+
+/// Which engine evaluates a query.
+enum class Engine {
+  kXJoin,     ///< worst-case optimal (Algorithm 1)
+  kBaseline,  ///< per-model evaluation + combine (Figure 3 baseline)
+};
+
+/// A parsed query bound to database storage. Valid as long as the
+/// database outlives it and the referenced objects are not replaced.
+struct PreparedQuery {
+  MultiModelQuery query;
+};
+
+/// The facade. Not thread-safe for concurrent mutation.
+class MultiModelDatabase {
+ public:
+  MultiModelDatabase() = default;
+
+  /// The shared dictionary (useful for decoding result codes).
+  const Dictionary& dictionary() const { return dict_; }
+  Dictionary* mutable_dictionary() { return &dict_; }
+
+  /// Registers a relation parsed from CSV text.
+  Status RegisterRelationCsv(const std::string& name, std::string_view csv,
+                             const CsvOptions& options = {});
+
+  /// Registers an already-built relation (its codes must come from this
+  /// database's dictionary).
+  Status RegisterRelation(const std::string& name, Relation relation);
+
+  /// Parses and registers an XML document under `name`.
+  Status RegisterDocumentXml(const std::string& name, std::string_view xml,
+                             ValuePolicy policy = ValuePolicy::kTextOrNodeId);
+
+  /// Registers an already-parsed document.
+  Status RegisterDocument(const std::string& name, XmlDocument doc,
+                          ValuePolicy policy = ValuePolicy::kTextOrNodeId);
+
+  /// Lookup; NotFound if missing.
+  Result<const Relation*> relation(const std::string& name) const;
+  Result<const NodeIndex*> document_index(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> RelationNames() const;
+  std::vector<std::string> DocumentNames() const;
+
+  /// Parses a textual query against the registered objects.
+  Result<PreparedQuery> Prepare(const std::string& text) const;
+
+  /// Prepares and evaluates in one step.
+  Result<Relation> Query(const std::string& text, Engine engine = Engine::kXJoin,
+                         Metrics* metrics = nullptr) const;
+
+  /// Human-readable plan: inputs, twig decompositions, chosen attribute
+  /// order, and the worst-case size bound.
+  Result<std::string> Explain(const std::string& text) const;
+
+ private:
+  struct Document {
+    std::unique_ptr<XmlDocument> doc;
+    std::unique_ptr<NodeIndex> index;
+  };
+
+  Dictionary dict_;
+  std::map<std::string, Relation> relations_;
+  std::map<std::string, Document> documents_;
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_CORE_DATABASE_H_

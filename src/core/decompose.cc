@@ -1,0 +1,73 @@
+#include "core/decompose.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xjoin {
+
+Result<TwigDecomposition> DecomposeTwig(const Twig& twig) {
+  XJ_RETURN_NOT_OK(twig.Validate());
+  TwigDecomposition d;
+  const size_t n = twig.num_nodes();
+  d.subtwig_root_of.resize(n);
+
+  // Step 1: sub-twig roots are the twig root plus every target of an A-D
+  // edge. Nodes are in preorder, so a single pass assigns components.
+  for (size_t i = 0; i < n; ++i) {
+    TwigNodeId id = static_cast<TwigNodeId>(i);
+    const TwigNode& node = twig.node(id);
+    if (node.parent == kNullTwigNode) {
+      d.subtwig_root_of[i] = id;
+    } else if (node.axis == TwigAxis::kDescendant) {
+      d.subtwig_root_of[i] = id;
+      d.cut_edges.emplace_back(node.parent, id);
+    } else {
+      d.subtwig_root_of[i] = d.subtwig_root_of[static_cast<size_t>(node.parent)];
+    }
+  }
+
+  // Step 2: root-leaf paths per sub-twig. A node is a sub-twig leaf when
+  // it has no P-C children.
+  for (size_t i = 0; i < n; ++i) {
+    TwigNodeId id = static_cast<TwigNodeId>(i);
+    bool has_pc_child = false;
+    for (TwigNodeId c : twig.node(id).children) {
+      if (twig.node(c).axis == TwigAxis::kChild) {
+        has_pc_child = true;
+        break;
+      }
+    }
+    if (has_pc_child) continue;
+    // Walk up to the sub-twig root.
+    TwigPath path;
+    TwigNodeId root = d.subtwig_root_of[i];
+    for (TwigNodeId cur = id;; cur = twig.node(cur).parent) {
+      path.nodes.push_back(cur);
+      if (cur == root) break;
+    }
+    std::reverse(path.nodes.begin(), path.nodes.end());
+    for (TwigNodeId q : path.nodes) path.attributes.push_back(twig.node(q).attribute);
+    d.paths.push_back(std::move(path));
+  }
+  return d;
+}
+
+std::string DecompositionToString(const Twig& twig, const TwigDecomposition& d) {
+  std::ostringstream out;
+  for (size_t p = 0; p < d.paths.size(); ++p) {
+    out << "P" << (p + 1) << "(";
+    for (size_t i = 0; i < d.paths[p].attributes.size(); ++i) {
+      if (i) out << ", ";
+      out << d.paths[p].attributes[i];
+    }
+    out << ")";
+    if (p + 1 < d.paths.size()) out << "  ";
+  }
+  for (const auto& [a, b] : d.cut_edges) {
+    out << "  [cut: " << twig.node(a).attribute << "//" << twig.node(b).attribute
+        << "]";
+  }
+  return out.str();
+}
+
+}  // namespace xjoin

@@ -1,0 +1,41 @@
+// Twig decomposition (paper Section 3, Figure 2): cut every A-D edge,
+// split the twig into P-C-only sub-twigs, and enumerate each sub-twig's
+// root-to-leaf paths. Every path becomes one relational-like schema; the
+// cut A-D edges become residual structural constraints enforced by
+// validation (core/validate.h).
+#ifndef XJOIN_CORE_DECOMPOSE_H_
+#define XJOIN_CORE_DECOMPOSE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/twig.h"
+
+namespace xjoin {
+
+/// One root-leaf path of a P-C sub-twig.
+struct TwigPath {
+  std::vector<TwigNodeId> nodes;       ///< root of sub-twig first
+  std::vector<std::string> attributes; ///< parallel attribute names
+};
+
+/// The decomposition of one twig.
+struct TwigDecomposition {
+  std::vector<TwigPath> paths;
+  /// The A-D edges removed in step (1): (ancestor node, descendant node).
+  std::vector<std::pair<TwigNodeId, TwigNodeId>> cut_edges;
+  /// For each twig node, the sub-twig root it belongs to.
+  std::vector<TwigNodeId> subtwig_root_of;
+};
+
+/// Decomposes `twig`. Fails only on invalid twigs.
+Result<TwigDecomposition> DecomposeTwig(const Twig& twig);
+
+/// Rendering like "P1(A, B)  P2(A, D)  [cut: A//C]".
+std::string DecompositionToString(const Twig& twig, const TwigDecomposition& d);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_CORE_DECOMPOSE_H_

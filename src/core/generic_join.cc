@@ -1,0 +1,180 @@
+#include "core/generic_join.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "relational/schema.h"
+
+namespace xjoin {
+
+bool LeapfrogAlign(const std::vector<TrieIterator*>& iters, int64_t* seeks) {
+  if (iters.empty()) return false;
+  for (TrieIterator* it : iters) {
+    if (it->AtEnd()) return false;
+  }
+  for (;;) {
+    int64_t max_key = iters[0]->Key();
+    for (TrieIterator* it : iters) max_key = std::max(max_key, it->Key());
+    bool all_equal = true;
+    for (TrieIterator* it : iters) {
+      if (it->Key() < max_key) {
+        it->Seek(max_key);
+        if (seeks != nullptr) ++*seeks;
+        if (it->AtEnd()) return false;
+        if (it->Key() > max_key) {
+          all_equal = false;  // overshoot: new max, restart
+          break;
+        }
+      }
+    }
+    if (all_equal) return true;
+  }
+}
+
+bool LeapfrogAdvance(const std::vector<TrieIterator*>& iters, int64_t* seeks) {
+  if (iters.empty()) return false;
+  iters[0]->Next();
+  if (seeks != nullptr) ++*seeks;
+  if (iters[0]->AtEnd()) return false;
+  return LeapfrogAlign(iters, seeks);
+}
+
+namespace {
+
+// Per-depth plan entry: which inputs participate in the attribute bound
+// at that depth.
+struct LevelPlan {
+  std::string attribute;
+  std::vector<size_t> participants;  // indices into inputs
+};
+
+class Engine {
+ public:
+  Engine(const std::vector<JoinInput>& inputs, const GenericJoinOptions& options,
+         std::vector<LevelPlan> plan, Relation* out)
+      : inputs_(inputs),
+        options_(options),
+        plan_(std::move(plan)),
+        out_(out),
+        prefix_(plan_.size(), 0) {}
+
+  void Run() {
+    level_totals_.assign(plan_.size(), 0);
+    Descend(0);
+    if (options_.metrics != nullptr) {
+      int64_t max_level = 0;
+      for (size_t d = 0; d < plan_.size(); ++d) {
+        options_.metrics->Add("gj.level" + std::to_string(d) + ".bindings",
+                              level_totals_[d]);
+        max_level = std::max(max_level, level_totals_[d]);
+      }
+      options_.metrics->RecordMax("gj.max_intermediate", max_level);
+      options_.metrics->Add("gj.total_intermediate", total_intermediate_);
+      options_.metrics->Add("gj.seeks", seeks_);
+      options_.metrics->Add("gj.output", static_cast<int64_t>(out_->num_rows()));
+    }
+  }
+
+ private:
+  void Descend(size_t depth) {
+    const LevelPlan& level = plan_[depth];
+    std::vector<TrieIterator*> iters;
+    iters.reserve(level.participants.size());
+    for (size_t i : level.participants) {
+      inputs_[i].iterator->Open();
+      iters.push_back(inputs_[i].iterator);
+    }
+    if (LeapfrogAlign(iters, &seeks_)) {
+      do {
+        prefix_[depth] = iters[0]->Key();
+        ++level_totals_[depth];
+        ++total_intermediate_;
+        bool keep = true;
+        if (options_.prefix_filter) {
+          keep = options_.prefix_filter(depth, PrefixView(depth));
+        }
+        if (keep) {
+          if (depth + 1 == plan_.size()) {
+            out_->AppendRow(prefix_);
+          } else {
+            Descend(depth + 1);
+          }
+        }
+      } while (LeapfrogAdvance(iters, &seeks_));
+    }
+    for (size_t i : level.participants) inputs_[i].iterator->Up();
+  }
+
+  std::vector<int64_t> PrefixView(size_t depth) const {
+    return std::vector<int64_t>(prefix_.begin(),
+                                prefix_.begin() + static_cast<ptrdiff_t>(depth) + 1);
+  }
+
+  const std::vector<JoinInput>& inputs_;
+  const GenericJoinOptions& options_;
+  std::vector<LevelPlan> plan_;
+  Relation* out_;
+  Tuple prefix_;
+  std::vector<int64_t> level_totals_;
+  int64_t seeks_ = 0;
+  int64_t total_intermediate_ = 0;
+};
+
+}  // namespace
+
+Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
+                             const GenericJoinOptions& options) {
+  const auto& order = options.attribute_order;
+  if (order.empty()) return Status::InvalidArgument("empty attribute order");
+
+  // Build the per-level plan and validate input orders.
+  std::vector<LevelPlan> plan(order.size());
+  for (size_t d = 0; d < order.size(); ++d) plan[d].attribute = order[d];
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const JoinInput& in = inputs[i];
+    if (in.iterator == nullptr) {
+      return Status::InvalidArgument("input " + in.name + " has no iterator");
+    }
+    if (static_cast<size_t>(in.iterator->arity()) != in.attributes.size()) {
+      return Status::InvalidArgument("input " + in.name + " arity mismatch");
+    }
+    // The input's attribute sequence must be a subsequence-in-order of
+    // the global order, and the engine opens one trie level per global
+    // level it participates in — so the input's k-th attribute must be
+    // the k-th of its attributes encountered globally.
+    size_t next = 0;
+    for (const auto& attr : order) {
+      if (next < in.attributes.size() && in.attributes[next] == attr) {
+        ++next;
+      }
+    }
+    if (next != in.attributes.size()) {
+      return Status::InvalidArgument(
+          "input " + in.name +
+          " attribute order is inconsistent with the global order");
+    }
+    size_t seen = 0;
+    for (size_t d = 0; d < order.size(); ++d) {
+      if (seen < in.attributes.size() && in.attributes[seen] == order[d]) {
+        plan[d].participants.push_back(i);
+        ++seen;
+      }
+    }
+  }
+
+  for (size_t d = 0; d < plan.size(); ++d) {
+    if (plan[d].participants.empty()) {
+      return Status::InvalidArgument("attribute " + plan[d].attribute +
+                                     " is covered by no input");
+    }
+  }
+
+  XJ_ASSIGN_OR_RETURN(Schema schema, Schema::Make(order));
+  Relation out(std::move(schema));
+  Engine engine(inputs, options, std::move(plan), &out);
+  engine.Run();
+  return out;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,68 @@
+// The attribute-at-a-time worst-case-optimal join engine (Algorithm 1's
+// expansion loop). Generic Join / Leapfrog Triejoin over any mix of
+// TrieIterator implementations: materialized relational tries and lazy
+// XML path tries join through the same interface, which is what lets
+// XJoin "expand attributes by satisfying common values and relations
+// from all databases at the same time".
+#ifndef XJOIN_CORE_GENERIC_JOIN_H_
+#define XJOIN_CORE_GENERIC_JOIN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "relational/relation.h"
+#include "relational/trie_iterator.h"
+
+namespace xjoin {
+
+/// One join participant: a trie whose level order must equal the global
+/// attribute order restricted to its attributes.
+struct JoinInput {
+  std::string name;                     ///< for diagnostics and metrics
+  std::vector<std::string> attributes;  ///< trie level order
+  TrieIterator* iterator = nullptr;     ///< positioned at the root
+};
+
+/// Called after each attribute binding with the bound prefix (values of
+/// attribute_order[0..depth]). Returning false prunes the subtree — used
+/// by XJoin's partial structural validation.
+using PrefixFilter =
+    std::function<bool(size_t depth, const std::vector<int64_t>& prefix)>;
+
+/// Engine options.
+struct GenericJoinOptions {
+  /// Global expansion order (the paper's PA). Every attribute of every
+  /// input must appear exactly once.
+  std::vector<std::string> attribute_order;
+  /// Optional pruning hook (may be empty).
+  PrefixFilter prefix_filter;
+  /// Optional counters (nullable): per level "gj.level<i>.bindings" plus
+  /// "gj.max_intermediate", "gj.total_intermediate", "gj.seeks",
+  /// "gj.output".
+  Metrics* metrics = nullptr;
+};
+
+/// Runs the join and returns all result tuples over attribute_order.
+/// Fails when an attribute is covered by no input or an input's attribute
+/// order is inconsistent with the global order.
+Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
+                             const GenericJoinOptions& options);
+
+/// Leapfrog intersection step over iterators positioned at the same
+/// level: advances them to their next common key. Returns false when the
+/// intersection is exhausted. On true, every iterator is positioned at
+/// the common key. `seeks` (nullable) accumulates Seek/Next calls.
+/// Exposed for testing and for the micro-benchmarks.
+bool LeapfrogAlign(const std::vector<TrieIterator*>& iters, int64_t* seeks);
+
+/// After a match, advances the intersection past the current key.
+/// Returns false when exhausted.
+bool LeapfrogAdvance(const std::vector<TrieIterator*>& iters, int64_t* seeks);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_CORE_GENERIC_JOIN_H_

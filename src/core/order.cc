@@ -1,0 +1,145 @@
+#include "core/order.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/decompose.h"
+
+namespace xjoin {
+
+namespace {
+
+// Precedence edges a -> b (a must come before b) from every twig path.
+Result<std::vector<std::pair<std::string, std::string>>> PrecedenceEdges(
+    const MultiModelQuery& query) {
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (const auto& ti : query.twigs) {
+    XJ_ASSIGN_OR_RETURN(TwigDecomposition d, DecomposeTwig(ti.twig));
+    for (const auto& path : d.paths) {
+      for (size_t i = 0; i + 1 < path.attributes.size(); ++i) {
+        edges.emplace_back(path.attributes[i], path.attributes[i + 1]);
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ChooseAttributeOrder(
+    const MultiModelQuery& query, OrderHeuristic heuristic) {
+  XJ_RETURN_NOT_OK(ValidateQuery(query));
+  std::vector<std::string> attrs = QueryAttributes(query);
+  XJ_ASSIGN_OR_RETURN(auto edges, PrecedenceEdges(query));
+
+  // Coverage counts: how many inputs (relations + paths) contain each
+  // attribute.
+  std::map<std::string, int> coverage;
+  for (const auto& nr : query.relations) {
+    for (const auto& a : nr.relation->schema().attributes()) ++coverage[a];
+  }
+  for (const auto& ti : query.twigs) {
+    XJ_ASSIGN_OR_RETURN(TwigDecomposition d, DecomposeTwig(ti.twig));
+    for (const auto& path : d.paths) {
+      for (const auto& a : path.attributes) ++coverage[a];
+    }
+  }
+
+  // Domain estimates: the smallest candidate set any single input
+  // offers for the attribute (distinct codes for relational columns,
+  // tag population for twig nodes).
+  std::map<std::string, int64_t> domain;
+  if (heuristic == OrderHeuristic::kSmallestDomain) {
+    auto shrink = [&](const std::string& a, int64_t estimate) {
+      auto it = domain.find(a);
+      if (it == domain.end() || estimate < it->second) domain[a] = estimate;
+    };
+    for (const auto& nr : query.relations) {
+      for (size_t c = 0; c < nr.relation->schema().size(); ++c) {
+        std::set<int64_t> distinct(nr.relation->column(c).begin(),
+                                   nr.relation->column(c).end());
+        shrink(nr.relation->schema().attribute(c),
+               static_cast<int64_t>(distinct.size()));
+      }
+    }
+    for (const auto& ti : query.twigs) {
+      for (size_t i = 0; i < ti.twig.num_nodes(); ++i) {
+        const TwigNode& node = ti.twig.node(static_cast<TwigNodeId>(i));
+        int32_t tag = ti.index->doc().LookupTag(node.tag);
+        shrink(node.attribute,
+               static_cast<int64_t>(ti.index->NodesByTag(tag).size()));
+      }
+    }
+  }
+
+  std::map<std::string, int> indegree;
+  for (const auto& a : attrs) indegree[a] = 0;
+  std::multimap<std::string, std::string> succ;
+  for (const auto& [from, to] : edges) {
+    succ.emplace(from, to);
+    ++indegree[to];
+  }
+
+  std::vector<std::string> order;
+  std::set<std::string> emitted;
+  while (order.size() < attrs.size()) {
+    // Greedy among zero-indegree attributes per the heuristic,
+    // tie-break by first appearance in `attrs`.
+    const std::string* best = nullptr;
+    for (const auto& a : attrs) {
+      if (emitted.count(a) || indegree[a] != 0) continue;
+      if (best == nullptr) {
+        best = &a;
+      } else if (heuristic == OrderHeuristic::kCoverage) {
+        if (coverage[a] > coverage[*best]) best = &a;
+      } else {
+        if (domain[a] < domain[*best]) best = &a;
+      }
+    }
+    if (best == nullptr) {
+      // Possible only with cross-twig shared attributes whose path
+      // directions conflict (twig1: X above Y, twig2: Y above X).
+      return Status::InvalidArgument(
+          "cyclic path precedence between shared twig attributes; "
+          "alias one of the conflicting nodes");
+    }
+    order.push_back(*best);
+    emitted.insert(*best);
+    auto [lo, hi] = succ.equal_range(*best);
+    for (auto it = lo; it != hi; ++it) --indegree[it->second];
+  }
+  return order;
+}
+
+Status CheckAttributeOrder(const MultiModelQuery& query,
+                           const std::vector<std::string>& order) {
+  std::vector<std::string> attrs = QueryAttributes(query);
+  if (order.size() != attrs.size()) {
+    return Status::InvalidArgument("attribute order must list all " +
+                                   std::to_string(attrs.size()) +
+                                   " query attributes");
+  }
+  std::map<std::string, size_t> position;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (!position.emplace(order[i], i).second) {
+      return Status::InvalidArgument("attribute order repeats " + order[i]);
+    }
+  }
+  for (const auto& a : attrs) {
+    if (!position.count(a)) {
+      return Status::InvalidArgument("attribute order misses " + a);
+    }
+  }
+  XJ_ASSIGN_OR_RETURN(auto edges, PrecedenceEdges(query));
+  for (const auto& [from, to] : edges) {
+    if (position[from] > position[to]) {
+      return Status::InvalidArgument(
+          "attribute order violates path precedence: " + from +
+          " must precede " + to);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xjoin

@@ -1,0 +1,41 @@
+// Attribute expansion order (the paper's PA input to Algorithm 1).
+// Any order works for correctness as long as each twig path's attributes
+// appear root-first (the lazy path tries can only descend top-down);
+// this module picks one automatically and checks user-supplied orders.
+#ifndef XJOIN_CORE_ORDER_H_
+#define XJOIN_CORE_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+
+namespace xjoin {
+
+/// Greedy tie-breaking rule used inside the topological order.
+enum class OrderHeuristic {
+  /// Prefer attributes covered by the most inputs (they constrain the
+  /// search earliest). Default.
+  kCoverage,
+  /// Prefer attributes with the smallest estimated domain (distinct
+  /// relational values / candidate document nodes), so the search tree
+  /// narrows early. Costs one scan per input at planning time.
+  kSmallestDomain,
+};
+
+/// Chooses a valid global order: a topological order of the path
+/// precedence constraints with greedy tie-breaking per `heuristic`,
+/// then first appearance for determinism.
+Result<std::vector<std::string>> ChooseAttributeOrder(
+    const MultiModelQuery& query,
+    OrderHeuristic heuristic = OrderHeuristic::kCoverage);
+
+/// Verifies that `order` contains every query attribute exactly once and
+/// respects every twig path's root-first precedence.
+Status CheckAttributeOrder(const MultiModelQuery& query,
+                           const std::vector<std::string>& order);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_CORE_ORDER_H_

@@ -1,0 +1,58 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xjoin {
+
+std::vector<std::string> QueryAttributes(const MultiModelQuery& query) {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  auto add = [&](const std::string& a) {
+    if (seen.insert(a).second) out.push_back(a);
+  };
+  for (const auto& nr : query.relations) {
+    for (const auto& a : nr.relation->schema().attributes()) add(a);
+  }
+  for (const auto& twig_input : query.twigs) {
+    for (const auto& a : twig_input.twig.attributes()) add(a);
+  }
+  return out;
+}
+
+Status ValidateQuery(const MultiModelQuery& query) {
+  if (query.relations.empty() && query.twigs.empty()) {
+    return Status::InvalidArgument("query has no inputs");
+  }
+  for (const auto& nr : query.relations) {
+    if (nr.relation == nullptr) {
+      return Status::InvalidArgument("relation " + nr.name + " is null");
+    }
+  }
+  // Within a twig attributes are unique (Twig::Validate); the same
+  // attribute appearing in two different twigs is a cross-document value
+  // join and is allowed.
+  for (const auto& twig_input : query.twigs) {
+    if (twig_input.index == nullptr) {
+      return Status::InvalidArgument("twig input without node index");
+    }
+    XJ_RETURN_NOT_OK(twig_input.twig.Validate());
+    for (size_t i = 0; i < twig_input.twig.num_nodes(); ++i) {
+      const TwigNode& n = twig_input.twig.node(static_cast<TwigNodeId>(i));
+      if (n.tag == "*") {
+        return Status::InvalidArgument(
+            "wildcard twig tags are not joinable in multi-model queries");
+      }
+    }
+  }
+  std::vector<std::string> all = QueryAttributes(query);
+  for (const auto& a : query.output_attributes) {
+    if (std::find(all.begin(), all.end(), a) == all.end()) {
+      return Status::InvalidArgument("output attribute " + a +
+                                     " not in any input");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xjoin

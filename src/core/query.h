@@ -1,0 +1,46 @@
+// The multi-model join query: relational tables plus XML twig patterns,
+// joined naturally on shared attribute names (paper Figure 1). This is
+// the input type of XJoin, the baseline, and the bound calculator.
+#ifndef XJOIN_CORE_QUERY_H_
+#define XJOIN_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+#include "xml/node_index.h"
+#include "xml/twig.h"
+
+namespace xjoin {
+
+/// One XML side of the query: a twig over an indexed document.
+struct TwigInput {
+  Twig twig;
+  const NodeIndex* index = nullptr;  ///< document + values (shared dict!)
+};
+
+/// The full query. All relations and all NodeIndexes must encode values
+/// through the same Dictionary for the equi-joins to be meaningful.
+struct MultiModelQuery {
+  struct NamedRelation {
+    std::string name;
+    const Relation* relation = nullptr;
+  };
+  std::vector<NamedRelation> relations;
+  std::vector<TwigInput> twigs;
+  /// Attributes of the result Q(A'); empty means "all attributes".
+  std::vector<std::string> output_attributes;
+};
+
+/// All distinct attribute names of the query in deterministic order
+/// (relations first, then twigs, first-appearance order).
+std::vector<std::string> QueryAttributes(const MultiModelQuery& query);
+
+/// Validates shape: non-empty, valid twigs, no wildcard twig tags, and
+/// output attributes that exist.
+Status ValidateQuery(const MultiModelQuery& query);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_CORE_QUERY_H_

@@ -1,0 +1,108 @@
+#include "core/validate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace xjoin {
+
+TwigStructureValidator::TwigStructureValidator(const Twig* twig,
+                                               const NodeIndex* index)
+    : twig_(twig), index_(index) {
+  tag_codes_.reserve(twig->num_nodes());
+  for (size_t i = 0; i < twig->num_nodes(); ++i) {
+    tag_codes_.push_back(
+        index->doc().LookupTag(twig->node(static_cast<TwigNodeId>(i)).tag));
+  }
+}
+
+bool TwigStructureValidator::ExistsEmbedding(
+    const std::vector<std::optional<int64_t>>& values, Metrics* metrics) const {
+  XJ_DCHECK(values.size() == twig_->num_nodes());
+  const size_t n = twig_->num_nodes();
+  const XmlDocument& doc = index_->doc();
+
+  // Contract the twig onto its bound nodes: for each bound node, find the
+  // nearest bound proper ancestor and the properties of the contracted
+  // edge (distance, all-P-C?, direct edge?).
+  std::vector<std::vector<SkeletonEdge>> children(n);
+  std::vector<TwigNodeId> bound_nodes;
+  for (size_t i = 0; i < n; ++i) {
+    if (!values[i].has_value()) continue;
+    TwigNodeId q = static_cast<TwigNodeId>(i);
+    bound_nodes.push_back(q);
+    // Walk up until a bound ancestor (or root).
+    int32_t distance = 0;
+    bool all_pc = true;
+    TwigNodeId cur = q;
+    while (twig_->node(cur).parent != kNullTwigNode) {
+      if (twig_->node(cur).axis == TwigAxis::kDescendant) all_pc = false;
+      ++distance;
+      cur = twig_->node(cur).parent;
+      if (values[static_cast<size_t>(cur)].has_value()) {
+        SkeletonEdge e;
+        e.child = q;
+        e.distance = distance;
+        e.exact_parent = (distance == 1 && all_pc);
+        e.exact_level = all_pc;
+        children[static_cast<size_t>(cur)].push_back(e);
+        break;
+      }
+    }
+  }
+
+  // Bottom-up feasibility: bound nodes are in preorder, so reverse order
+  // processes children before parents. F[q] holds feasible candidate
+  // nodes sorted by NodeId.
+  std::vector<std::vector<NodeId>> feasible(n);
+  for (auto it = bound_nodes.rbegin(); it != bound_nodes.rend(); ++it) {
+    TwigNodeId q = *it;
+    size_t qi = static_cast<size_t>(q);
+    if (tag_codes_[qi] < 0) return false;  // tag absent from document
+    std::vector<NodeId> candidates =
+        index_->NodesByTagValue(tag_codes_[qi], *values[qi]);
+    MetricsAdd(metrics, "validate.candidates",
+               static_cast<int64_t>(candidates.size()));
+    if (candidates.empty()) return false;
+    std::vector<NodeId> kept;
+    for (NodeId x : candidates) {
+      bool ok = true;
+      for (const SkeletonEdge& e : children[qi]) {
+        const std::vector<NodeId>& fc = feasible[static_cast<size_t>(e.child)];
+        // Descendants of x occupy the NodeId range (x, subtree_end].
+        auto lo = std::upper_bound(fc.begin(), fc.end(), x);
+        NodeId end = doc.node(x).subtree_end;
+        bool found = false;
+        for (auto yit = lo; yit != fc.end() && *yit <= end; ++yit) {
+          NodeId y = *yit;
+          if (e.exact_parent) {
+            if (doc.node(y).parent == x) {
+              found = true;
+              break;
+            }
+          } else if (e.exact_level) {
+            if (doc.node(y).level == doc.node(x).level + e.distance) {
+              found = true;
+              break;
+            }
+          } else {
+            if (doc.node(y).level >= doc.node(x).level + e.distance) {
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) kept.push_back(x);
+    }
+    if (kept.empty()) return false;
+    feasible[qi] = std::move(kept);
+  }
+  return true;
+}
+
+}  // namespace xjoin

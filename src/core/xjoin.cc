@@ -1,0 +1,210 @@
+#include "core/xjoin.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/decompose.h"
+#include "core/generic_join.h"
+#include "core/order.h"
+#include "core/validate.h"
+#include "core/virtual_relation.h"
+#include "relational/operators.h"
+#include "relational/trie.h"
+
+namespace xjoin {
+
+namespace {
+
+// Everything one twig contributes to the join.
+struct TwigPlan {
+  const TwigInput* input;
+  TwigDecomposition decomposition;
+  std::vector<PathRelation> paths;
+  TwigStructureValidator validator;
+  // Maps: twig node id -> position of its attribute in the global order.
+  std::vector<size_t> order_pos_of_node;
+
+  TwigPlan(const TwigInput* in, TwigStructureValidator v)
+      : input(in), validator(std::move(v)) {}
+};
+
+}  // namespace
+
+Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
+                              const XJoinOptions& options) {
+  XJ_RETURN_NOT_OK(ValidateQuery(query));
+
+  // 1. Expansion order (PA).
+  std::vector<std::string> order;
+  if (options.attribute_order.empty()) {
+    XJ_ASSIGN_OR_RETURN(order,
+                        ChooseAttributeOrder(query, options.order_heuristic));
+  } else {
+    XJ_RETURN_NOT_OK(CheckAttributeOrder(query, options.attribute_order));
+    order = options.attribute_order;
+  }
+  std::map<std::string, size_t> order_pos;
+  for (size_t i = 0; i < order.size(); ++i) order_pos[order[i]] = i;
+
+  // 2. S <- Sr ∪ transform(Sx).
+  std::vector<JoinInput> inputs;
+  std::vector<std::unique_ptr<TrieIterator>> iterators;
+  std::vector<RelationTrie> tries;           // owns materialized tries
+  std::vector<std::unique_ptr<TwigPlan>> twig_plans;
+
+  // Relational tables: materialized tries in induced order.
+  // (Build after collecting specs so `tries` never reallocates under
+  // live iterators.)
+  struct RelSpec {
+    std::string name;
+    const Relation* relation;
+    std::vector<std::string> attrs;
+  };
+  std::vector<RelSpec> rel_specs;
+  for (const auto& nr : query.relations) {
+    RelSpec spec;
+    spec.name = nr.name;
+    spec.relation = nr.relation;
+    for (const auto& a : order) {
+      if (nr.relation->schema().Contains(a)) spec.attrs.push_back(a);
+    }
+    rel_specs.push_back(std::move(spec));
+  }
+
+  // Twigs: decomposition + path relations (+ materialized tries for the
+  // ablation).
+  struct PathSpec {
+    std::string name;
+    std::vector<std::string> attrs;
+    const PathRelation* path;  // filled after twig_plans stabilizes
+    size_t twig_index;
+    size_t path_index;
+  };
+  std::vector<PathSpec> path_specs;
+  for (size_t t = 0; t < query.twigs.size(); ++t) {
+    const TwigInput& ti = query.twigs[t];
+    auto plan = std::make_unique<TwigPlan>(
+        &ti, TwigStructureValidator(&ti.twig, ti.index));
+    XJ_ASSIGN_OR_RETURN(plan->decomposition, DecomposeTwig(ti.twig));
+    plan->order_pos_of_node.resize(ti.twig.num_nodes());
+    for (size_t q = 0; q < ti.twig.num_nodes(); ++q) {
+      plan->order_pos_of_node[q] =
+          order_pos.at(ti.twig.node(static_cast<TwigNodeId>(q)).attribute);
+    }
+    for (size_t p = 0; p < plan->decomposition.paths.size(); ++p) {
+      XJ_ASSIGN_OR_RETURN(
+          PathRelation rel,
+          PathRelation::Make(ti.twig, plan->decomposition.paths[p], ti.index));
+      plan->paths.push_back(std::move(rel));
+      PathSpec spec;
+      spec.name = "twig" + std::to_string(t + 1) + ".P" + std::to_string(p + 1);
+      spec.attrs = plan->decomposition.paths[p].attributes;
+      spec.twig_index = t;
+      spec.path_index = p;
+      path_specs.push_back(std::move(spec));
+    }
+    twig_plans.push_back(std::move(plan));
+  }
+
+  // Materialize relation tries (and path tries if requested).
+  std::vector<Relation> materialized_paths;  // keeps Relations alive
+  size_t num_tries = rel_specs.size() +
+                     (options.materialize_paths ? path_specs.size() : 0);
+  tries.reserve(num_tries);
+  for (const auto& spec : rel_specs) {
+    XJ_ASSIGN_OR_RETURN(RelationTrie trie,
+                        RelationTrie::Build(*spec.relation, spec.attrs));
+    tries.push_back(std::move(trie));
+    iterators.push_back(tries.back().NewIterator());
+    inputs.push_back(JoinInput{spec.name, spec.attrs, iterators.back().get()});
+  }
+  if (options.materialize_paths) {
+    materialized_paths.reserve(path_specs.size());
+  }
+  for (const auto& spec : path_specs) {
+    const PathRelation& rel =
+        twig_plans[spec.twig_index]->paths[spec.path_index];
+    if (options.materialize_paths) {
+      XJ_ASSIGN_OR_RETURN(Relation mat, rel.Materialize());
+      materialized_paths.push_back(std::move(mat));
+      XJ_ASSIGN_OR_RETURN(
+          RelationTrie trie,
+          RelationTrie::Build(materialized_paths.back(), spec.attrs));
+      tries.push_back(std::move(trie));
+      iterators.push_back(tries.back().NewIterator());
+    } else {
+      iterators.push_back(rel.NewLazyIterator());
+    }
+    inputs.push_back(JoinInput{spec.name, spec.attrs, iterators.back().get()});
+  }
+
+  // 3. Optional partial structural validation during expansion.
+  GenericJoinOptions gj_options;
+  gj_options.attribute_order = order;
+  gj_options.metrics = options.metrics;
+  int64_t pruned = 0;
+  if (options.structural_pruning) {
+    gj_options.prefix_filter = [&](size_t depth,
+                                   const std::vector<int64_t>& prefix) {
+      for (const auto& plan : twig_plans) {
+        const Twig& twig = plan->input->twig;
+        // Only re-check when the newly bound attribute belongs to this
+        // twig.
+        bool relevant = false;
+        std::vector<std::optional<int64_t>> values(twig.num_nodes());
+        for (size_t q = 0; q < twig.num_nodes(); ++q) {
+          size_t pos = plan->order_pos_of_node[q];
+          if (pos <= depth) values[q] = prefix[pos];
+          if (pos == depth) relevant = true;
+        }
+        if (!relevant) continue;
+        if (!plan->validator.ExistsEmbedding(values, options.metrics)) {
+          ++pruned;
+          return false;
+        }
+      }
+      return true;
+    };
+  }
+
+  // 4. Expansion (Algorithm 1's loop).
+  XJ_ASSIGN_OR_RETURN(Relation expanded, GenericJoin(inputs, gj_options));
+  MetricsAdd(options.metrics, "xjoin.expanded",
+             static_cast<int64_t>(expanded.num_rows()));
+  MetricsAdd(options.metrics, "xjoin.pruned", pruned);
+
+  // 5. Final structural validation.
+  Relation validated(expanded.schema());
+  {
+    // Column positions per twig node, per twig.
+    for (size_t r = 0; r < expanded.num_rows(); ++r) {
+      bool ok = true;
+      for (const auto& plan : twig_plans) {
+        const Twig& twig = plan->input->twig;
+        std::vector<std::optional<int64_t>> values(twig.num_nodes());
+        for (size_t q = 0; q < twig.num_nodes(); ++q) {
+          values[q] = expanded.at(r, plan->order_pos_of_node[q]);
+        }
+        if (!plan->validator.ExistsEmbedding(values, options.metrics)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) validated.AppendRow(expanded.GetRow(r));
+    }
+  }
+  MetricsAdd(options.metrics, "xjoin.validated",
+             static_cast<int64_t>(validated.num_rows()));
+  if (options.metrics != nullptr) {
+    options.metrics->RecordMax("xjoin.max_intermediate",
+                               options.metrics->Get("gj.max_intermediate"));
+  }
+
+  // 6. Projection.
+  if (query.output_attributes.empty()) return validated;
+  return Project(validated, query.output_attributes);
+}
+
+}  // namespace xjoin

@@ -1,0 +1,53 @@
+// XJoin (paper Algorithm 1): the worst-case optimal multi-model join.
+//
+//   S <- Sr ∪ transform(Sx)        — relations + twig path relations
+//   for each p in PA:              — attribute-at-a-time expansion
+//     expand by common values of p across all of S (leapfrog)
+//   filter R by validating the structure of Sx
+//
+// The path relations are navigated lazily by default ("we do not
+// physically transform them into relational tables"); set
+// materialize_paths for the ablation. structural_pruning enables the
+// paper's on-going-work extension: partially validating the twig during
+// the join.
+#ifndef XJOIN_CORE_XJOIN_H_
+#define XJOIN_CORE_XJOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/order.h"
+#include "core/query.h"
+#include "relational/relation.h"
+
+namespace xjoin {
+
+/// Execution options for XJoin.
+struct XJoinOptions {
+  /// The paper's PA: explicit expansion order. Empty = choose
+  /// automatically (core/order.h). Must respect twig path precedence.
+  std::vector<std::string> attribute_order;
+  /// Greedy rule used when attribute_order is empty.
+  OrderHeuristic order_heuristic = OrderHeuristic::kCoverage;
+  /// Ablation: flatten path relations to materialized tries first.
+  bool materialize_paths = false;
+  /// §4 extension: prune prefixes whose partial twig structure is
+  /// already infeasible.
+  bool structural_pruning = false;
+  /// Nullable counters. Records the generic-join "gj.*" counters plus
+  /// "xjoin.expanded" (tuples before validation), "xjoin.validated"
+  /// (tuples after), "xjoin.pruned" (prefixes cut by partial validation),
+  /// and "xjoin.max_intermediate".
+  Metrics* metrics = nullptr;
+};
+
+/// Runs XJoin and returns the distinct result tuples over the query's
+/// output attributes (all attributes when output_attributes is empty).
+Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
+                              const XJoinOptions& options = {});
+
+}  // namespace xjoin
+
+#endif  // XJOIN_CORE_XJOIN_H_

@@ -1,0 +1,107 @@
+#include "lp/edge_cover.h"
+
+#include <cmath>
+
+#include "lp/simplex.h"
+
+namespace xjoin {
+
+namespace {
+
+// Builds "minimize sum x_e * cost_e subject to covering every attribute
+// in `subset` with weight >= 1" restricted to edges intersecting subset.
+LpProblem CoverProblem(const Hypergraph& graph,
+                       const std::vector<std::string>& subset,
+                       const std::vector<double>& costs) {
+  LpProblem lp;
+  lp.sense = LpProblem::Sense::kMinimize;
+  lp.objective = costs;
+  for (const auto& attr : subset) {
+    LpConstraint c;
+    c.coeffs.assign(graph.edges().size(), 0.0);
+    for (size_t e : graph.EdgesCovering(attr)) c.coeffs[e] = 1.0;
+    c.relation = LpRelation::kGreaterEqual;
+    c.rhs = 1.0;
+    lp.constraints.push_back(std::move(c));
+  }
+  return lp;
+}
+
+}  // namespace
+
+Result<EdgeCoverResult> SolveFractionalEdgeCover(const Hypergraph& graph) {
+  if (graph.empty()) return Status::InvalidArgument("empty hypergraph");
+  const auto& edges = graph.edges();
+  const auto& attrs = graph.attributes();
+
+  std::vector<double> log_costs(edges.size());
+  for (size_t e = 0; e < edges.size(); ++e) {
+    log_costs[e] = std::log2(edges[e].size);
+  }
+
+  EdgeCoverResult result;
+
+  // Primal, log-weighted.
+  {
+    LpProblem lp = CoverProblem(graph, attrs, log_costs);
+    XJ_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+    if (!sol.optimal()) {
+      return Status::Internal("edge-cover primal not optimal");
+    }
+    result.edge_weights = sol.values;
+    result.log2_bound = sol.objective;
+    result.bound = std::exp2(sol.objective);
+  }
+
+  // Dual of the log-weighted primal: maximize sum y_a subject to, per
+  // edge, sum_{a in e} y_a <= log2|e|.
+  {
+    LpProblem lp;
+    lp.sense = LpProblem::Sense::kMaximize;
+    lp.objective.assign(attrs.size(), 1.0);
+    for (size_t e = 0; e < edges.size(); ++e) {
+      LpConstraint c;
+      c.coeffs.assign(attrs.size(), 0.0);
+      for (const auto& a : edges[e].attributes) {
+        c.coeffs[static_cast<size_t>(graph.AttributeIndex(a))] = 1.0;
+      }
+      c.relation = LpRelation::kLessEqual;
+      c.rhs = log_costs[e];
+      lp.constraints.push_back(std::move(c));
+    }
+    XJ_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+    if (!sol.optimal()) return Status::Internal("edge-cover dual not optimal");
+    result.attribute_weights = sol.values;
+  }
+
+  // Uniform exponent rho* (Equation 1 with unit capacities).
+  {
+    std::vector<double> unit_costs(edges.size(), 1.0);
+    LpProblem lp = CoverProblem(graph, attrs, unit_costs);
+    XJ_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+    if (!sol.optimal()) {
+      return Status::Internal("edge-cover uniform LP not optimal");
+    }
+    result.uniform_exponent = sol.objective;
+  }
+
+  return result;
+}
+
+Result<double> Log2BoundForSubset(const Hypergraph& graph,
+                                  const std::vector<std::string>& subset) {
+  if (subset.empty()) return 0.0;
+  std::vector<double> log_costs(graph.edges().size());
+  for (size_t e = 0; e < graph.edges().size(); ++e) {
+    log_costs[e] = std::log2(graph.edges()[e].size);
+  }
+  LpProblem lp = CoverProblem(graph, subset, log_costs);
+  XJ_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(lp));
+  if (sol.outcome == LpSolution::Outcome::kInfeasible) {
+    return Status::InvalidArgument("subset contains an uncoverable attribute");
+  }
+  if (!sol.optimal()) return Status::Internal("subset cover LP not optimal");
+  return sol.objective;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,51 @@
+// Fractional edge cover and the AGM bound (Atserias-Grohe-Marx, FOCS'08
+// — the paper's reference [2]), in both the primal form (minimum-weight
+// fractional cover) and the dual form of the paper's Equation 1
+// (maximum fractional independent set / vertex packing).
+#ifndef XJOIN_LP_EDGE_COVER_H_
+#define XJOIN_LP_EDGE_COVER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lp/hypergraph.h"
+
+namespace xjoin {
+
+/// Result of the edge-cover LPs on a hypergraph.
+struct EdgeCoverResult {
+  /// Primal: x_R per edge; minimizes sum x_R * log|R| s.t. every
+  /// attribute is covered by total weight >= 1.
+  std::vector<double> edge_weights;
+  /// Dual (Equation 1): y_a per attribute; maximizes sum y_a * log-domain
+  /// weight subject to sum_{a in R} y_a <= 1 per edge when all sizes are
+  /// equal; in general the dual of the log-weighted primal.
+  std::vector<double> attribute_weights;
+  /// log2 of the AGM bound: sum x_R * log2|R| (== the dual optimum).
+  double log2_bound = 0.0;
+  /// The AGM bound itself: prod |R|^{x_R}. May overflow to +inf for huge
+  /// inputs; use log2_bound for comparisons.
+  double bound = 1.0;
+  /// When every edge has the same size n, the bound is n^rho with rho =
+  /// sum x_R = sum y_a. This is that exponent (computed with unit edge
+  /// weights); meaningful for the paper's "each tag has n nodes" analyses.
+  double uniform_exponent = 0.0;
+};
+
+/// Solves the cover LPs for `graph`. Fails on an empty hypergraph or if
+/// some attribute cannot be covered (never happens by construction).
+Result<EdgeCoverResult> SolveFractionalEdgeCover(const Hypergraph& graph);
+
+/// AGM bound restricted to a subset of attributes: the minimum-weight
+/// fractional cover of `subset` using the edges' full sizes. Upper-bounds
+/// the number of distinct tuples the join can take on `subset` (the
+/// quantity Lemma 3.5 compares per-stage intermediates against).
+/// Attributes in `subset` that no edge covers make the problem infeasible
+/// and yield an error.
+Result<double> Log2BoundForSubset(const Hypergraph& graph,
+                                  const std::vector<std::string>& subset);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_LP_EDGE_COVER_H_

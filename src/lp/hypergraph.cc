@@ -1,0 +1,62 @@
+#include "lp/hypergraph.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace xjoin {
+
+Status Hypergraph::AddEdge(HyperEdge edge) {
+  if (edge.attributes.empty()) {
+    return Status::InvalidArgument("hyperedge " + edge.name + " has no attributes");
+  }
+  if (edge.size < 1.0) {
+    return Status::InvalidArgument("hyperedge " + edge.name + " has size < 1");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& a : edge.attributes) {
+    if (!seen.insert(a).second) {
+      return Status::InvalidArgument("hyperedge " + edge.name +
+                                     " repeats attribute " + a);
+    }
+  }
+  for (const auto& a : edge.attributes) {
+    if (AttributeIndex(a) < 0) attributes_.push_back(a);
+  }
+  edges_.push_back(std::move(edge));
+  return Status::OK();
+}
+
+int Hypergraph::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<size_t> Hypergraph::EdgesCovering(const std::string& attribute) const {
+  std::vector<size_t> out;
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    for (const auto& a : edges_[e].attributes) {
+      if (a == attribute) {
+        out.push_back(e);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Hypergraph::ToString() const {
+  std::ostringstream out;
+  for (const auto& e : edges_) {
+    out << e.name << "(";
+    for (size_t i = 0; i < e.attributes.size(); ++i) {
+      if (i) out << ", ";
+      out << e.attributes[i];
+    }
+    out << ") |" << e.name << "|=" << e.size << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace xjoin

@@ -1,0 +1,54 @@
+// Query hypergraphs: vertices are attribute names, hyperedges are
+// relations (real or twig-path-derived) with cardinalities. This is the
+// structure Equation 1's linear program is written over.
+#ifndef XJOIN_LP_HYPERGRAPH_H_
+#define XJOIN_LP_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xjoin {
+
+/// One hyperedge: a named relation schema with a size.
+struct HyperEdge {
+  std::string name;
+  std::vector<std::string> attributes;
+  double size = 1.0;  ///< cardinality |R| (>= 1)
+};
+
+/// A multi-hypergraph over attribute names.
+class Hypergraph {
+ public:
+  /// Adds an edge; fails on empty attribute list, duplicate attributes
+  /// within the edge, or size < 1.
+  Status AddEdge(HyperEdge edge);
+
+  const std::vector<HyperEdge>& edges() const { return edges_; }
+
+  /// All distinct attributes, in first-appearance order.
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// Index of an attribute in attributes(), or -1.
+  int AttributeIndex(const std::string& name) const;
+
+  /// Edges containing `attribute` (indices into edges()).
+  std::vector<size_t> EdgesCovering(const std::string& attribute) const;
+
+  /// True if every attribute appears in at least one edge (always true by
+  /// construction) and every edge is non-empty.
+  bool empty() const { return edges_.empty(); }
+
+  /// Multi-line rendering for EXPERIMENTS.md-style reports.
+  std::string ToString() const;
+
+ private:
+  std::vector<HyperEdge> edges_;
+  std::vector<std::string> attributes_;
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_LP_HYPERGRAPH_H_

@@ -1,0 +1,209 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace xjoin {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Tableau for "minimize c·x st Ax = b, x >= 0, b >= 0" solved with the
+// primal simplex using Bland's rule. Columns: n structural + slack +
+// artificial; rows: m constraints + objective row.
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                      cells_(rows * cols, 0.0) {}
+
+  double& at(size_t r, size_t c) { return cells_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return cells_[r * cols_ + c]; }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> cells_;
+};
+
+// One simplex phase: minimizes the objective encoded in the last tableau
+// row over columns [0, num_priceable). Returns false on unboundedness.
+bool RunSimplex(Tableau* t, std::vector<size_t>* basis, size_t num_priceable) {
+  const size_t m = t->rows() - 1;
+  const size_t obj = m;
+  for (;;) {
+    // Bland's rule: entering column = lowest index with negative reduced
+    // cost.
+    size_t enter = num_priceable;
+    for (size_t c = 0; c < num_priceable; ++c) {
+      if (t->at(obj, c) < -kEps) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == num_priceable) return true;  // optimal
+
+    // Ratio test; Bland tie-break on the basis variable index.
+    size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < m; ++r) {
+      double a = t->at(r, enter);
+      if (a > kEps) {
+        double ratio = t->at(r, t->cols() - 1) / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && leave < m &&
+             (*basis)[r] < (*basis)[leave])) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == m) return false;  // unbounded
+
+    // Pivot.
+    double pivot = t->at(leave, enter);
+    for (size_t c = 0; c < t->cols(); ++c) t->at(leave, c) /= pivot;
+    for (size_t r = 0; r <= m; ++r) {
+      if (r == leave) continue;
+      double factor = t->at(r, enter);
+      if (std::abs(factor) < kEps) continue;
+      for (size_t c = 0; c < t->cols(); ++c) {
+        t->at(r, c) -= factor * t->at(leave, c);
+      }
+    }
+    (*basis)[leave] = enter;
+  }
+}
+
+}  // namespace
+
+Result<LpSolution> SolveLp(const LpProblem& problem) {
+  const size_t n = problem.objective.size();
+  const size_t m = problem.constraints.size();
+  for (const auto& c : problem.constraints) {
+    if (c.coeffs.size() != n) {
+      return Status::InvalidArgument("constraint arity mismatch");
+    }
+  }
+
+  // Normalize to minimization with b >= 0 and equality rows augmented by
+  // slack/surplus columns.
+  const bool maximize = problem.sense == LpProblem::Sense::kMaximize;
+  std::vector<double> cost(n);
+  for (size_t j = 0; j < n; ++j) {
+    cost[j] = maximize ? -problem.objective[j] : problem.objective[j];
+  }
+
+  // Count slack columns (one per inequality).
+  size_t num_slack = 0;
+  for (const auto& c : problem.constraints) {
+    if (c.relation != LpRelation::kEqual) ++num_slack;
+  }
+  const size_t num_art = m;
+  const size_t total_cols = n + num_slack + num_art + 1;  // + rhs
+  Tableau t(m + 1, total_cols);
+  std::vector<size_t> basis(m);
+
+  size_t slack_at = n;
+  for (size_t r = 0; r < m; ++r) {
+    const auto& c = problem.constraints[r];
+    double sign = c.rhs < 0 ? -1.0 : 1.0;
+    for (size_t j = 0; j < n; ++j) t.at(r, j) = sign * c.coeffs[j];
+    t.at(r, total_cols - 1) = sign * c.rhs;
+    LpRelation rel = c.relation;
+    if (sign < 0) {
+      if (rel == LpRelation::kLessEqual) {
+        rel = LpRelation::kGreaterEqual;
+      } else if (rel == LpRelation::kGreaterEqual) {
+        rel = LpRelation::kLessEqual;
+      }
+    }
+    if (rel == LpRelation::kLessEqual) {
+      t.at(r, slack_at++) = 1.0;
+    } else if (rel == LpRelation::kGreaterEqual) {
+      t.at(r, slack_at++) = -1.0;
+    }
+    // Artificial variable, initially basic.
+    t.at(r, n + num_slack + r) = 1.0;
+    basis[r] = n + num_slack + r;
+  }
+
+  // Phase 1: minimize the sum of artificials. Objective row = -(sum of
+  // constraint rows) over non-artificial columns, so reduced costs of the
+  // initial basis are zero.
+  for (size_t c = 0; c < total_cols; ++c) {
+    double sum = 0.0;
+    for (size_t r = 0; r < m; ++r) sum += t.at(r, c);
+    bool is_artificial = c >= n + num_slack && c < n + num_slack + num_art;
+    t.at(m, c) = is_artificial ? 0.0 : -sum;
+  }
+  if (!RunSimplex(&t, &basis, n + num_slack)) {
+    return Status::Internal("phase-1 LP unbounded (should be impossible)");
+  }
+  double phase1 = -t.at(m, total_cols - 1);
+  LpSolution solution;
+  if (phase1 > 1e-7) {
+    solution.outcome = LpSolution::Outcome::kInfeasible;
+    return solution;
+  }
+
+  // Drive any remaining basic artificials out (degenerate rows). If a row
+  // has no pivotable structural/slack column it is redundant: zero it.
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] >= n + num_slack) {
+      size_t pivot_col = n + num_slack;
+      for (size_t c = 0; c < n + num_slack; ++c) {
+        if (std::abs(t.at(r, c)) > kEps) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col == n + num_slack) continue;  // redundant row
+      double pivot = t.at(r, pivot_col);
+      for (size_t c = 0; c < total_cols; ++c) t.at(r, c) /= pivot;
+      for (size_t rr = 0; rr <= m; ++rr) {
+        if (rr == r) continue;
+        double factor = t.at(rr, pivot_col);
+        if (std::abs(factor) < kEps) continue;
+        for (size_t c = 0; c < total_cols; ++c) {
+          t.at(rr, c) -= factor * t.at(r, c);
+        }
+      }
+      basis[r] = pivot_col;
+    }
+  }
+
+  // Phase 2 objective row: costs, then eliminate basic columns.
+  for (size_t c = 0; c < total_cols; ++c) t.at(m, c) = 0.0;
+  for (size_t j = 0; j < n; ++j) t.at(m, j) = cost[j];
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) {
+      double factor = t.at(m, basis[r]);
+      if (std::abs(factor) < kEps) continue;
+      for (size_t c = 0; c < total_cols; ++c) {
+        t.at(m, c) -= factor * t.at(r, c);
+      }
+    }
+  }
+  if (!RunSimplex(&t, &basis, n + num_slack)) {
+    solution.outcome = LpSolution::Outcome::kUnbounded;
+    return solution;
+  }
+
+  solution.outcome = LpSolution::Outcome::kOptimal;
+  solution.values.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) solution.values[basis[r]] = t.at(r, total_cols - 1);
+  }
+  double obj = 0.0;
+  for (size_t j = 0; j < n; ++j) obj += problem.objective[j] * solution.values[j];
+  solution.objective = obj;
+  return solution;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,53 @@
+// A small dense two-phase simplex solver. The multi-model size bound of
+// the paper (Equation 1) is a linear program over at most a few dozen
+// variables, so a textbook tableau method with Bland's anti-cycling rule
+// is exact enough and has no dependencies.
+#ifndef XJOIN_LP_SIMPLEX_H_
+#define XJOIN_LP_SIMPLEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xjoin {
+
+/// Relational operator of one linear constraint.
+enum class LpRelation : char {
+  kLessEqual = '<',
+  kGreaterEqual = '>',
+  kEqual = '=',
+};
+
+/// One constraint: coeffs · x  (relation)  rhs.
+struct LpConstraint {
+  std::vector<double> coeffs;
+  LpRelation relation = LpRelation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// min/max objective · x subject to constraints and x >= 0.
+struct LpProblem {
+  enum class Sense { kMinimize, kMaximize };
+  Sense sense = Sense::kMinimize;
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+};
+
+/// Solver outcome.
+struct LpSolution {
+  enum class Outcome { kOptimal, kInfeasible, kUnbounded };
+  Outcome outcome = Outcome::kOptimal;
+  double objective = 0.0;
+  std::vector<double> values;  ///< one per problem variable
+
+  bool optimal() const { return outcome == Outcome::kOptimal; }
+};
+
+/// Solves the LP. Returns InvalidArgument for malformed input (dimension
+/// mismatches); infeasibility/unboundedness are reported in the solution.
+Result<LpSolution> SolveLp(const LpProblem& problem);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_LP_SIMPLEX_H_

@@ -1,0 +1,128 @@
+#include "relational/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "relational/value.h"
+
+namespace xjoin {
+
+namespace {
+
+struct GroupState {
+  int64_t count = 0;
+  std::vector<std::set<int64_t>> distinct;  // per distinct-spec
+  std::vector<double> sum;                  // per numeric spec
+  std::vector<double> min;
+  std::vector<double> max;
+  std::vector<int64_t> numeric_count;
+};
+
+}  // namespace
+
+Result<Relation> GroupBy(const Relation& input,
+                         const std::vector<std::string>& group_by,
+                         const std::vector<AggregateSpec>& aggregates,
+                         Dictionary* dict) {
+  // Resolve columns.
+  std::vector<size_t> key_cols;
+  for (const auto& attr : group_by) {
+    int idx = input.schema().IndexOf(attr);
+    if (idx < 0) return Status::InvalidArgument("group-by: unknown attribute " + attr);
+    key_cols.push_back(static_cast<size_t>(idx));
+  }
+  std::vector<int> agg_cols(aggregates.size(), -1);
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    const AggregateSpec& spec = aggregates[i];
+    if (spec.as.empty()) {
+      return Status::InvalidArgument("aggregate without output name");
+    }
+    if (spec.function == AggregateFunction::kCount) continue;
+    agg_cols[i] = input.schema().IndexOf(spec.attribute);
+    if (agg_cols[i] < 0) {
+      return Status::InvalidArgument("aggregate: unknown attribute " +
+                                     spec.attribute);
+    }
+  }
+
+  // Accumulate.
+  std::map<Tuple, GroupState> groups;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    Tuple key(key_cols.size());
+    for (size_t c = 0; c < key_cols.size(); ++c) key[c] = input.at(r, key_cols[c]);
+    GroupState& state = groups[key];
+    if (state.distinct.empty()) {
+      state.distinct.resize(aggregates.size());
+      state.sum.assign(aggregates.size(), 0.0);
+      state.min.assign(aggregates.size(), std::numeric_limits<double>::infinity());
+      state.max.assign(aggregates.size(),
+                       -std::numeric_limits<double>::infinity());
+      state.numeric_count.assign(aggregates.size(), 0);
+    }
+    ++state.count;
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      const AggregateSpec& spec = aggregates[i];
+      if (spec.function == AggregateFunction::kCount) continue;
+      int64_t code = input.at(r, static_cast<size_t>(agg_cols[i]));
+      if (spec.function == AggregateFunction::kCountDistinct) {
+        state.distinct[i].insert(code);
+        continue;
+      }
+      auto parsed = ParseDouble(dict->Decode(code));
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(
+            "aggregate " + spec.as + ": non-numeric value '" +
+            dict->Decode(code) + "'");
+      }
+      double v = *parsed;
+      state.sum[i] += v;
+      state.min[i] = std::min(state.min[i], v);
+      state.max[i] = std::max(state.max[i], v);
+      ++state.numeric_count[i];
+    }
+  }
+
+  // Emit.
+  std::vector<std::string> out_attrs = group_by;
+  for (const auto& spec : aggregates) out_attrs.push_back(spec.as);
+  XJ_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(out_attrs)));
+  Relation out(std::move(schema));
+  for (const auto& [key, state] : groups) {
+    Tuple row = key;
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      const AggregateSpec& spec = aggregates[i];
+      Value value;
+      switch (spec.function) {
+        case AggregateFunction::kCount:
+          value = Value(state.count);
+          break;
+        case AggregateFunction::kCountDistinct:
+          value = Value(static_cast<int64_t>(state.distinct[i].size()));
+          break;
+        case AggregateFunction::kSum:
+          value = Value(state.sum[i]);
+          break;
+        case AggregateFunction::kMin:
+          value = Value(state.numeric_count[i] ? state.min[i] : 0.0);
+          break;
+        case AggregateFunction::kMax:
+          value = Value(state.numeric_count[i] ? state.max[i] : 0.0);
+          break;
+        case AggregateFunction::kAvg:
+          value = Value(state.numeric_count[i]
+                            ? state.sum[i] / static_cast<double>(
+                                                 state.numeric_count[i])
+                            : 0.0);
+          break;
+      }
+      row.push_back(value.Encode(dict));
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace xjoin

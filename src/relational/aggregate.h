@@ -1,0 +1,50 @@
+// Group-by aggregation over relations. Aggregates operate either on
+// dictionary codes directly (kCount, kCountDistinct) or on the *decoded
+// numeric value* of the codes (kSum/kMin/kMax/kAvg decode each cell
+// through the dictionary and parse it as a number) — join columns are
+// codes, but measures like `price` are numeric strings in the shared
+// dictionary.
+#ifndef XJOIN_RELATIONAL_AGGREGATE_H_
+#define XJOIN_RELATIONAL_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace xjoin {
+
+/// Supported aggregate functions.
+enum class AggregateFunction {
+  kCount,          ///< number of rows in the group
+  kCountDistinct,  ///< distinct codes of the input attribute
+  kSum,            ///< sum of numeric values
+  kMin,            ///< minimum numeric value
+  kMax,            ///< maximum numeric value
+  kAvg,            ///< mean numeric value
+};
+
+/// One aggregate specification.
+struct AggregateSpec {
+  AggregateFunction function = AggregateFunction::kCount;
+  /// Input attribute; ignored for kCount (may be empty).
+  std::string attribute;
+  /// Output attribute name.
+  std::string as;
+};
+
+/// Groups `input` by `group_by` and computes `aggregates` per group.
+/// The output schema is group_by followed by each spec's `as` name; all
+/// outputs are dictionary codes (numeric results are canonicalized
+/// through Value and interned into `dict`). Groups appear in sorted
+/// order of their keys.
+Result<Relation> GroupBy(const Relation& input,
+                         const std::vector<std::string>& group_by,
+                         const std::vector<AggregateSpec>& aggregates,
+                         Dictionary* dict);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_RELATIONAL_AGGREGATE_H_

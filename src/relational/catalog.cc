@@ -1,0 +1,33 @@
+#include "relational/catalog.h"
+
+namespace xjoin {
+
+Status Catalog::AddRelation(const std::string& name, Relation relation) {
+  if (relations_.count(name)) {
+    return Status::AlreadyExists("relation " + name + " already registered");
+  }
+  relations_.emplace(name, std::move(relation));
+  return Status::OK();
+}
+
+void Catalog::PutRelation(const std::string& name, Relation relation) {
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+Result<const Relation*> Catalog::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("no relation " + name);
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) {
+    (void)rel;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,48 @@
+// A named collection of relations sharing one dictionary — the
+// "relational database" side of the multi-model framework.
+#ifndef XJOIN_RELATIONAL_CATALOG_H_
+#define XJOIN_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/dictionary.h"
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace xjoin {
+
+/// Owns relations by name plus the dictionary their codes refer to.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// The shared dictionary for all relations in this catalog.
+  Dictionary* dictionary() { return &dict_; }
+  const Dictionary& dictionary() const { return dict_; }
+
+  /// Registers a relation; fails if the name is taken.
+  Status AddRelation(const std::string& name, Relation relation);
+
+  /// Replaces or inserts a relation.
+  void PutRelation(const std::string& name, Relation relation);
+
+  /// Looks a relation up; fails with NotFound.
+  Result<const Relation*> GetRelation(const std::string& name) const;
+
+  bool HasRelation(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  /// All registered names in lexicographic order.
+  std::vector<std::string> RelationNames() const;
+
+ private:
+  Dictionary dict_;
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_RELATIONAL_CATALOG_H_

@@ -1,0 +1,69 @@
+// In-memory columnar relations over dictionary codes.
+#ifndef XJOIN_RELATIONAL_RELATION_H_
+#define XJOIN_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+
+namespace xjoin {
+
+/// A tuple is one int64 code per schema attribute, in schema order.
+using Tuple = std::vector<int64_t>;
+
+/// Column-oriented storage for a bag of tuples. Rows are addressed by
+/// index; columns are contiguous vectors (cache-friendly scans, cheap
+/// column projection for trie building).
+class Relation {
+ public:
+  /// Creates an empty relation with the given schema.
+  explicit Relation(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  /// Appends a row given in schema order. Precondition: row.size() == arity.
+  void AppendRow(const Tuple& row);
+
+  /// Cell accessor.
+  int64_t at(size_t row, size_t col) const { return columns_[col][row]; }
+
+  /// Materializes row `row` as a Tuple.
+  Tuple GetRow(size_t row) const;
+
+  /// Whole column (by position).
+  const std::vector<int64_t>& column(size_t col) const { return columns_[col]; }
+
+  /// Column by attribute name; fails if the attribute is absent.
+  Result<const std::vector<int64_t>*> ColumnByName(const std::string& name) const;
+
+  /// Sorts rows lexicographically by the given column positions (all
+  /// columns if empty) and removes duplicate rows. Used to turn bags
+  /// into sets before trie construction and result comparison.
+  void SortAndDedup();
+
+  /// Returns all rows as tuples, in storage order.
+  std::vector<Tuple> ToTuples() const;
+
+  /// Builds a relation from schema + tuples (validates arity).
+  static Result<Relation> FromTuples(Schema schema, std::vector<Tuple> tuples);
+
+  /// True if `row` (schema order) occurs in this relation. O(n) scan;
+  /// intended for tests.
+  bool ContainsRow(const Tuple& row) const;
+
+  /// Multi-line debug rendering (at most `max_rows` rows).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<int64_t>> columns_;
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_RELATIONAL_RELATION_H_

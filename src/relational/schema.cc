@@ -1,0 +1,38 @@
+#include "relational/schema.h"
+
+#include <unordered_set>
+
+namespace xjoin {
+
+Result<Schema> Schema::Make(std::vector<std::string> attributes) {
+  std::unordered_set<std::string> seen;
+  for (const auto& a : attributes) {
+    if (a.empty()) return Status::InvalidArgument("empty attribute name");
+    if (!seen.insert(a).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + a);
+    }
+  }
+  Schema s;
+  s.attributes_ = std::move(attributes);
+  return s;
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString(const std::string& relation_name) const {
+  std::string out = relation_name;
+  out += "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i) out += ", ";
+    out += attributes_[i];
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,45 @@
+// Attribute names and relation schemas. Attribute identity is by name;
+// the multi-model query model joins relational columns and twig query
+// nodes that share an attribute name (paper Figures 1-3).
+#ifndef XJOIN_RELATIONAL_SCHEMA_H_
+#define XJOIN_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xjoin {
+
+/// An ordered list of distinct attribute names, e.g. R1(B, D).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; fails on duplicate or empty attribute names.
+  static Result<Schema> Make(std::vector<std::string> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  const std::string& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// Position of `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  bool Contains(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  /// "R(A, B, C)"-style rendering with the given relation name.
+  std::string ToString(const std::string& relation_name) const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+ private:
+  std::vector<std::string> attributes_;
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_RELATIONAL_SCHEMA_H_

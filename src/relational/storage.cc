@@ -1,0 +1,253 @@
+#include "relational/storage.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace xjoin {
+
+namespace {
+
+constexpr uint8_t kFormatVersion = 1;
+constexpr char kDictMagic[4] = {'X', 'J', 'D', 'C'};
+constexpr char kRelMagic[4] = {'X', 'J', 'R', 'L'};
+constexpr char kDocMagic[4] = {'X', 'J', 'X', 'M'};
+
+uint64_t Fnv1a(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Frames a payload: magic + version + payload length + payload + checksum.
+std::string Frame(const char magic[4], std::string payload) {
+  BinaryWriter out;
+  for (int i = 0; i < 4; ++i) out.PutU8(static_cast<uint8_t>(magic[i]));
+  out.PutU8(kFormatVersion);
+  out.PutVarint(payload.size());
+  std::string framed = out.TakeBuffer();
+  framed += payload;
+  BinaryWriter tail;
+  tail.PutVarint(Fnv1a(payload));
+  framed += tail.buffer();
+  return framed;
+}
+
+Result<std::string_view> Unframe(const char magic[4], std::string_view data) {
+  BinaryReader reader(data);
+  for (int i = 0; i < 4; ++i) {
+    XJ_ASSIGN_OR_RETURN(uint8_t c, reader.GetU8());
+    if (c != static_cast<uint8_t>(magic[i])) {
+      return Status::ParseError("bad magic (not an xjoin file of this kind)");
+    }
+  }
+  XJ_ASSIGN_OR_RETURN(uint8_t version, reader.GetU8());
+  if (version != kFormatVersion) {
+    return Status::ParseError("unsupported format version " +
+                              std::to_string(version));
+  }
+  XJ_ASSIGN_OR_RETURN(uint64_t length, reader.GetVarint());
+  size_t start = reader.position();
+  if (start + length > data.size()) {
+    return Status::ParseError("truncated payload");
+  }
+  std::string_view payload = data.substr(start, length);
+  BinaryReader tail(data.substr(start + length));
+  XJ_ASSIGN_OR_RETURN(uint64_t checksum, tail.GetVarint());
+  if (checksum != Fnv1a(payload)) {
+    return Status::ParseError("checksum mismatch (corrupted file)");
+  }
+  return payload;
+}
+
+}  // namespace
+
+void BinaryWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<char>(v));
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buffer_.append(s);
+}
+
+Result<uint8_t> BinaryReader::GetU8() {
+  if (pos_ >= data_.size()) return Status::ParseError("truncated input");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint64_t> BinaryReader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    XJ_ASSIGN_OR_RETURN(uint8_t byte, GetU8());
+    if (shift >= 64) return Status::ParseError("varint overflow");
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) return v;
+    shift += 7;
+  }
+}
+
+Result<int64_t> BinaryReader::GetSignedVarint() {
+  XJ_ASSIGN_OR_RETURN(uint64_t raw, GetVarint());
+  return static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+}
+
+Result<std::string> BinaryReader::GetString() {
+  XJ_ASSIGN_OR_RETURN(uint64_t length, GetVarint());
+  if (pos_ + length > data_.size()) {
+    return Status::ParseError("truncated string");
+  }
+  std::string out(data_.substr(pos_, length));
+  pos_ += length;
+  return out;
+}
+
+std::string SerializeDictionary(const Dictionary& dict) {
+  BinaryWriter out;
+  out.PutVarint(static_cast<uint64_t>(dict.size()));
+  for (int64_t code = 0; code < dict.size(); ++code) {
+    out.PutString(dict.Decode(code));
+  }
+  return Frame(kDictMagic, out.TakeBuffer());
+}
+
+Result<Dictionary> DeserializeDictionary(std::string_view data) {
+  XJ_ASSIGN_OR_RETURN(std::string_view payload, Unframe(kDictMagic, data));
+  BinaryReader reader(payload);
+  XJ_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  Dictionary dict;
+  for (uint64_t i = 0; i < count; ++i) {
+    XJ_ASSIGN_OR_RETURN(std::string s, reader.GetString());
+    int64_t code = dict.Intern(s);
+    if (code != static_cast<int64_t>(i)) {
+      return Status::ParseError("duplicate dictionary entry: " + s);
+    }
+  }
+  return dict;
+}
+
+std::string SerializeRelation(const Relation& relation) {
+  BinaryWriter out;
+  out.PutVarint(relation.schema().size());
+  for (const auto& attr : relation.schema().attributes()) out.PutString(attr);
+  out.PutVarint(relation.num_rows());
+  for (size_t c = 0; c < relation.num_columns(); ++c) {
+    for (int64_t v : relation.column(c)) out.PutSignedVarint(v);
+  }
+  return Frame(kRelMagic, out.TakeBuffer());
+}
+
+Result<Relation> DeserializeRelation(std::string_view data) {
+  XJ_ASSIGN_OR_RETURN(std::string_view payload, Unframe(kRelMagic, data));
+  BinaryReader reader(payload);
+  XJ_ASSIGN_OR_RETURN(uint64_t arity, reader.GetVarint());
+  std::vector<std::string> attrs;
+  for (uint64_t c = 0; c < arity; ++c) {
+    XJ_ASSIGN_OR_RETURN(std::string attr, reader.GetString());
+    attrs.push_back(std::move(attr));
+  }
+  XJ_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+  XJ_ASSIGN_OR_RETURN(uint64_t rows, reader.GetVarint());
+  std::vector<std::vector<int64_t>> columns(arity);
+  for (uint64_t c = 0; c < arity; ++c) {
+    columns[c].reserve(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      XJ_ASSIGN_OR_RETURN(int64_t v, reader.GetSignedVarint());
+      columns[c].push_back(v);
+    }
+  }
+  Relation rel(std::move(schema));
+  Tuple row(arity);
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint64_t c = 0; c < arity; ++c) row[c] = columns[c][r];
+    rel.AppendRow(row);
+  }
+  return rel;
+}
+
+std::string SerializeDocument(const XmlDocument& doc) {
+  BinaryWriter out;
+  const Dictionary& tags = doc.tag_dict();
+  out.PutVarint(static_cast<uint64_t>(tags.size()));
+  for (int64_t code = 0; code < tags.size(); ++code) {
+    out.PutString(tags.Decode(code));
+  }
+  out.PutVarint(doc.num_nodes());
+  for (size_t i = 0; i < doc.num_nodes(); ++i) {
+    const XmlNode& node = doc.node(static_cast<NodeId>(i));
+    out.PutVarint(static_cast<uint64_t>(node.tag));
+    // Parents precede children in preorder; store parent + text, the
+    // rest (levels, regions, sibling links) is reconstructed.
+    out.PutSignedVarint(node.parent);
+    out.PutString(node.text);
+  }
+  return Frame(kDocMagic, out.TakeBuffer());
+}
+
+Result<XmlDocument> DeserializeDocument(std::string_view data) {
+  XJ_ASSIGN_OR_RETURN(std::string_view payload, Unframe(kDocMagic, data));
+  BinaryReader reader(payload);
+  XJ_ASSIGN_OR_RETURN(uint64_t num_tags, reader.GetVarint());
+  std::vector<std::string> tag_names;
+  for (uint64_t i = 0; i < num_tags; ++i) {
+    XJ_ASSIGN_OR_RETURN(std::string tag, reader.GetString());
+    tag_names.push_back(std::move(tag));
+  }
+  XJ_ASSIGN_OR_RETURN(uint64_t num_nodes, reader.GetVarint());
+
+  // Rebuild through the builder to recompute the derived structure.
+  // Nodes arrive in preorder with parent pointers, so we emit
+  // StartElement/EndElement events with an explicit stack.
+  XmlDocumentBuilder builder;
+  std::vector<NodeId> open;  // node ids currently open
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    XJ_ASSIGN_OR_RETURN(uint64_t tag, reader.GetVarint());
+    if (tag >= num_tags) return Status::ParseError("bad tag code");
+    XJ_ASSIGN_OR_RETURN(int64_t parent, reader.GetSignedVarint());
+    XJ_ASSIGN_OR_RETURN(std::string text, reader.GetString());
+    if (parent >= static_cast<int64_t>(i) ||
+        (i == 0) != (parent == kNullNode)) {
+      return Status::ParseError("bad parent pointer");
+    }
+    // Close elements until the parent is on top of the stack.
+    while (!open.empty() && open.back() != parent) {
+      XJ_RETURN_NOT_OK(builder.EndElement());
+      open.pop_back();
+    }
+    if (i > 0 && open.empty()) return Status::ParseError("orphan node");
+    builder.StartElement(tag_names[tag]);
+    builder.AddText(text);
+    open.push_back(static_cast<NodeId>(i));
+  }
+  while (!open.empty()) {
+    XJ_RETURN_NOT_OK(builder.EndElement());
+    open.pop_back();
+  }
+  return builder.Finish();
+}
+
+Status WriteFileBytes(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,75 @@
+// Binary persistence for the multi-model storage objects: Dictionary,
+// Relation, and XmlDocument serialize to a compact little-endian format
+// with a magic tag, a format version, and a FNV-1a checksum over the
+// payload, so a corrupted or truncated file fails loudly instead of
+// loading garbage. Numbers use varint encoding (codes and node ids are
+// small in practice).
+#ifndef XJOIN_RELATIONAL_STORAGE_H_
+#define XJOIN_RELATIONAL_STORAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/dictionary.h"
+#include "common/status.h"
+#include "relational/relation.h"
+#include "xml/document.h"
+
+namespace xjoin {
+
+/// Byte-buffer writer with varint support.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutVarint(uint64_t v);
+  void PutSignedVarint(int64_t v) {
+    // ZigZag encoding.
+    PutVarint((static_cast<uint64_t>(v) << 1) ^
+              static_cast<uint64_t>(v >> 63));
+  }
+  void PutString(std::string_view s);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Byte-buffer reader; every accessor reports truncation via Status.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint64_t> GetVarint();
+  Result<int64_t> GetSignedVarint();
+  Result<std::string> GetString();
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Serializes a dictionary (all strings in code order).
+std::string SerializeDictionary(const Dictionary& dict);
+Result<Dictionary> DeserializeDictionary(std::string_view data);
+
+/// Serializes a relation (schema + columns).
+std::string SerializeRelation(const Relation& relation);
+Result<Relation> DeserializeRelation(std::string_view data);
+
+/// Serializes a document (tags + tree structure + text).
+std::string SerializeDocument(const XmlDocument& doc);
+Result<XmlDocument> DeserializeDocument(std::string_view data);
+
+/// File helpers (any of the three payload kinds).
+Status WriteFileBytes(const std::string& path, std::string_view data);
+Result<std::string> ReadFileBytes(const std::string& path);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_RELATIONAL_STORAGE_H_

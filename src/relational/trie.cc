@@ -1,0 +1,165 @@
+#include "relational/trie.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace xjoin {
+
+Result<RelationTrie> RelationTrie::Build(const Relation& relation,
+                                         const std::vector<std::string>& order) {
+  if (order.size() != relation.schema().size()) {
+    return Status::InvalidArgument("trie order arity mismatch");
+  }
+  std::vector<size_t> perm;
+  perm.reserve(order.size());
+  for (const auto& name : order) {
+    int idx = relation.schema().IndexOf(name);
+    if (idx < 0) {
+      return Status::InvalidArgument("trie order names unknown attribute: " + name);
+    }
+    perm.push_back(static_cast<size_t>(idx));
+  }
+  // Reject permutations with repeats.
+  {
+    std::vector<size_t> copy = perm;
+    std::sort(copy.begin(), copy.end());
+    for (size_t i = 0; i + 1 < copy.size(); ++i) {
+      if (copy[i] == copy[i + 1]) {
+        return Status::InvalidArgument("trie order repeats an attribute");
+      }
+    }
+  }
+
+  const size_t n = relation.num_rows();
+  const size_t k = order.size();
+  std::vector<size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+    for (size_t c = 0; c < k; ++c) {
+      int64_t va = relation.at(a, perm[c]);
+      int64_t vb = relation.at(b, perm[c]);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  });
+
+  RelationTrie trie;
+  trie.order_ = order;
+  trie.cols_.resize(k);
+  for (auto& col : trie.cols_) col.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = rows[i];
+    if (i > 0) {
+      size_t p = rows[i - 1];
+      bool same = true;
+      for (size_t c = 0; c < k; ++c) {
+        if (relation.at(r, perm[c]) != relation.at(p, perm[c])) {
+          same = false;
+          break;
+        }
+      }
+      if (same) continue;  // dedup
+    }
+    for (size_t c = 0; c < k; ++c) trie.cols_[c].push_back(relation.at(r, perm[c]));
+  }
+  return trie;
+}
+
+std::unique_ptr<TrieIterator> RelationTrie::NewIterator() const {
+  return std::make_unique<RelationTrieIterator>(this);
+}
+
+RelationTrieIterator::RelationTrieIterator(const RelationTrie* trie)
+    : trie_(trie) {
+  frames_.reserve(static_cast<size_t>(trie->arity()));
+}
+
+void RelationTrieIterator::FixGroup() {
+  Frame& f = frames_[static_cast<size_t>(depth_)];
+  const auto& col = trie_->cols_[static_cast<size_t>(depth_)];
+  if (f.pos >= f.hi) {
+    f.group_end = f.pos;
+    return;
+  }
+  // Gallop to the end of the run of equal keys, then binary search.
+  int64_t key = col[f.pos];
+  size_t step = 1;
+  size_t lo = f.pos;
+  size_t hi = f.hi;
+  while (lo + step < hi && col[lo + step] == key) {
+    lo += step;
+    step <<= 1;
+  }
+  size_t search_hi = std::min(lo + step, hi);
+  f.group_end = static_cast<size_t>(
+      std::upper_bound(col.begin() + static_cast<ptrdiff_t>(lo),
+                       col.begin() + static_cast<ptrdiff_t>(search_hi), key) -
+      col.begin());
+}
+
+void RelationTrieIterator::Open() {
+  XJ_DCHECK(depth_ + 1 < trie_->arity());
+  size_t lo, hi;
+  if (depth_ < 0) {
+    lo = 0;
+    hi = trie_->num_rows();
+  } else {
+    const Frame& f = frames_[static_cast<size_t>(depth_)];
+    XJ_DCHECK(f.pos < f.group_end);
+    lo = f.pos;
+    hi = f.group_end;
+  }
+  ++depth_;
+  frames_.resize(static_cast<size_t>(depth_) + 1);
+  Frame& nf = frames_[static_cast<size_t>(depth_)];
+  nf.lo = lo;
+  nf.hi = hi;
+  nf.pos = lo;
+  FixGroup();
+}
+
+void RelationTrieIterator::Up() {
+  XJ_DCHECK(depth_ >= 0);
+  frames_.pop_back();
+  --depth_;
+}
+
+bool RelationTrieIterator::AtEnd() const {
+  XJ_DCHECK(depth_ >= 0);
+  const Frame& f = frames_[static_cast<size_t>(depth_)];
+  return f.pos >= f.hi;
+}
+
+int64_t RelationTrieIterator::Key() const {
+  XJ_DCHECK(!AtEnd());
+  const Frame& f = frames_[static_cast<size_t>(depth_)];
+  return trie_->cols_[static_cast<size_t>(depth_)][f.pos];
+}
+
+void RelationTrieIterator::Next() {
+  XJ_DCHECK(!AtEnd());
+  Frame& f = frames_[static_cast<size_t>(depth_)];
+  f.pos = f.group_end;
+  FixGroup();
+}
+
+void RelationTrieIterator::Seek(int64_t key) {
+  XJ_DCHECK(!AtEnd());
+  Frame& f = frames_[static_cast<size_t>(depth_)];
+  const auto& col = trie_->cols_[static_cast<size_t>(depth_)];
+  f.pos = static_cast<size_t>(
+      std::lower_bound(col.begin() + static_cast<ptrdiff_t>(f.pos),
+                       col.begin() + static_cast<ptrdiff_t>(f.hi), key) -
+      col.begin());
+  FixGroup();
+}
+
+int64_t RelationTrieIterator::EstimateKeys() const {
+  XJ_DCHECK(depth_ >= 0);
+  const Frame& f = frames_[static_cast<size_t>(depth_)];
+  return static_cast<int64_t>(f.hi - f.pos);
+}
+
+}  // namespace xjoin

@@ -1,0 +1,82 @@
+// Materialized sorted tries over columnar relations.
+#ifndef XJOIN_RELATIONAL_TRIE_H_
+#define XJOIN_RELATIONAL_TRIE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+#include "relational/trie_iterator.h"
+
+namespace xjoin {
+
+/// A relation sorted lexicographically under an attribute permutation,
+/// exposing TrieIterator cursors. Building costs O(n log n); cursors are
+/// O(log n) per Seek (binary search within the active range).
+class RelationTrie {
+ public:
+  /// Sorts (a copy of) `relation` by the attribute order given as a list
+  /// of attribute names (must be exactly the relation's attributes,
+  /// possibly permuted) and deduplicates rows.
+  static Result<RelationTrie> Build(const Relation& relation,
+                                    const std::vector<std::string>& order);
+
+  /// Attribute names in trie (sorted) order.
+  const std::vector<std::string>& attribute_order() const { return order_; }
+
+  size_t num_rows() const { return cols_.empty() ? 0 : cols_[0].size(); }
+  int arity() const { return static_cast<int>(cols_.size()); }
+
+  /// Creates a cursor positioned at the virtual root.
+  std::unique_ptr<TrieIterator> NewIterator() const;
+
+  /// Direct read access to sorted column `c` (tests, debugging).
+  const std::vector<int64_t>& column(size_t c) const { return cols_[c]; }
+
+ private:
+  RelationTrie() = default;
+
+  friend class RelationTrieIterator;
+
+  std::vector<std::string> order_;
+  std::vector<std::vector<int64_t>> cols_;  // sorted lexicographically
+};
+
+/// Cursor over a RelationTrie. The state at depth d is a half-open row
+/// range [lo, hi) of tuples agreeing with the bound prefix, plus the
+/// current key group [pos, group_end) within it.
+class RelationTrieIterator final : public TrieIterator {
+ public:
+  explicit RelationTrieIterator(const RelationTrie* trie);
+
+  int arity() const override { return trie_->arity(); }
+  int depth() const override { return depth_; }
+  void Open() override;
+  void Up() override;
+  bool AtEnd() const override;
+  int64_t Key() const override;
+  void Next() override;
+  void Seek(int64_t key) override;
+  int64_t EstimateKeys() const override;
+
+ private:
+  struct Frame {
+    size_t lo, hi;        // rows matching the bound prefix
+    size_t pos;           // start of the current key group
+    size_t group_end;     // one past the current key group
+  };
+
+  // Recomputes group_end for the frame at depth_ from pos.
+  void FixGroup();
+
+  const RelationTrie* trie_;
+  int depth_ = -1;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_RELATIONAL_TRIE_H_

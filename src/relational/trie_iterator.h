@@ -1,0 +1,67 @@
+// The trie-iterator interface of Veldhuizen's Leapfrog Triejoin, the
+// substrate the generic worst-case-optimal engine (core/generic_join.h)
+// drives. A trie iterator presents a relation as a sorted trie whose
+// level i enumerates the distinct values of attribute i given the bound
+// prefix. Implementations:
+//   * RelationTrie           — materialized, over a columnar Relation
+//   * LazyPathTrie           — navigates an XML document in place
+//   * MaterializedPathTrie   — XML path relation flattened to a Relation
+#ifndef XJOIN_RELATIONAL_TRIE_ITERATOR_H_
+#define XJOIN_RELATIONAL_TRIE_ITERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xjoin {
+
+/// Cursor over a sorted trie of tuples.
+///
+/// Protocol (all positions are per-level, keys are sorted ascending):
+///   depth() starts at -1 (virtual root). Open() descends to the first key
+///   of the next level; Up() ascends. At a level, Key() reads the current
+///   key, Next() advances to the next distinct key, Seek(k) advances to the
+///   least key >= k (never moves backward), and AtEnd() reports exhaustion
+///   of the level. Calling Key/Next/Seek while AtEnd() is invalid.
+class TrieIterator {
+ public:
+  virtual ~TrieIterator() = default;
+
+  /// Number of trie levels (attributes).
+  virtual int arity() const = 0;
+
+  /// Current depth: -1 before the first Open, otherwise 0..arity()-1.
+  virtual int depth() const = 0;
+
+  /// Descends one level to the first key. Precondition: depth()+1 < arity()
+  /// and (depth() == -1 or !AtEnd()).
+  virtual void Open() = 0;
+
+  /// Ascends one level. Precondition: depth() >= 0.
+  virtual void Up() = 0;
+
+  /// True when the current level has no more keys at or after the cursor.
+  virtual bool AtEnd() const = 0;
+
+  /// The key at the cursor. Precondition: !AtEnd() and depth() >= 0.
+  virtual int64_t Key() const = 0;
+
+  /// Moves to the next distinct key at this level.
+  /// Precondition: !AtEnd().
+  virtual void Next() = 0;
+
+  /// Moves forward to the least key >= `key`, possibly landing AtEnd().
+  /// Precondition: !AtEnd() and key >= Key().
+  virtual void Seek(int64_t key) = 0;
+
+  /// Estimated number of keys remaining at the current level (used by
+  /// planners to pick the smallest iterator to lead a leapfrog). A rough
+  /// upper bound is fine.
+  virtual int64_t EstimateKeys() const = 0;
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_RELATIONAL_TRIE_ITERATOR_H_

@@ -1,0 +1,47 @@
+#include "relational/value.h"
+
+#include "common/string_util.h"
+
+namespace xjoin {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return FormatDouble(AsDouble());
+    case ValueType::kString:
+      return AsString();
+  }
+  return {};
+}
+
+Result<Value> ParseValue(ValueType type, std::string_view text) {
+  switch (type) {
+    case ValueType::kInt64: {
+      XJ_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      XJ_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(std::string(text));
+  }
+  return Status::Internal("unreachable value type");
+}
+
+}  // namespace xjoin

@@ -1,0 +1,67 @@
+// Typed values for loading external data. Inside the engines every join
+// column is an int64 dictionary code (see common/dictionary.h); Value is
+// the boundary type used by CSV ingestion and result rendering.
+#ifndef XJOIN_RELATIONAL_VALUE_H_
+#define XJOIN_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/dictionary.h"
+#include "common/status.h"
+
+namespace xjoin {
+
+/// Logical column types understood by the CSV loader.
+enum class ValueType : uint8_t { kInt64, kDouble, kString };
+
+const char* ValueTypeToString(ValueType t);
+
+/// A dynamically typed scalar.
+class Value {
+ public:
+  Value() : payload_(int64_t{0}) {}
+  explicit Value(int64_t v) : payload_(v) {}
+  explicit Value(double v) : payload_(v) {}
+  explicit Value(std::string v) : payload_(std::move(v)) {}
+
+  ValueType type() const {
+    switch (payload_.index()) {
+      case 0:
+        return ValueType::kInt64;
+      case 1:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(payload_); }
+  bool is_double() const { return std::holds_alternative<double>(payload_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(payload_);
+  }
+
+  int64_t AsInt64() const { return std::get<int64_t>(payload_); }
+  double AsDouble() const { return std::get<double>(payload_); }
+  const std::string& AsString() const { return std::get<std::string>(payload_); }
+
+  /// Canonical textual form: what Encode() interns into the dictionary.
+  std::string ToString() const;
+
+  /// Interns this value's canonical textual form, returning its code.
+  int64_t Encode(Dictionary* dict) const { return dict->Intern(ToString()); }
+
+  bool operator==(const Value& other) const { return payload_ == other.payload_; }
+
+ private:
+  std::variant<int64_t, double, std::string> payload_;
+};
+
+/// Parses `text` as the given type ("12" -> Value(int64 12), etc.).
+Result<Value> ParseValue(ValueType type, std::string_view text);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_RELATIONAL_VALUE_H_

@@ -1,0 +1,96 @@
+#include "twigjoin/naive_twig.h"
+
+#include <algorithm>
+
+namespace xjoin {
+
+namespace {
+
+bool TagMatches(const XmlDocument& doc, NodeId node, const std::string& tag) {
+  if (tag == "*") return true;
+  int32_t code = doc.LookupTag(tag);
+  return code >= 0 && doc.node(node).tag == code;
+}
+
+bool AxisSatisfied(const XmlDocument& doc, TwigAxis axis, NodeId parent,
+                   NodeId child) {
+  if (axis == TwigAxis::kChild) return doc.IsParent(parent, child);
+  return doc.IsAncestor(parent, child);
+}
+
+struct SearchState {
+  const XmlDocument* doc;
+  const Twig* twig;
+  size_t limit;
+  std::vector<TwigMatch>* out;
+  TwigMatch current;
+};
+
+// Expands twig node `q` (whose parent binding, if any, is already in
+// current). Returns false to stop the search (limit reached).
+bool Expand(SearchState* s, TwigNodeId q) {
+  const TwigNode& qn = s->twig->node(q);
+  std::vector<NodeId> candidates;
+  if (qn.parent == kNullTwigNode) {
+    int32_t code = qn.tag == "*" ? -2 : s->doc->LookupTag(qn.tag);
+    if (qn.tag != "*" && code < 0) return true;  // tag absent: no matches
+    for (size_t i = 0; i < s->doc->num_nodes(); ++i) {
+      NodeId id = static_cast<NodeId>(i);
+      if (qn.tag == "*" || s->doc->node(id).tag == code) candidates.push_back(id);
+    }
+  } else {
+    NodeId bound_parent = s->current[static_cast<size_t>(qn.parent)];
+    if (qn.axis == TwigAxis::kChild) {
+      for (NodeId c = s->doc->node(bound_parent).first_child; c != kNullNode;
+           c = s->doc->node(c).next_sibling) {
+        if (TagMatches(*s->doc, c, qn.tag)) candidates.push_back(c);
+      }
+    } else {
+      NodeId end = s->doc->node(bound_parent).subtree_end;
+      for (NodeId d = bound_parent + 1; d <= end; ++d) {
+        if (TagMatches(*s->doc, d, qn.tag)) candidates.push_back(d);
+      }
+    }
+  }
+
+  for (NodeId cand : candidates) {
+    s->current[static_cast<size_t>(q)] = cand;
+    if (static_cast<size_t>(q) + 1 == s->twig->num_nodes()) {
+      s->out->push_back(s->current);
+      if (s->limit != 0 && s->out->size() >= s->limit) return false;
+    } else {
+      // Twig nodes are in preorder, so node q+1's parent is already bound.
+      if (!Expand(s, q + 1)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<TwigMatch> MatchTwigNaive(const XmlDocument& doc, const Twig& twig,
+                                      size_t limit) {
+  std::vector<TwigMatch> out;
+  if (twig.num_nodes() == 0 || doc.num_nodes() == 0) return out;
+  SearchState s{&doc, &twig, limit, &out, TwigMatch(twig.num_nodes(), kNullNode)};
+  Expand(&s, twig.root());
+  return out;
+}
+
+bool IsValidMatch(const XmlDocument& doc, const Twig& twig,
+                  const TwigMatch& match) {
+  if (match.size() != twig.num_nodes()) return false;
+  for (size_t i = 0; i < twig.num_nodes(); ++i) {
+    const TwigNode& qn = twig.node(static_cast<TwigNodeId>(i));
+    NodeId bound = match[i];
+    if (bound < 0 || static_cast<size_t>(bound) >= doc.num_nodes()) return false;
+    if (!TagMatches(doc, bound, qn.tag)) return false;
+    if (qn.parent != kNullTwigNode) {
+      NodeId parent_bound = match[static_cast<size_t>(qn.parent)];
+      if (!AxisSatisfied(doc, qn.axis, parent_bound, bound)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,33 @@
+// Brute-force twig matching by backtracking over the document tree.
+// Exponential in the worst case; it is the correctness oracle the fast
+// algorithms (TwigStack, PathStack, XJoin's validation) are tested
+// against, and the paper's "Q2" when used inside the baseline.
+#ifndef XJOIN_TWIGJOIN_NAIVE_TWIG_H_
+#define XJOIN_TWIGJOIN_NAIVE_TWIG_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xml/twig.h"
+
+namespace xjoin {
+
+/// One embedding of a twig: match[i] is the document node bound to twig
+/// node i.
+using TwigMatch = std::vector<NodeId>;
+
+/// Enumerates every embedding of `twig` in `doc` (edges satisfy their
+/// axis, tags match; "*" matches any tag). Output order is lexicographic
+/// in (twig-node-0 binding, twig-node-1 binding, ...).
+/// `limit` caps the number of matches (0 = unlimited).
+std::vector<TwigMatch> MatchTwigNaive(const XmlDocument& doc, const Twig& twig,
+                                      size_t limit = 0);
+
+/// True iff `match` is a valid embedding of `twig` in `doc`.
+bool IsValidMatch(const XmlDocument& doc, const Twig& twig,
+                  const TwigMatch& match);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_TWIGJOIN_NAIVE_TWIG_H_

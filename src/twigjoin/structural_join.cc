@@ -1,0 +1,45 @@
+#include "twigjoin/structural_join.h"
+
+#include <algorithm>
+
+namespace xjoin {
+
+std::vector<NodePair> StructuralJoin(const XmlDocument& doc,
+                                     const std::vector<NodeId>& ancestors,
+                                     const std::vector<NodeId>& descendants,
+                                     TwigAxis axis) {
+  std::vector<NodePair> out;
+  std::vector<NodeId> stack;  // strictly nested ancestors, outermost first
+  size_t ai = 0;
+  for (NodeId d : descendants) {
+    // Push every ancestor-list node that starts before d.
+    while (ai < ancestors.size() && ancestors[ai] < d) {
+      NodeId a = ancestors[ai];
+      // Pop ancestors whose region ended before a starts.
+      while (!stack.empty() && doc.node(stack.back()).subtree_end < a) {
+        stack.pop_back();
+      }
+      stack.push_back(a);
+      ++ai;
+    }
+    // Pop ancestors whose region ended before d.
+    while (!stack.empty() && doc.node(stack.back()).subtree_end < d) {
+      stack.pop_back();
+    }
+    // Every remaining stack element contains d.
+    for (NodeId a : stack) {
+      if (axis == TwigAxis::kChild && doc.node(d).parent != a) continue;
+      out.emplace_back(a, d);
+    }
+  }
+  // The scan above appends in (descendant, stack-depth) order; normalize to
+  // (descendant, ancestor).
+  std::sort(out.begin(), out.end(),
+            [](const NodePair& x, const NodePair& y) {
+              if (x.second != y.second) return x.second < y.second;
+              return x.first < y.first;
+            });
+  return out;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,33 @@
+// Stack-tree structural join (Al-Khalifa et al., ICDE 2002; the paper's
+// reference [1]): given two document-order node lists, emits all
+// (ancestor, descendant) or (parent, child) pairs in one merge pass with
+// a stack of nested ancestors.
+#ifndef XJOIN_TWIGJOIN_STRUCTURAL_JOIN_H_
+#define XJOIN_TWIGJOIN_STRUCTURAL_JOIN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "xml/document.h"
+#include "xml/twig.h"
+
+namespace xjoin {
+
+/// One joined pair: first is the ancestor/parent, second the
+/// descendant/child.
+using NodePair = std::pair<NodeId, NodeId>;
+
+/// Stack-tree-desc: all pairs (a, d) with a from `ancestors`, d from
+/// `descendants`, a related to d by `axis`. Both inputs must be sorted in
+/// document order (ascending NodeId). Output is sorted by (descendant,
+/// ancestor) — the "desc" variant's natural order. Runs in
+/// O(|A| + |D| + |output|).
+std::vector<NodePair> StructuralJoin(const XmlDocument& doc,
+                                     const std::vector<NodeId>& ancestors,
+                                     const std::vector<NodeId>& descendants,
+                                     TwigAxis axis);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_TWIGJOIN_STRUCTURAL_JOIN_H_

@@ -1,0 +1,242 @@
+#include "twigjoin/twigstack.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+#include "relational/operators.h"
+
+namespace xjoin {
+
+namespace {
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max();
+
+struct StackEntry {
+  NodeId node;
+  int parent_ptr;  // index of top of parent's stack at push time, or -1
+};
+
+class TwigStackRunner {
+ public:
+  TwigStackRunner(const XmlDocument& doc, const NodeIndex& index,
+                  const Twig& twig, Metrics* metrics)
+      : doc_(doc), twig_(twig), metrics_(metrics) {
+    const size_t n = twig.num_nodes();
+    streams_.resize(n);
+    cursor_.assign(n, 0);
+    stacks_.resize(n);
+    for (size_t q = 0; q < n; ++q) {
+      const TwigNode& node = twig.node(static_cast<TwigNodeId>(q));
+      if (node.tag == "*") {
+        streams_[q].resize(doc.num_nodes());
+        for (size_t i = 0; i < doc.num_nodes(); ++i) {
+          streams_[q][i] = static_cast<NodeId>(i);
+        }
+      } else {
+        int32_t code = doc.LookupTag(node.tag);
+        if (code >= 0) streams_[q] = index.NodesByTag(code);
+      }
+    }
+    leaves_ = twig.Leaves();
+  }
+
+  // Runs phase 1 (path solutions) and phase 2 (merge).
+  Result<Relation> Run() {
+    while (!End()) {
+      NextResult next = GetNext(twig_.root());
+      if (!next.alive || Eof(next.node)) break;  // no productive stream left
+      TwigNodeId q = next.node;
+      size_t qi = static_cast<size_t>(q);
+      const TwigNode& node = twig_.node(q);
+      if (node.parent != kNullTwigNode) {
+        CleanStack(node.parent, NextL(q));
+      }
+      if (node.parent == kNullTwigNode ||
+          !stacks_[static_cast<size_t>(node.parent)].empty()) {
+        CleanStack(q, NextL(q));
+        int ptr = node.parent == kNullTwigNode
+                      ? -1
+                      : static_cast<int>(
+                            stacks_[static_cast<size_t>(node.parent)].size()) -
+                            1;
+        StackEntry entry{static_cast<NodeId>(NextL(q)), ptr};
+        Advance(q);
+        MetricsAdd(metrics_, "twigstack.pushes", 1);
+        if (node.children.empty()) {
+          EmitPathSolutions(q, entry);
+        } else {
+          stacks_[qi].push_back(entry);
+        }
+      } else {
+        Advance(q);
+      }
+    }
+    return Merge();
+  }
+
+ private:
+  bool Eof(TwigNodeId q) const {
+    return cursor_[static_cast<size_t>(q)] >=
+           streams_[static_cast<size_t>(q)].size();
+  }
+  int64_t NextL(TwigNodeId q) const {
+    size_t qi = static_cast<size_t>(q);
+    return Eof(q) ? kInf : streams_[qi][cursor_[qi]];
+  }
+  int64_t NextEnd(TwigNodeId q) const {
+    size_t qi = static_cast<size_t>(q);
+    if (Eof(q)) return kInf;
+    return doc_.node(streams_[qi][cursor_[qi]]).subtree_end;
+  }
+  void Advance(TwigNodeId q) { ++cursor_[static_cast<size_t>(q)]; }
+
+  bool End() const {
+    for (TwigNodeId leaf : leaves_) {
+      if (!Eof(leaf)) return false;
+    }
+    return true;
+  }
+
+  void CleanStack(TwigNodeId q, int64_t next_start) {
+    auto& stack = stacks_[static_cast<size_t>(q)];
+    while (!stack.empty() &&
+           doc_.node(stack.back().node).subtree_end < next_start) {
+      stack.pop_back();
+    }
+  }
+
+  // GetNext with explicit subtree liveness. A subtree is dead when every
+  // leaf stream below it is exhausted; dead subtrees mean their ancestor
+  // q can never head a *new* complete match, but q's other children must
+  // keep streaming (their path solutions still merge with path solutions
+  // recorded before the sibling died).
+  struct NextResult {
+    TwigNodeId node;
+    bool alive;
+  };
+
+  NextResult GetNext(TwigNodeId q) {
+    const TwigNode& node = twig_.node(q);
+    if (node.children.empty()) return {q, !Eof(q)};
+    bool any_dead = false;
+    std::vector<TwigNodeId> ready;  // children whose head is their own
+    for (TwigNodeId child : node.children) {
+      NextResult r = GetNext(child);
+      if (!r.alive) {
+        any_dead = true;
+        continue;
+      }
+      if (r.node != child) return r;  // a deeper node must be consumed first
+      ready.push_back(child);
+    }
+    if (ready.empty()) return {q, false};  // whole subtree exhausted
+    TwigNodeId nmin = ready[0], nmax = ready[0];
+    for (TwigNodeId child : ready) {
+      if (NextL(child) < NextL(nmin)) nmin = child;
+      if (NextL(child) > NextL(nmax)) nmax = child;
+    }
+    if (any_dead) {
+      // New q-elements are useless (they would need a match in the dead
+      // subtree); keep draining the live children against the existing
+      // stacks.
+      return {nmin, true};
+    }
+    // Skip q-elements that end before the farthest child head begins:
+    // they cannot contain a head of every child stream.
+    while (NextEnd(q) < NextL(nmax)) Advance(q);
+    if (!Eof(q) && NextL(q) < NextL(nmin)) return {q, true};
+    return {nmin, true};
+  }
+
+  // Expands all root-to-leaf chains ending at the (not-pushed) leaf
+  // entry, appending one row per chain to the leaf's path solutions.
+  void EmitPathSolutions(TwigNodeId leaf, const StackEntry& leaf_entry) {
+    std::vector<TwigNodeId> path = twig_.PathFromRoot(leaf);
+    size_t leaf_index = 0;
+    for (; leaf_index < leaves_.size(); ++leaf_index) {
+      if (leaves_[leaf_index] == leaf) break;
+    }
+    auto& rows = path_solutions_[leaf_index];
+    std::vector<NodeId> chain(path.size());
+
+    // Level i of the chain corresponds to path[i]; the leaf is last.
+    auto expand = [&](auto&& self, size_t level,
+                      const StackEntry& entry) -> void {
+      chain[level] = entry.node;
+      if (level == 0) {
+        rows.push_back(chain);
+        MetricsAdd(metrics_, "twigstack.path_solutions", 1);
+        return;
+      }
+      const TwigNode& qn = twig_.node(path[level]);
+      const auto& parent_stack = stacks_[static_cast<size_t>(path[level - 1])];
+      for (int pos = 0; pos <= entry.parent_ptr; ++pos) {
+        const StackEntry& cand = parent_stack[static_cast<size_t>(pos)];
+        if (qn.axis == TwigAxis::kChild) {
+          if (doc_.node(entry.node).parent != cand.node) continue;
+        } else if (cand.node >= entry.node) {
+          continue;  // repeated tags: require a strictly earlier start
+        }
+        self(self, level - 1, cand);
+      }
+    };
+    expand(expand, path.size() - 1, leaf_entry);
+  }
+
+  Result<Relation> Merge() {
+    // One relation per leaf path; columns are the path nodes'
+    // attributes holding node-id bindings; merged with hash joins on
+    // the shared branching prefixes.
+    std::vector<Relation> relations;
+    int64_t max_intermediate = 0;
+    for (size_t li = 0; li < leaves_.size(); ++li) {
+      std::vector<TwigNodeId> path = twig_.PathFromRoot(leaves_[li]);
+      std::vector<std::string> attrs;
+      attrs.reserve(path.size());
+      for (TwigNodeId q : path) attrs.push_back(twig_.node(q).attribute);
+      XJ_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+      Relation rel(std::move(schema));
+      for (const auto& row : path_solutions_[li]) {
+        Tuple tuple(row.size());
+        for (size_t c = 0; c < row.size(); ++c) tuple[c] = row[c];
+        rel.AppendRow(tuple);
+      }
+      max_intermediate =
+          std::max(max_intermediate, static_cast<int64_t>(rel.num_rows()));
+      relations.push_back(std::move(rel));
+    }
+    std::vector<const Relation*> inputs;
+    inputs.reserve(relations.size());
+    for (const auto& r : relations) inputs.push_back(&r);
+    Metrics local;
+    XJ_ASSIGN_OR_RETURN(Relation merged, JoinAll(inputs, &local));
+    if (metrics_ != nullptr) {
+      metrics_->RecordMax(
+          "twigstack.max_intermediate",
+          std::max(max_intermediate, local.Get("plan.max_intermediate")));
+    }
+    return merged;
+  }
+
+  const XmlDocument& doc_;
+  const Twig& twig_;
+  Metrics* metrics_;
+  std::vector<std::vector<NodeId>> streams_;
+  std::vector<size_t> cursor_;
+  std::vector<std::vector<StackEntry>> stacks_;
+  std::vector<TwigNodeId> leaves_;
+  std::map<size_t, std::vector<std::vector<NodeId>>> path_solutions_;
+};
+
+}  // namespace
+
+Result<Relation> MatchTwigStack(const XmlDocument& doc, const NodeIndex& index,
+                                const Twig& twig, Metrics* metrics) {
+  XJ_RETURN_NOT_OK(twig.Validate());
+  TwigStackRunner runner(doc, index, twig, metrics);
+  return runner.Run();
+}
+
+}  // namespace xjoin

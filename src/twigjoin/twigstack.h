@@ -1,0 +1,31 @@
+// TwigStack (Bruno, Koudas, Srivastava, SIGMOD 2002): the holistic twig
+// join. Streams every query node's candidates in document order,
+// maintains one stack of nested partial ancestors per query node, and
+// only pushes elements that (for A-D-only twigs) are guaranteed to
+// participate in a complete match — emitting compactly-encoded path
+// solutions that a final merge joins into twig matches. For twigs with
+// parent-child edges TwigStack remains correct but loses the
+// no-useless-intermediate guarantee (the classic result), which our
+// benchmarks expose.
+#ifndef XJOIN_TWIGJOIN_TWIGSTACK_H_
+#define XJOIN_TWIGJOIN_TWIGSTACK_H_
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "relational/relation.h"
+#include "xml/document.h"
+#include "xml/node_index.h"
+#include "xml/twig.h"
+
+namespace xjoin {
+
+/// Runs TwigStack; returns all embeddings as a node-binding relation
+/// over the twig's attributes (same contract as the matchers in
+/// twig_matchers.h). Metrics (nullable): "twigstack.pushes",
+/// "twigstack.path_solutions", "twigstack.max_intermediate".
+Result<Relation> MatchTwigStack(const XmlDocument& doc, const NodeIndex& index,
+                                const Twig& twig, Metrics* metrics = nullptr);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_TWIGJOIN_TWIGSTACK_H_

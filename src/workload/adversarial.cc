@@ -1,0 +1,72 @@
+#include "workload/adversarial.h"
+
+#include <cmath>
+
+#include "lp/edge_cover.h"
+#include "lp/hypergraph.h"
+#include "relational/schema.h"
+
+namespace xjoin {
+
+Result<AdversarialInstance> MakeAgmTightInstance(
+    const std::vector<std::vector<std::string>>& schemas, int64_t n) {
+  if (schemas.empty()) return Status::InvalidArgument("no schemas");
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+
+  Hypergraph graph;
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    HyperEdge edge;
+    edge.name = "R" + std::to_string(i + 1);
+    edge.attributes = schemas[i];
+    edge.size = static_cast<double>(n);
+    XJ_RETURN_NOT_OK(graph.AddEdge(std::move(edge)));
+  }
+  XJ_ASSIGN_OR_RETURN(EdgeCoverResult cover, SolveFractionalEdgeCover(graph));
+
+  AdversarialInstance inst;
+  inst.dict = std::make_unique<Dictionary>();
+  const auto& attrs = graph.attributes();
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    // y_a is in "log_n" units when all edges have size n: the dual
+    // constraint per edge is sum y_a <= log2(n), so the per-attribute
+    // domain is 2^{y_a} = n^{y_a / log2 n}.
+    double y = cover.attribute_weights[a];
+    int64_t d = std::max<int64_t>(1, static_cast<int64_t>(std::floor(std::exp2(y))));
+    inst.domain_sizes[attrs[a]] = d;
+    inst.expected_join_size *= static_cast<double>(d);
+  }
+
+  // Intern per-attribute domain values once so relations share codes.
+  std::map<std::string, std::vector<int64_t>> domains;
+  for (const auto& [attr, size] : inst.domain_sizes) {
+    auto& vals = domains[attr];
+    vals.reserve(static_cast<size_t>(size));
+    for (int64_t v = 0; v < size; ++v) {
+      vals.push_back(inst.dict->Intern(attr + "#" + std::to_string(v)));
+    }
+  }
+
+  for (const auto& schema_attrs : schemas) {
+    XJ_ASSIGN_OR_RETURN(Schema schema, Schema::Make(schema_attrs));
+    auto rel = std::make_unique<Relation>(std::move(schema));
+    // Cross product of the attribute domains, odometer-style.
+    std::vector<size_t> idx(schema_attrs.size(), 0);
+    for (;;) {
+      Tuple row(schema_attrs.size());
+      for (size_t c = 0; c < schema_attrs.size(); ++c) {
+        row[c] = domains[schema_attrs[c]][idx[c]];
+      }
+      rel->AppendRow(row);
+      size_t c = 0;
+      for (; c < idx.size(); ++c) {
+        if (++idx[c] < domains[schema_attrs[c]].size()) break;
+        idx[c] = 0;
+      }
+      if (c == idx.size()) break;
+    }
+    inst.relations.push_back(std::move(rel));
+  }
+  return inst;
+}
+
+}  // namespace xjoin

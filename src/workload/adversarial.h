@@ -1,0 +1,43 @@
+// Lemma 3.2 instances: for a given query hypergraph, data on which the
+// join result (and therefore any algorithm's output) actually reaches
+// the AGM bound. Construction is the standard one from Atserias-Grohe-
+// Marx: give each attribute a value domain of size ~n^{y_a} (y = dual
+// optimum) and fill every relation with the full cross product of its
+// attributes' domains — each relation then has at most n tuples while
+// the join has ~n^{sum y_a} = bound many.
+#ifndef XJOIN_WORKLOAD_ADVERSARIAL_H_
+#define XJOIN_WORKLOAD_ADVERSARIAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace xjoin {
+
+/// One generated relational instance.
+struct AdversarialInstance {
+  std::unique_ptr<Dictionary> dict;
+  /// Relations in the order of the input schemas.
+  std::vector<std::unique_ptr<Relation>> relations;
+  /// Chosen per-attribute domain sizes (floor(n^{y_a}), at least 1).
+  std::map<std::string, int64_t> domain_sizes;
+  /// The exact join cardinality of the instance: prod over attributes of
+  /// the domain sizes (every combination joins).
+  double expected_join_size = 1.0;
+};
+
+/// Builds the instance for relation schemas `schemas` (attribute name
+/// lists) with the per-relation size target n. Uses the dual LP optimum
+/// internally. Fails on invalid schemas.
+Result<AdversarialInstance> MakeAgmTightInstance(
+    const std::vector<std::vector<std::string>>& schemas, int64_t n);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_WORKLOAD_ADVERSARIAL_H_

@@ -1,0 +1,112 @@
+#include "workload/bookstore.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace xjoin {
+
+namespace {
+
+std::string OrderId(int64_t i) { return "ord-" + std::to_string(10000 + i); }
+std::string UserId(int64_t i) { return "user" + std::to_string(i); }
+std::string Isbn(int64_t i) {
+  return "978-" + std::to_string(100 + i % 900) + "-" + std::to_string(i);
+}
+
+}  // namespace
+
+BookstoreInstance MakeBookstore(const BookstoreOptions& options) {
+  XJ_CHECK(options.num_orders > 0 && options.num_users > 0 &&
+           options.num_books > 0);
+  Rng rng(options.seed);
+  ZipfGenerator book_zipf(static_cast<uint64_t>(options.num_books),
+                          options.book_zipf_theta);
+
+  BookstoreInstance inst;
+  inst.dict = std::make_unique<Dictionary>();
+
+  // XML invoices.
+  XmlDocumentBuilder b;
+  b.StartElement("invoices");
+  for (int64_t i = 0; i < options.num_invoices; ++i) {
+    b.StartElement("invoice");
+    bool matched = rng.NextBernoulli(options.matched_fraction);
+    int64_t oid = matched
+                      ? static_cast<int64_t>(rng.NextBounded(
+                            static_cast<uint64_t>(options.num_orders)))
+                      : options.num_orders + i;  // dangling reference
+    b.AddLeaf("orderID", OrderId(oid));
+    int64_t lines = 1 + static_cast<int64_t>(rng.NextBounded(
+                            static_cast<uint64_t>(
+                                options.max_lines_per_invoice)));
+    for (int64_t l = 0; l < lines; ++l) {
+      b.StartElement("orderLine");
+      b.AddLeaf("ISBN", Isbn(static_cast<int64_t>(book_zipf.Next(&rng))));
+      b.AddLeaf("price", std::to_string(5 + rng.NextBounded(95)));
+      b.AddLeaf("discount", "0." + std::to_string(rng.NextBounded(5)));
+      XJ_CHECK_OK(b.EndElement());  // orderLine
+    }
+    XJ_CHECK_OK(b.EndElement());  // invoice
+  }
+  XJ_CHECK_OK(b.EndElement());  // invoices
+  auto doc = b.Finish();
+  XJ_CHECK(doc.ok()) << doc.status().ToString();
+  inst.doc = std::make_unique<XmlDocument>(*std::move(doc));
+  inst.index = std::make_unique<NodeIndex>(
+      NodeIndex::Build(inst.doc.get(), inst.dict.get()));
+
+  // Relational tables.
+  auto orders_schema = Schema::Make({"orderID", "userID"});
+  auto cust_schema = Schema::Make({"userID", "country"});
+  auto book_schema = Schema::Make({"ISBN", "genre"});
+  XJ_CHECK(orders_schema.ok() && cust_schema.ok() && book_schema.ok());
+
+  inst.orders = std::make_unique<Relation>(*orders_schema);
+  for (int64_t i = 0; i < options.num_orders; ++i) {
+    int64_t user = static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(options.num_users)));
+    inst.orders->AppendRow(
+        {inst.dict->Intern(OrderId(i)), inst.dict->Intern(UserId(user))});
+  }
+
+  const char* countries[] = {"FI", "DE", "US", "JP", "BR"};
+  inst.customers = std::make_unique<Relation>(*cust_schema);
+  for (int64_t i = 0; i < options.num_users; ++i) {
+    inst.customers->AppendRow({inst.dict->Intern(UserId(i)),
+                               inst.dict->Intern(countries[rng.NextBounded(5)])});
+  }
+
+  const char* genres[] = {"databases", "systems", "theory", "ml", "networks"};
+  inst.books = std::make_unique<Relation>(*book_schema);
+  for (int64_t i = 0; i < options.num_books; ++i) {
+    inst.books->AppendRow({inst.dict->Intern(Isbn(i)),
+                           inst.dict->Intern(genres[rng.NextBounded(5)])});
+  }
+  return inst;
+}
+
+MultiModelQuery BookstoreInstance::Figure1Query() const {
+  MultiModelQuery q;
+  q.relations.push_back({"R", orders.get()});
+  auto twig = Twig::Parse("invoice[orderID]/orderLine[ISBN]/price");
+  XJ_CHECK(twig.ok()) << twig.status().ToString();
+  q.twigs.push_back(TwigInput{*std::move(twig), index.get()});
+  q.output_attributes = {"userID", "ISBN", "price"};
+  return q;
+}
+
+MultiModelQuery BookstoreInstance::EnrichedQuery() const {
+  MultiModelQuery q;
+  q.relations.push_back({"R", orders.get()});
+  q.relations.push_back({"Cust", customers.get()});
+  q.relations.push_back({"Book", books.get()});
+  auto twig = Twig::Parse("invoice[orderID]/orderLine[ISBN]/price");
+  XJ_CHECK(twig.ok()) << twig.status().ToString();
+  q.twigs.push_back(TwigInput{*std::move(twig), index.get()});
+  q.output_attributes = {"userID", "country", "ISBN", "genre", "price"};
+  return q;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,131 @@
+#include "workload/paper_example.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace xjoin {
+
+MultiModelQuery PaperInstance::Query() const {
+  MultiModelQuery q;
+  q.relations.push_back({"R1", r1.get()});
+  q.relations.push_back({"R2", r2.get()});
+  q.twigs.push_back(TwigInput{twig, index.get()});
+  return q;
+}
+
+Twig MakePaperTwig() {
+  TwigBuilder b;
+  TwigNodeId a = b.AddRoot("A");
+  b.AddChild(a, TwigAxis::kChild, "B");
+  b.AddChild(a, TwigAxis::kChild, "D");
+  TwigNodeId c = b.AddChild(a, TwigAxis::kDescendant, "C");
+  TwigNodeId e = b.AddChild(c, TwigAxis::kChild, "E");
+  TwigNodeId f = b.AddChild(e, TwigAxis::kDescendant, "F");
+  b.AddChild(f, TwigAxis::kChild, "H");
+  b.AddChild(f, TwigAxis::kDescendant, "G");
+  auto twig = b.Finish();
+  XJ_CHECK(twig.ok()) << twig.status().ToString();
+  return *std::move(twig);
+}
+
+namespace {
+
+std::string Val(const char* prefix, int64_t i) {
+  return std::string(prefix) + std::to_string(i);
+}
+
+// Builds the worst-case document described in the header comment.
+std::unique_ptr<XmlDocument> BuildDocument(int64_t n) {
+  XmlDocumentBuilder b;
+  b.StartElement("root");
+  // The big A holding the whole twig-match structure.
+  b.StartElement("A");
+  b.AddText(Val("a", 1));
+  for (int64_t i = 1; i <= n; ++i) b.AddLeaf("B", Val("b", i));
+  for (int64_t i = 1; i <= n; ++i) b.AddLeaf("D", Val("d", i));
+  // Nested C/E spine: C1 > E1 > C2 > E2 > ... > Cn > En.
+  for (int64_t i = 1; i <= n; ++i) {
+    b.StartElement("C");
+    b.AddText(Val("c", i));
+    b.StartElement("E");
+    b.AddText(Val("e", i));
+  }
+  // The single productive F inside the innermost E.
+  b.StartElement("F");
+  b.AddText(Val("f", 1));
+  for (int64_t i = 1; i <= n; ++i) b.AddLeaf("H", Val("h", i));
+  for (int64_t i = 1; i <= n; ++i) b.AddLeaf("G", Val("g", i));
+  XJ_CHECK_OK(b.EndElement());  // F
+  for (int64_t i = 1; i <= n; ++i) {
+    XJ_CHECK_OK(b.EndElement());  // E
+    XJ_CHECK_OK(b.EndElement());  // C
+  }
+  XJ_CHECK_OK(b.EndElement());  // A
+  // Dummy A's and F's so every twig tag has exactly n document nodes.
+  for (int64_t i = 2; i <= n; ++i) b.AddLeaf("A", Val("a", i));
+  for (int64_t i = 2; i <= n; ++i) b.AddLeaf("F", Val("f", i));
+  XJ_CHECK_OK(b.EndElement());  // root
+  auto doc = b.Finish();
+  XJ_CHECK(doc.ok()) << doc.status().ToString();
+  return std::make_unique<XmlDocument>(*std::move(doc));
+}
+
+}  // namespace
+
+PaperInstance MakePaperInstance(int64_t n, PaperSchema schema,
+                                PaperDataMode mode, uint64_t seed) {
+  XJ_CHECK(n >= 1);
+  PaperInstance inst;
+  inst.twig = MakePaperTwig();
+  inst.dict = std::make_unique<Dictionary>();
+  inst.doc = BuildDocument(n);
+  inst.index = std::make_unique<NodeIndex>(
+      NodeIndex::Build(inst.doc.get(), inst.dict.get()));
+
+  Rng rng(seed);
+  auto code = [&](const char* prefix, int64_t i) {
+    return inst.dict->Intern(Val(prefix, i));
+  };
+  auto pick = [&](const char* prefix) {
+    return code(prefix, 1 + static_cast<int64_t>(rng.NextBounded(
+                            static_cast<uint64_t>(n))));
+  };
+
+  if (schema == PaperSchema::kExample33) {
+    auto s1 = Schema::Make({"B", "D"});
+    auto s2 = Schema::Make({"F", "G", "H"});
+    XJ_CHECK(s1.ok() && s2.ok());
+    inst.r1 = std::make_unique<Relation>(*s1);
+    inst.r2 = std::make_unique<Relation>(*s2);
+    for (int64_t i = 1; i <= n; ++i) {
+      if (mode == PaperDataMode::kAdversarial) {
+        inst.r1->AppendRow({code("b", i), code("d", i)});
+        inst.r2->AppendRow({code("f", 1), code("g", i), code("h", i)});
+      } else {
+        inst.r1->AppendRow({pick("b"), pick("d")});
+        inst.r2->AppendRow({pick("f"), pick("g"), pick("h")});
+      }
+    }
+  } else {
+    auto s1 = Schema::Make({"A", "B", "C", "D"});
+    auto s2 = Schema::Make({"E", "F", "G", "H"});
+    XJ_CHECK(s1.ok() && s2.ok());
+    inst.r1 = std::make_unique<Relation>(*s1);
+    inst.r2 = std::make_unique<Relation>(*s2);
+    for (int64_t i = 1; i <= n; ++i) {
+      if (mode == PaperDataMode::kAdversarial) {
+        inst.r1->AppendRow({code("a", 1), code("b", i), code("c", i), code("d", i)});
+        inst.r2->AppendRow({code("e", i), code("f", 1), code("g", i), code("h", i)});
+      } else {
+        inst.r1->AppendRow({pick("a"), pick("b"), pick("c"), pick("d")});
+        inst.r2->AppendRow({pick("e"), pick("f"), pick("g"), pick("h")});
+      }
+    }
+  }
+  return inst;
+}
+
+}  // namespace xjoin

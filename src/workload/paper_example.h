@@ -1,0 +1,64 @@
+// The running example of the paper (Figures 2 and 3, Examples 3.3/3.4):
+// twig  A[B,D] // C/E,  E//F[H],  F//G   (paths (A,B),(A,D),(C,E),(F,H),(G))
+// plus relational tables. Two relational schemas are provided:
+//   * Figure 2 / Example 3.3:  R1(B,D), R2(F,G,H)      -> bound n^3.5
+//   * Figure 3 / Example 3.4:  R1(A,B,C,D), R2(E,F,G,H) -> bound n^2
+// The generated document realizes the twig's worst case (~n^5
+// embeddings): a nested C/E spine under one big A with fan-outs of n,
+// exactly the kind of instance Lemma 3.2 promises.
+#ifndef XJOIN_WORKLOAD_PAPER_EXAMPLE_H_
+#define XJOIN_WORKLOAD_PAPER_EXAMPLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/dictionary.h"
+#include "core/query.h"
+#include "relational/relation.h"
+#include "xml/document.h"
+#include "xml/node_index.h"
+#include "xml/twig.h"
+
+namespace xjoin {
+
+/// Which relational schema accompanies the twig.
+enum class PaperSchema {
+  kExample33,  ///< R1(B,D), R2(F,G,H)
+  kExample34,  ///< R1(A,B,C,D), R2(E,F,G,H)
+};
+
+/// How relational tuples relate to the document's values.
+enum class PaperDataMode {
+  /// Diagonal tuples over the document's real values: the final result
+  /// has ~n tuples while the twig alone has ~n^5 embeddings — the
+  /// adversarial gap of Figure 3.
+  kAdversarial,
+  /// Uniform random tuples over the value domains (sanity workload).
+  kRandom,
+};
+
+/// A self-contained generated instance. The NodeIndex shares `dict` with
+/// the relations.
+struct PaperInstance {
+  std::unique_ptr<Dictionary> dict;
+  std::unique_ptr<XmlDocument> doc;
+  std::unique_ptr<NodeIndex> index;
+  std::unique_ptr<Relation> r1;
+  std::unique_ptr<Relation> r2;
+  Twig twig;
+
+  /// Assembles the MultiModelQuery view over this instance (all
+  /// attributes as output).
+  MultiModelQuery Query() const;
+};
+
+/// Builds the instance with per-tag population n (n >= 1).
+PaperInstance MakePaperInstance(int64_t n, PaperSchema schema,
+                                PaperDataMode mode, uint64_t seed = 42);
+
+/// The paper twig "A[B,D]//C/E, E//F[H], F//G" by itself.
+Twig MakePaperTwig();
+
+}  // namespace xjoin
+
+#endif  // XJOIN_WORKLOAD_PAPER_EXAMPLE_H_

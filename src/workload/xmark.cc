@@ -1,0 +1,149 @@
+#include "workload/xmark.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace xjoin {
+
+namespace {
+
+const char* kRegions[] = {"africa", "asia", "australia", "europe",
+                          "namerica", "samerica"};
+
+std::string ItemId(int64_t i) { return "item" + std::to_string(i); }
+std::string PersonId(int64_t i) { return "person" + std::to_string(i); }
+std::string CategoryId(int64_t i) { return "cat" + std::to_string(i); }
+
+}  // namespace
+
+XMarkInstance MakeXMark(const XMarkOptions& options) {
+  XJ_CHECK(options.num_items > 0 && options.num_persons > 0);
+  Rng rng(options.seed);
+  ZipfGenerator item_zipf(static_cast<uint64_t>(options.num_items),
+                          options.zipf_theta);
+  ZipfGenerator person_zipf(static_cast<uint64_t>(options.num_persons),
+                            options.zipf_theta);
+
+  std::vector<int64_t> item_category(static_cast<size_t>(options.num_items));
+  for (auto& c : item_category) {
+    c = static_cast<int64_t>(rng.NextBounded(
+        static_cast<uint64_t>(options.num_categories)));
+  }
+  std::vector<std::string> person_country(
+      static_cast<size_t>(options.num_persons));
+  const char* countries[] = {"Finland", "Germany", "Japan", "Brazil", "Kenya"};
+  for (auto& c : person_country) c = countries[rng.NextBounded(5)];
+
+  XmlDocumentBuilder b;
+  b.StartElement("site");
+
+  b.StartElement("regions");
+  for (int64_t i = 0; i < options.num_items; ++i) {
+    const char* region = kRegions[rng.NextBounded(6)];
+    b.StartElement(region);
+    b.StartElement("item");
+    b.AddLeaf("id", ItemId(i));
+    b.AddLeaf("name", "item name " + rng.NextString(6));
+    b.AddLeaf("incategory", CategoryId(item_category[static_cast<size_t>(i)]));
+    b.AddLeaf("quantity", std::to_string(1 + rng.NextBounded(5)));
+    XJ_CHECK_OK(b.EndElement());  // item
+    XJ_CHECK_OK(b.EndElement());  // region
+  }
+  XJ_CHECK_OK(b.EndElement());  // regions
+
+  b.StartElement("people");
+  for (int64_t i = 0; i < options.num_persons; ++i) {
+    b.StartElement("person");
+    b.AddLeaf("id", PersonId(i));
+    b.AddLeaf("name", "person " + rng.NextString(5));
+    b.AddLeaf("emailaddress", rng.NextString(8) + "@example.org");
+    b.AddLeaf("country", person_country[static_cast<size_t>(i)]);
+    XJ_CHECK_OK(b.EndElement());
+  }
+  XJ_CHECK_OK(b.EndElement());  // people
+
+  b.StartElement("open_auctions");
+  for (int64_t i = 0; i < options.num_open_auctions; ++i) {
+    b.StartElement("open_auction");
+    b.AddLeaf("itemref", ItemId(static_cast<int64_t>(item_zipf.Next(&rng))));
+    b.AddLeaf("seller", PersonId(static_cast<int64_t>(person_zipf.Next(&rng))));
+    int64_t bidders = 1 + static_cast<int64_t>(rng.NextBounded(
+                              static_cast<uint64_t>(
+                                  options.max_bidders_per_auction)));
+    for (int64_t k = 0; k < bidders; ++k) {
+      b.StartElement("bidder");
+      b.AddLeaf("personref",
+                PersonId(static_cast<int64_t>(person_zipf.Next(&rng))));
+      b.AddLeaf("increase", std::to_string(1 + rng.NextBounded(50)));
+      XJ_CHECK_OK(b.EndElement());
+    }
+    b.AddLeaf("current", std::to_string(10 + rng.NextBounded(500)));
+    XJ_CHECK_OK(b.EndElement());
+  }
+  XJ_CHECK_OK(b.EndElement());  // open_auctions
+
+  b.StartElement("closed_auctions");
+  for (int64_t i = 0; i < options.num_closed_auctions; ++i) {
+    b.StartElement("closed_auction");
+    b.AddLeaf("itemref", ItemId(static_cast<int64_t>(item_zipf.Next(&rng))));
+    b.AddLeaf("buyer", PersonId(static_cast<int64_t>(person_zipf.Next(&rng))));
+    b.AddLeaf("seller", PersonId(static_cast<int64_t>(person_zipf.Next(&rng))));
+    b.AddLeaf("price", std::to_string(10 + rng.NextBounded(1000)));
+    XJ_CHECK_OK(b.EndElement());
+  }
+  XJ_CHECK_OK(b.EndElement());  // closed_auctions
+
+  XJ_CHECK_OK(b.EndElement());  // site
+
+  XMarkInstance inst;
+  inst.dict = std::make_unique<Dictionary>();
+  auto doc = b.Finish();
+  XJ_CHECK(doc.ok()) << doc.status().ToString();
+  inst.doc = std::make_unique<XmlDocument>(*std::move(doc));
+  inst.index = std::make_unique<NodeIndex>(
+      NodeIndex::Build(inst.doc.get(), inst.dict.get()));
+
+  // Relational side.
+  auto item_schema = Schema::Make({"itemref", "category"});
+  auto person_schema = Schema::Make({"buyer", "country"});
+  XJ_CHECK(item_schema.ok() && person_schema.ok());
+  inst.item_category = std::make_unique<Relation>(*item_schema);
+  for (int64_t i = 0; i < options.num_items; ++i) {
+    inst.item_category->AppendRow(
+        {inst.dict->Intern(ItemId(i)),
+         inst.dict->Intern(CategoryId(item_category[static_cast<size_t>(i)]))});
+  }
+  inst.person_country = std::make_unique<Relation>(*person_schema);
+  for (int64_t i = 0; i < options.num_persons; ++i) {
+    inst.person_country->AppendRow(
+        {inst.dict->Intern(PersonId(i)),
+         inst.dict->Intern(person_country[static_cast<size_t>(i)])});
+  }
+  return inst;
+}
+
+MultiModelQuery XMarkInstance::ClosedAuctionQuery() const {
+  MultiModelQuery q;
+  q.relations.push_back({"ItemCat", item_category.get()});
+  q.relations.push_back({"PersonGeo", person_country.get()});
+  auto twig = Twig::Parse("closed_auction[itemref,buyer]/price");
+  XJ_CHECK(twig.ok()) << twig.status().ToString();
+  q.twigs.push_back(TwigInput{*std::move(twig), index.get()});
+  q.output_attributes = {"itemref", "category", "buyer", "country", "price"};
+  return q;
+}
+
+MultiModelQuery XMarkInstance::OpenAuctionQuery() const {
+  MultiModelQuery q;
+  q.relations.push_back({"ItemCat", item_category.get()});
+  auto twig = Twig::Parse("site//open_auction[bidder/personref]/itemref");
+  XJ_CHECK(twig.ok()) << twig.status().ToString();
+  q.twigs.push_back(TwigInput{*std::move(twig), index.get()});
+  q.output_attributes = {"itemref", "category", "personref"};
+  return q;
+}
+
+}  // namespace xjoin

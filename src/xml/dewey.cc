@@ -1,0 +1,73 @@
+#include "xml/dewey.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xjoin {
+
+DeweyLabeling DeweyLabeling::Build(const XmlDocument& doc) {
+  DeweyLabeling labeling;
+  labeling.labels_.resize(doc.num_nodes());
+  // Parents precede children in preorder, so one pass suffices; ordinals
+  // are assigned by counting arrivals per parent.
+  std::vector<int32_t> next_ordinal(doc.num_nodes(), 0);
+  for (size_t i = 0; i < doc.num_nodes(); ++i) {
+    const XmlNode& node = doc.node(static_cast<NodeId>(i));
+    if (node.parent == kNullNode) continue;  // root keeps the empty label
+    const DeweyLabel& parent_label =
+        labeling.labels_[static_cast<size_t>(node.parent)];
+    DeweyLabel& label = labeling.labels_[i];
+    label.reserve(parent_label.size() + 1);
+    label = parent_label;
+    label.push_back(next_ordinal[static_cast<size_t>(node.parent)]++);
+  }
+  return labeling;
+}
+
+std::string DeweyLabeling::ToString(const DeweyLabel& label) {
+  std::string out;
+  for (size_t i = 0; i < label.size(); ++i) {
+    if (i) out += '.';
+    out += std::to_string(label[i]);
+  }
+  return out;
+}
+
+DeweyLabel DeweyLabeling::FromString(const std::string& text) {
+  DeweyLabel label;
+  if (text.empty()) return label;
+  for (const auto& part : SplitString(text, '.')) {
+    auto v = ParseInt64(part);
+    label.push_back(v.ok() ? static_cast<int32_t>(*v) : 0);
+  }
+  return label;
+}
+
+bool DeweyLabeling::IsAncestor(const DeweyLabel& a, const DeweyLabel& d) {
+  if (a.size() >= d.size()) return false;
+  return std::equal(a.begin(), a.end(), d.begin());
+}
+
+bool DeweyLabeling::IsParent(const DeweyLabel& p, const DeweyLabel& c) {
+  return c.size() == p.size() + 1 && IsAncestor(p, c);
+}
+
+int DeweyLabeling::Compare(const DeweyLabel& a, const DeweyLabel& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+DeweyLabel DeweyLabeling::LowestCommonAncestor(const DeweyLabel& a,
+                                               const DeweyLabel& b) {
+  DeweyLabel out;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n && a[i] == b[i]; ++i) out.push_back(a[i]);
+  return out;
+}
+
+}  // namespace xjoin

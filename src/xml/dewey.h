@@ -1,0 +1,60 @@
+// Dewey labeling: each node's label is the path of child ordinals from
+// the root (root = []; its 3rd child's 2nd child = [2, 1]). Dewey labels
+// decide every axis relationship from the labels alone — the property
+// TJFast's extended Dewey (the paper's reference [5]) builds on — and
+// support lexicographic document-order comparison. Provided as an
+// alternative labeling substrate to the region encoding, with identical
+// answers (tested against each other).
+#ifndef XJOIN_XML_DEWEY_H_
+#define XJOIN_XML_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace xjoin {
+
+/// A Dewey label; component i is the child ordinal at depth i+1.
+using DeweyLabel = std::vector<int32_t>;
+
+/// Dewey labels for every node of a document.
+class DeweyLabeling {
+ public:
+  /// Computes all labels in one pass. O(total label length).
+  static DeweyLabeling Build(const XmlDocument& doc);
+
+  const DeweyLabel& label(NodeId id) const {
+    return labels_[static_cast<size_t>(id)];
+  }
+  size_t num_nodes() const { return labels_.size(); }
+
+  /// "1.0.2"-style rendering ("" for the root).
+  static std::string ToString(const DeweyLabel& label);
+
+  /// Parses "1.0.2" back into a label; empty string = root.
+  static DeweyLabel FromString(const std::string& text);
+
+  /// True iff `a` is a proper prefix of `d` (ancestor relation).
+  static bool IsAncestor(const DeweyLabel& a, const DeweyLabel& d);
+
+  /// True iff `p` is `c` minus its last component (parent relation).
+  static bool IsParent(const DeweyLabel& p, const DeweyLabel& c);
+
+  /// Document-order comparison (<0, 0, >0) — prefix sorts first.
+  static int Compare(const DeweyLabel& a, const DeweyLabel& b);
+
+  /// Longest common prefix of two labels: the label of the lowest
+  /// common ancestor.
+  static DeweyLabel LowestCommonAncestor(const DeweyLabel& a,
+                                         const DeweyLabel& b);
+
+ private:
+  DeweyLabeling() = default;
+  std::vector<DeweyLabel> labels_;
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_XML_DEWEY_H_

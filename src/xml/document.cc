@@ -1,0 +1,119 @@
+#include "xml/document.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace xjoin {
+
+std::vector<NodeId> XmlDocument::NodesWithTag(int32_t tag) const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].tag == tag) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::vector<NodeId> XmlDocument::Children(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId c = node(id).first_child; c != kNullNode;
+       c = node(c).next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+Status XmlDocument::Validate() const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const XmlNode& n = nodes_[i];
+    NodeId id = static_cast<NodeId>(i);
+    if (n.subtree_end < id ||
+        static_cast<size_t>(n.subtree_end) >= nodes_.size() + 0u ||
+        n.subtree_end >= static_cast<NodeId>(nodes_.size())) {
+      return Status::Internal("node " + std::to_string(i) +
+                              ": bad subtree_end " + std::to_string(n.subtree_end));
+    }
+    if (n.parent != kNullNode) {
+      const XmlNode& p = nodes_[static_cast<size_t>(n.parent)];
+      if (!(n.parent < id && id <= p.subtree_end)) {
+        return Status::Internal("node " + std::to_string(i) +
+                                ": not inside parent region");
+      }
+      if (n.level != p.level + 1) {
+        return Status::Internal("node " + std::to_string(i) + ": bad level");
+      }
+    } else if (id != 0) {
+      return Status::Internal("non-root node without parent");
+    }
+    for (NodeId c = n.first_child; c != kNullNode;
+         c = nodes_[static_cast<size_t>(c)].next_sibling) {
+      if (nodes_[static_cast<size_t>(c)].parent != id) {
+        return Status::Internal("child/parent pointer mismatch at node " +
+                                std::to_string(c));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+XmlDocumentBuilder::XmlDocumentBuilder() = default;
+
+NodeId XmlDocumentBuilder::StartElement(const std::string& tag) {
+  NodeId id = static_cast<NodeId>(doc_.nodes_.size());
+  XmlNode n;
+  n.tag = static_cast<int32_t>(doc_.tag_dict_.Intern(tag));
+  n.level = static_cast<int32_t>(stack_.size());
+  if (!stack_.empty()) {
+    n.parent = stack_.back();
+    NodeId prev = last_child_.back();
+    if (prev == kNullNode) {
+      doc_.nodes_[static_cast<size_t>(stack_.back())].first_child = id;
+    } else {
+      doc_.nodes_[static_cast<size_t>(prev)].next_sibling = id;
+    }
+    last_child_.back() = id;
+  }
+  doc_.nodes_.push_back(std::move(n));
+  stack_.push_back(id);
+  last_child_.push_back(kNullNode);
+  return id;
+}
+
+void XmlDocumentBuilder::AddText(const std::string& text) {
+  std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty() || stack_.empty()) return;
+  doc_.nodes_[static_cast<size_t>(stack_.back())].text += trimmed;
+}
+
+NodeId XmlDocumentBuilder::AddLeaf(const std::string& tag,
+                                   const std::string& text) {
+  NodeId id = StartElement(tag);
+  AddText(text);
+  XJ_CHECK_OK(EndElement());
+  return id;
+}
+
+Status XmlDocumentBuilder::EndElement() {
+  if (stack_.empty()) return Status::InvalidArgument("EndElement at depth 0");
+  NodeId id = stack_.back();
+  doc_.nodes_[static_cast<size_t>(id)].subtree_end =
+      static_cast<NodeId>(doc_.nodes_.size()) - 1;
+  stack_.pop_back();
+  last_child_.pop_back();
+  if (stack_.empty()) root_done_ = true;
+  return Status::OK();
+}
+
+Result<XmlDocument> XmlDocumentBuilder::Finish() {
+  if (!stack_.empty()) {
+    return Status::InvalidArgument(std::to_string(stack_.size()) +
+                                   " elements left open");
+  }
+  if (doc_.nodes_.empty()) return Status::InvalidArgument("empty document");
+  if (doc_.nodes_[0].subtree_end !=
+      static_cast<NodeId>(doc_.nodes_.size()) - 1) {
+    return Status::InvalidArgument("document has multiple root elements");
+  }
+  return std::move(doc_);
+}
+
+}  // namespace xjoin

@@ -1,0 +1,98 @@
+#include "xml/node_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace xjoin {
+
+NodeIndex NodeIndex::Build(const XmlDocument* doc, Dictionary* dict,
+                           ValuePolicy policy) {
+  NodeIndex index;
+  index.doc_ = doc;
+  index.policy_ = policy;
+  const size_t n = doc->num_nodes();
+  index.values_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const XmlNode& node = doc->node(static_cast<NodeId>(i));
+    if (policy == ValuePolicy::kTextOrNodeId && !node.text.empty()) {
+      index.values_[i] = dict->Intern(node.text);
+    } else {
+      // '\x1F' cannot occur in parsed text, so synthetic values never
+      // collide with real ones.
+      index.values_[i] = dict->Intern("\x1Fnode:" + std::to_string(i));
+    }
+  }
+
+  const size_t num_tags = static_cast<size_t>(doc->tag_dict().size());
+  index.by_tag_.resize(num_tags);
+  index.by_tag_value_.resize(num_tags);
+  for (size_t i = 0; i < n; ++i) {
+    const XmlNode& node = doc->node(static_cast<NodeId>(i));
+    index.by_tag_[static_cast<size_t>(node.tag)].push_back(
+        static_cast<NodeId>(i));
+    index.by_tag_value_[static_cast<size_t>(node.tag)].push_back(
+        ValueNode{index.values_[i], static_cast<NodeId>(i)});
+  }
+  for (auto& list : index.by_tag_value_) {
+    std::sort(list.begin(), list.end(), [](const ValueNode& a, const ValueNode& b) {
+      if (a.value != b.value) return a.value < b.value;
+      return a.node < b.node;
+    });
+  }
+  return index;
+}
+
+const std::vector<NodeId>& NodeIndex::NodesByTag(int32_t tag) const {
+  if (tag < 0 || static_cast<size_t>(tag) >= by_tag_.size()) return empty_nodes_;
+  return by_tag_[static_cast<size_t>(tag)];
+}
+
+const std::vector<ValueNode>& NodeIndex::ValueSortedNodes(int32_t tag) const {
+  if (tag < 0 || static_cast<size_t>(tag) >= by_tag_value_.size()) {
+    return empty_value_nodes_;
+  }
+  return by_tag_value_[static_cast<size_t>(tag)];
+}
+
+std::vector<ValueNode> NodeIndex::ChildValues(NodeId parent, int32_t tag) const {
+  std::vector<ValueNode> out;
+  for (NodeId c = doc_->node(parent).first_child; c != kNullNode;
+       c = doc_->node(c).next_sibling) {
+    if (doc_->node(c).tag == tag) out.push_back(ValueNode{ValueOf(c), c});
+  }
+  std::sort(out.begin(), out.end(), [](const ValueNode& a, const ValueNode& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.node < b.node;
+  });
+  return out;
+}
+
+std::vector<ValueNode> NodeIndex::DescendantValues(NodeId ancestor,
+                                                   int32_t tag) const {
+  std::vector<ValueNode> out;
+  const std::vector<NodeId>& stream = NodesByTag(tag);
+  // Document-order stream is sorted by NodeId; descendants form the
+  // contiguous range (ancestor, subtree_end].
+  auto lo = std::upper_bound(stream.begin(), stream.end(), ancestor);
+  NodeId end = doc_->node(ancestor).subtree_end;
+  for (auto it = lo; it != stream.end() && *it <= end; ++it) {
+    out.push_back(ValueNode{ValueOf(*it), *it});
+  }
+  std::sort(out.begin(), out.end(), [](const ValueNode& a, const ValueNode& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.node < b.node;
+  });
+  return out;
+}
+
+std::vector<NodeId> NodeIndex::NodesByTagValue(int32_t tag, int64_t value) const {
+  const auto& list = ValueSortedNodes(tag);
+  std::vector<NodeId> out;
+  auto cmp = [](const ValueNode& a, int64_t v) { return a.value < v; };
+  auto it = std::lower_bound(list.begin(), list.end(), value, cmp);
+  for (; it != list.end() && it->value == value; ++it) out.push_back(it->node);
+  return out;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,84 @@
+// NodeIndex: per-document access structures shared by the twig-join
+// algorithms and the multi-model engine. It assigns every node a *join
+// value code* in the same dictionary the relational side uses, and keeps
+// per-tag node streams (document order, for TwigStack) and per-tag
+// value-sorted lists (for trie-style enumeration).
+#ifndef XJOIN_XML_NODE_INDEX_H_
+#define XJOIN_XML_NODE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace xjoin {
+
+/// How a matched node's join value is derived (DESIGN.md §2).
+enum class ValuePolicy : uint8_t {
+  /// Text content when the node has any, otherwise a synthetic unique
+  /// per-node value ("\x1Fnode:<id>"). Default; matches the paper's
+  /// Figure 1 where value-carrying elements join with relational columns.
+  kTextOrNodeId,
+  /// Always the synthetic unique per-node value; turns every value join
+  /// into a node-identity join (useful as an exact structural oracle).
+  kNodeIdAlways,
+};
+
+/// A (value, node) pair; lists are sorted by (value, node).
+struct ValueNode {
+  int64_t value;
+  NodeId node;
+  bool operator==(const ValueNode& o) const {
+    return value == o.value && node == o.node;
+  }
+};
+
+/// Immutable index over one document. The dictionary is shared with the
+/// relational catalog so value codes agree across models.
+class NodeIndex {
+ public:
+  /// Builds the index, interning node values into `dict`.
+  static NodeIndex Build(const XmlDocument* doc, Dictionary* dict,
+                         ValuePolicy policy = ValuePolicy::kTextOrNodeId);
+
+  const XmlDocument& doc() const { return *doc_; }
+  ValuePolicy policy() const { return policy_; }
+
+  /// Join value code of a node.
+  int64_t ValueOf(NodeId id) const { return values_[static_cast<size_t>(id)]; }
+
+  /// Nodes with tag code `tag` in document order; empty for unknown tags.
+  const std::vector<NodeId>& NodesByTag(int32_t tag) const;
+
+  /// (value, node) pairs for tag code `tag`, sorted by value then node.
+  const std::vector<ValueNode>& ValueSortedNodes(int32_t tag) const;
+
+  /// Children of `parent` with tag code `tag`, as (value, node) pairs
+  /// sorted by value then node. Computed on the fly (the lazy path trie's
+  /// workhorse).
+  std::vector<ValueNode> ChildValues(NodeId parent, int32_t tag) const;
+
+  /// Descendants of `ancestor` with tag code `tag`, value-sorted.
+  /// Uses the region encoding over the per-tag document-order stream.
+  std::vector<ValueNode> DescendantValues(NodeId ancestor, int32_t tag) const;
+
+  /// All nodes whose join value is `value` and tag is `tag`.
+  std::vector<NodeId> NodesByTagValue(int32_t tag, int64_t value) const;
+
+ private:
+  NodeIndex() = default;
+
+  const XmlDocument* doc_ = nullptr;
+  ValuePolicy policy_ = ValuePolicy::kTextOrNodeId;
+  std::vector<int64_t> values_;                      // by NodeId
+  std::vector<std::vector<NodeId>> by_tag_;          // by tag code
+  std::vector<std::vector<ValueNode>> by_tag_value_; // by tag code
+  std::vector<NodeId> empty_nodes_;
+  std::vector<ValueNode> empty_value_nodes_;
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_XML_NODE_INDEX_H_

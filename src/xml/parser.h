@@ -1,0 +1,25 @@
+// A small, dependency-free XML parser covering the subset the paper's
+// datasets need: elements, attributes (mapped to "@name" child elements),
+// character data with the five predefined entities plus numeric
+// references, comments, processing instructions, and CDATA sections.
+// No DTD processing; documents must have a single root element.
+#ifndef XJOIN_XML_PARSER_H_
+#define XJOIN_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace xjoin {
+
+/// Parses `text` into a document. Errors carry 1-based line/column.
+Result<XmlDocument> ParseXml(std::string_view text);
+
+/// Reads and parses a file.
+Result<XmlDocument> ParseXmlFile(const std::string& path);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_XML_PARSER_H_

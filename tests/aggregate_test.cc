@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "relational/aggregate.h"
+
+namespace xjoin {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  AggregateTest() : rel_(*Schema::Make({"cat", "price"})) {
+    auto add = [&](const char* cat, const char* price) {
+      rel_.AppendRow({dict_.Intern(cat), dict_.Intern(price)});
+    };
+    add("a", "10");
+    add("a", "20");
+    add("a", "10");
+    add("b", "5.5");
+  }
+
+  int64_t Code(const char* s) { return dict_.Lookup(s); }
+
+  Dictionary dict_;
+  Relation rel_;
+};
+
+TEST_F(AggregateTest, CountPerGroup) {
+  auto out = GroupBy(rel_, {"cat"}, {{AggregateFunction::kCount, "", "n"}},
+                     &dict_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->num_rows(), 2u);
+  EXPECT_TRUE(out->ContainsRow({Code("a"), Code("3")}));
+  EXPECT_TRUE(out->ContainsRow({Code("b"), Code("1")}));
+}
+
+TEST_F(AggregateTest, SumMinMaxAvg) {
+  auto out = GroupBy(rel_, {"cat"},
+                     {{AggregateFunction::kSum, "price", "total"},
+                      {AggregateFunction::kMin, "price", "lo"},
+                      {AggregateFunction::kMax, "price", "hi"},
+                      {AggregateFunction::kAvg, "price", "mean"}},
+                     &dict_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->num_rows(), 2u);
+  EXPECT_TRUE(out->ContainsRow(
+      {Code("a"), Code("40"), Code("10"), Code("20"),
+       dict_.Lookup("13.3333")}));
+  EXPECT_TRUE(out->ContainsRow(
+      {Code("b"), Code("5.5"), Code("5.5"), Code("5.5"), Code("5.5")}));
+}
+
+TEST_F(AggregateTest, CountDistinct) {
+  auto out = GroupBy(rel_, {"cat"},
+                     {{AggregateFunction::kCountDistinct, "price", "k"}},
+                     &dict_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ContainsRow({Code("a"), Code("2")}));
+  EXPECT_TRUE(out->ContainsRow({Code("b"), Code("1")}));
+}
+
+TEST_F(AggregateTest, GlobalAggregateEmptyGroupBy) {
+  auto out = GroupBy(rel_, {}, {{AggregateFunction::kCount, "", "n"}}, &dict_);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->at(0, 0), Code("4"));
+}
+
+TEST_F(AggregateTest, MultiKeyGroupBy) {
+  Relation wide(*Schema::Make({"x", "y", "v"}));
+  for (int i = 0; i < 4; ++i) {
+    wide.AppendRow({dict_.Intern(i % 2 ? "x1" : "x0"),
+                    dict_.Intern("y0"), dict_.Intern("1")});
+  }
+  auto out = GroupBy(wide, {"x", "y"},
+                     {{AggregateFunction::kSum, "v", "s"}}, &dict_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2u);
+  EXPECT_TRUE(out->ContainsRow({Code("x0"), Code("y0"), Code("2")}));
+}
+
+TEST_F(AggregateTest, Errors) {
+  EXPECT_FALSE(GroupBy(rel_, {"zzz"}, {}, &dict_).ok());
+  EXPECT_FALSE(
+      GroupBy(rel_, {"cat"}, {{AggregateFunction::kSum, "zzz", "s"}}, &dict_)
+          .ok());
+  EXPECT_FALSE(
+      GroupBy(rel_, {"cat"}, {{AggregateFunction::kSum, "cat", "s"}}, &dict_)
+          .ok());  // non-numeric values
+  EXPECT_FALSE(
+      GroupBy(rel_, {"cat"}, {{AggregateFunction::kCount, "", ""}}, &dict_)
+          .ok());  // missing output name
+}
+
+TEST_F(AggregateTest, EmptyInput) {
+  Relation empty(*Schema::Make({"cat"}));
+  auto out =
+      GroupBy(empty, {"cat"}, {{AggregateFunction::kCount, "", "n"}}, &dict_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace xjoin

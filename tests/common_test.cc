@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/dictionary.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace xjoin {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::ParseError("line 3").WithContext("file.csv");
+  EXPECT_EQ(s.message(), "file.csv: line 3");
+  EXPECT_TRUE(Status::OK().WithContext("x").ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kOutOfRange, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kIOError,
+        StatusCode::kResourceExhausted}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+Result<int64_t> ParsePositive(const std::string& s) {
+  XJ_ASSIGN_OR_RETURN(int64_t v, ParseInt64(s));
+  if (v <= 0) return Status::OutOfRange("not positive: " + s);
+  return v;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.ValueOr(-1), 42);
+
+  Result<int> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_TRUE(ParsePositive("17").ok());
+  EXPECT_EQ(*ParsePositive("17"), 17);
+  EXPECT_EQ(ParsePositive("-3").status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ParsePositive("xyz").status().code(), StatusCode::kParseError);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  int64_t a = d.Intern("apple");
+  int64_t b = d.Intern("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("apple"), a);
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.Decode(a), "apple");
+  EXPECT_EQ(d.Decode(b), "banana");
+}
+
+TEST(DictionaryTest, LookupDoesNotInsert) {
+  Dictionary d;
+  EXPECT_EQ(d.Lookup("ghost"), -1);
+  EXPECT_EQ(d.size(), 0);
+  d.Intern("real");
+  EXPECT_EQ(d.Lookup("real"), 0);
+}
+
+TEST(DictionaryTest, CodesAreDense) {
+  Dictionary d;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.Intern("s" + std::to_string(i)), i);
+  }
+  EXPECT_TRUE(d.Contains(99));
+  EXPECT_FALSE(d.Contains(100));
+  EXPECT_FALSE(d.Contains(-1));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next64(), b.Next64());
+  EXPECT_NE(a.Next64(), c.Next64());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(7);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  Rng rng(8);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Next(&rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(ZipfTest, SkewPrefersLowRanks) {
+  Rng rng(9);
+  ZipfGenerator zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Next(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 2000);  // rank 0 dominates under theta=1.2
+}
+
+TEST(ZipfTest, SingletonDomain) {
+  Rng rng(10);
+  ZipfGenerator zipf(1, 2.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Next(&rng), 0u);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(SplitString("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(SplitString("a,,c", ',')[1], "");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+  EXPECT_EQ(SplitString("x", ',')[0], "x");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64(" -7 "), -7);
+  EXPECT_FALSE(ParseInt64("4x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("999999999999999999999999").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("3.5z").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("@name", "@"));
+  EXPECT_FALSE(StartsWith("", "@"));
+  EXPECT_TRUE(EndsWith("file.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", ".xml"));
+}
+
+TEST(MetricsTest, AddAndMax) {
+  Metrics m;
+  m.Add("x", 2);
+  m.Add("x", 3);
+  EXPECT_EQ(m.Get("x"), 5);
+  EXPECT_EQ(m.Get("missing"), 0);
+  m.RecordMax("peak", 10);
+  m.RecordMax("peak", 4);
+  EXPECT_EQ(m.Get("peak"), 10);
+  m.RecordMax("peak", 12);
+  EXPECT_EQ(m.Get("peak"), 12);
+}
+
+TEST(MetricsTest, NullSafeHelper) {
+  MetricsAdd(nullptr, "x", 1);  // must not crash
+  Metrics m;
+  MetricsAdd(&m, "x", 1);
+  EXPECT_EQ(m.Get("x"), 1);
+}
+
+TEST(MetricsTest, ToStringSortsByName) {
+  Metrics m;
+  m.Add("b", 2);
+  m.Add("a", 1);
+  EXPECT_EQ(m.ToString(), "a=1\nb=2\n");
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  EXPECT_GE(t.ElapsedMicros(), 0);
+  t.Restart();
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace xjoin

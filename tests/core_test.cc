@@ -1,0 +1,502 @@
+// Tests for decomposition, path relations, the generic join engine,
+// order selection, bounds, and validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+
+#include "common/random.h"
+#include "core/bound.h"
+#include "core/decompose.h"
+#include "core/generic_join.h"
+#include "core/order.h"
+#include "core/validate.h"
+#include "core/virtual_relation.h"
+#include "core/xjoin.h"
+#include "relational/operators.h"
+#include "relational/trie.h"
+#include "tests/test_util.h"
+#include "twigjoin/naive_twig.h"
+#include "workload/paper_example.h"
+#include "xml/parser.h"
+
+namespace xjoin {
+namespace {
+
+TEST(DecomposeTest, PaperTwigYieldsFigure2Paths) {
+  Twig twig = MakePaperTwig();
+  auto d = DecomposeTwig(twig);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->paths.size(), 5u);
+  EXPECT_EQ(d->paths[0].attributes, (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(d->paths[1].attributes, (std::vector<std::string>{"A", "D"}));
+  EXPECT_EQ(d->paths[2].attributes, (std::vector<std::string>{"C", "E"}));
+  EXPECT_EQ(d->paths[3].attributes, (std::vector<std::string>{"F", "H"}));
+  EXPECT_EQ(d->paths[4].attributes, (std::vector<std::string>{"G"}));
+  EXPECT_EQ(d->cut_edges.size(), 3u);  // A//C, E//F, F//G
+}
+
+TEST(DecomposeTest, PcOnlyTwigIsItsOwnPaths) {
+  auto twig = Twig::Parse("a[b]/c/d");
+  auto d = DecomposeTwig(*twig);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->paths.size(), 2u);
+  EXPECT_EQ(d->paths[0].attributes, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(d->paths[1].attributes, (std::vector<std::string>{"a", "c", "d"}));
+  EXPECT_TRUE(d->cut_edges.empty());
+}
+
+TEST(DecomposeTest, AllDescendantEdgesGiveSingletons) {
+  auto twig = Twig::Parse("a//b//c");
+  auto d = DecomposeTwig(*twig);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->paths.size(), 3u);
+  for (const auto& p : d->paths) EXPECT_EQ(p.attributes.size(), 1u);
+  EXPECT_EQ(d->cut_edges.size(), 2u);
+  EXPECT_FALSE(DecompositionToString(*twig, *d).empty());
+}
+
+TEST(PathRelationTest, MaterializeEnumeratesChains) {
+  auto doc = ParseXml(
+      "<r><a>1<b>x</b><b>y</b></a><a>2<b>x</b></a><a>3</a></r>");
+  ASSERT_TRUE(doc.ok());
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(&*doc, &dict);
+  auto twig = Twig::Parse("a/b");
+  auto d = DecomposeTwig(*twig);
+  auto rel = PathRelation::Make(*twig, d->paths[0], &index);
+  ASSERT_TRUE(rel.ok());
+  auto mat = rel->Materialize();
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(mat->num_rows(), 3u);  // (1,x),(1,y),(2,x)
+  EXPECT_EQ(rel->CountChains(), 3);
+}
+
+TEST(PathRelationTest, CountChainsCountsDuplicates) {
+  // Two (a=1, b=x) chains: CountChains counts 4 chains while the
+  // materialized set has 3 distinct tuples.
+  auto doc = ParseXml(
+      "<r><a>1<b>x</b><b>x</b><b>y</b></a><a>2<b>x</b></a></r>");
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(&*doc, &dict);
+  auto twig = Twig::Parse("a/b");
+  auto d = DecomposeTwig(*twig);
+  auto rel = PathRelation::Make(*twig, d->paths[0], &index);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->CountChains(), 4);
+  EXPECT_EQ(rel->Materialize()->num_rows(), 3u);
+}
+
+TEST(PathRelationTest, AbsentTagYieldsEmpty) {
+  auto doc = ParseXml("<r><a>1</a></r>");
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(&*doc, &dict);
+  auto twig = Twig::Parse("a/zzz");
+  auto d = DecomposeTwig(*twig);
+  auto rel = PathRelation::Make(*twig, d->paths[0], &index);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->Materialize()->num_rows(), 0u);
+  EXPECT_EQ(rel->CountChains(), 0);
+  // The lazy trie still exposes level-0 candidates (the 'a' nodes), but
+  // descending under any of them finds nothing.
+  auto it = rel->NewLazyIterator();
+  it->Open();
+  ASSERT_FALSE(it->AtEnd());
+  it->Open();
+  EXPECT_TRUE(it->AtEnd());
+}
+
+TEST(PathRelationTest, WildcardRejected) {
+  auto doc = ParseXml("<r><a>1</a></r>");
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(&*doc, &dict);
+  auto twig = Twig::Parse("a/*");
+  auto d = DecomposeTwig(*twig);
+  EXPECT_FALSE(PathRelation::Make(*twig, d->paths[0], &index).ok());
+}
+
+// Property: the lazy path trie enumerates exactly the materialized
+// relation, on random documents and random linear paths.
+class LazyPathTrieProperty : public ::testing::TestWithParam<int> {};
+
+std::vector<Tuple> EnumerateIterator(TrieIterator* it) {
+  std::vector<Tuple> out;
+  Tuple current(static_cast<size_t>(it->arity()));
+  auto recurse = [&](auto&& self) -> void {
+    it->Open();
+    while (!it->AtEnd()) {
+      current[static_cast<size_t>(it->depth())] = it->Key();
+      if (it->depth() + 1 == it->arity()) {
+        out.push_back(current);
+      } else {
+        self(self);
+      }
+      it->Next();
+    }
+    it->Up();
+  };
+  recurse(recurse);
+  return out;
+}
+
+TEST_P(LazyPathTrieProperty, LazyEqualsMaterialized) {
+  Rng rng(8000 + static_cast<uint64_t>(GetParam()));
+  std::vector<std::string> tags = {"a", "b", "c"};
+  auto doc = testing::RandomDocument(&rng, 2 + rng.NextBounded(40), tags, 3);
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(doc.get(), &dict);
+  // Random linear path twig of length 1..4 (P-C only, as produced by
+  // decomposition).
+  size_t len = 1 + rng.NextBounded(4);
+  TwigBuilder tb;
+  TwigNodeId prev = tb.AddRoot(tags[rng.NextBounded(tags.size())], "q0");
+  for (size_t i = 1; i < len; ++i) {
+    prev = tb.AddChild(prev, TwigAxis::kChild,
+                       tags[rng.NextBounded(tags.size())],
+                       "q" + std::to_string(i));
+  }
+  auto twig = tb.Finish();
+  ASSERT_TRUE(twig.ok());
+  auto d = DecomposeTwig(*twig);
+  ASSERT_EQ(d->paths.size(), 1u);
+  auto rel = PathRelation::Make(*twig, d->paths[0], &index);
+  ASSERT_TRUE(rel.ok());
+
+  auto lazy_it = rel->NewLazyIterator();
+  std::vector<Tuple> lazy = EnumerateIterator(lazy_it.get());
+
+  auto mat = rel->Materialize();
+  ASSERT_TRUE(mat.ok());
+  ASSERT_EQ(lazy.size(), mat->num_rows());
+  for (size_t r = 0; r < lazy.size(); ++r) {
+    EXPECT_EQ(lazy[r], mat->GetRow(r));
+  }
+  EXPECT_GE(rel->CountChains(), static_cast<int64_t>(mat->num_rows()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, LazyPathTrieProperty,
+                         ::testing::Range(0, 40));
+
+TEST(GenericJoinTest, TriangleQuery) {
+  // Classic triangle R(A,B) ⋈ S(B,C) ⋈ T(A,C).
+  auto mk = [](std::vector<Tuple> t, std::vector<std::string> attrs) {
+    auto s = Schema::Make(attrs);
+    return *Relation::FromTuples(*s, std::move(t));
+  };
+  Relation r = mk({{0, 1}, {0, 2}, {1, 2}}, {"A", "B"});
+  Relation s = mk({{1, 2}, {2, 0}, {2, 3}}, {"B", "C"});
+  Relation t = mk({{0, 2}, {0, 3}, {1, 0}}, {"A", "C"});
+
+  auto tr = RelationTrie::Build(r, {"A", "B"});
+  auto ts = RelationTrie::Build(s, {"B", "C"});
+  auto tt = RelationTrie::Build(t, {"A", "C"});
+  auto ir = tr->NewIterator();
+  auto is = ts->NewIterator();
+  auto it = tt->NewIterator();
+
+  GenericJoinOptions opts;
+  opts.attribute_order = {"A", "B", "C"};
+  Metrics m;
+  opts.metrics = &m;
+  auto result = GenericJoin({{"R", {"A", "B"}, ir.get()},
+                             {"S", {"B", "C"}, is.get()},
+                             {"T", {"A", "C"}, it.get()}},
+                            opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Triangles: (0,1,2), (0,2,3)? check: R(0,2) S(2,3) T(0,3) yes;
+  // R(1,2) S(2,0) T(1,0) yes.
+  EXPECT_EQ(result->num_rows(), 3u);
+  EXPECT_TRUE(result->ContainsRow({0, 1, 2}));
+  EXPECT_TRUE(result->ContainsRow({0, 2, 3}));
+  EXPECT_TRUE(result->ContainsRow({1, 2, 0}));
+  EXPECT_EQ(m.Get("gj.output"), 3);
+  EXPECT_GT(m.Get("gj.seeks"), 0);
+}
+
+TEST(GenericJoinTest, PrefixFilterPrunes) {
+  auto s = Schema::Make({"A"});
+  Relation r(*s);
+  for (int i = 0; i < 10; ++i) r.AppendRow({i});
+  auto trie = RelationTrie::Build(r, {"A"});
+  auto it = trie->NewIterator();
+  GenericJoinOptions opts;
+  opts.attribute_order = {"A"};
+  opts.prefix_filter = [](size_t, const std::vector<int64_t>& p) {
+    return p[0] % 2 == 0;
+  };
+  auto result = GenericJoin({{"R", {"A"}, it.get()}}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 5u);
+}
+
+TEST(GenericJoinTest, RejectsUncoveredAttribute) {
+  auto s = Schema::Make({"A"});
+  Relation r(*s);
+  auto trie = RelationTrie::Build(r, {"A"});
+  auto it = trie->NewIterator();
+  GenericJoinOptions opts;
+  opts.attribute_order = {"A", "B"};
+  EXPECT_FALSE(GenericJoin({{"R", {"A"}, it.get()}}, opts).ok());
+}
+
+TEST(GenericJoinTest, RejectsInconsistentInputOrder) {
+  auto s = Schema::Make({"A", "B"});
+  Relation r(*s);
+  auto trie = RelationTrie::Build(r, {"B", "A"});
+  auto it = trie->NewIterator();
+  GenericJoinOptions opts;
+  opts.attribute_order = {"A", "B"};
+  EXPECT_FALSE(GenericJoin({{"R", {"B", "A"}, it.get()}}, opts).ok());
+}
+
+// Property: GenericJoin over random relations equals the hash-join plan.
+class GenericJoinProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenericJoinProperty, MatchesHashJoinPlan) {
+  Rng rng(9000 + static_cast<uint64_t>(GetParam()));
+  Dictionary dict;
+  std::vector<std::string> pool = {"A", "B", "C", "D"};
+  size_t num_rels = 2 + rng.NextBounded(2);
+  std::vector<Relation> rels;
+  std::vector<std::vector<std::string>> schemas;
+  for (size_t i = 0; i < num_rels; ++i) {
+    std::vector<std::string> attrs;
+    for (const auto& a : pool) {
+      if (rng.NextBernoulli(0.6)) attrs.push_back(a);
+    }
+    if (attrs.empty()) attrs.push_back(pool[rng.NextBounded(4)]);
+    schemas.push_back(attrs);
+    rels.push_back(
+        testing::RandomRelation(&rng, &dict, attrs, 5 + rng.NextBounded(25), 4));
+  }
+  // Global order: union of attrs in pool order.
+  std::vector<std::string> order;
+  for (const auto& a : pool) {
+    for (const auto& schema : schemas) {
+      if (std::find(schema.begin(), schema.end(), a) != schema.end()) {
+        order.push_back(a);
+        break;
+      }
+    }
+  }
+
+  std::vector<RelationTrie> tries;
+  std::vector<std::unique_ptr<TrieIterator>> iters;
+  std::vector<JoinInput> inputs;
+  tries.reserve(num_rels);
+  for (size_t i = 0; i < num_rels; ++i) {
+    std::vector<std::string> trie_order;
+    for (const auto& a : order) {
+      if (std::find(schemas[i].begin(), schemas[i].end(), a) !=
+          schemas[i].end()) {
+        trie_order.push_back(a);
+      }
+    }
+    auto trie = RelationTrie::Build(rels[i], trie_order);
+    ASSERT_TRUE(trie.ok());
+    tries.push_back(*std::move(trie));
+  }
+  for (size_t i = 0; i < num_rels; ++i) {
+    iters.push_back(tries[i].NewIterator());
+    inputs.push_back(
+        JoinInput{"R" + std::to_string(i), tries[i].attribute_order(),
+                  iters.back().get()});
+  }
+
+  GenericJoinOptions opts;
+  opts.attribute_order = order;
+  auto fast = GenericJoin(inputs, opts);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+
+  std::vector<const Relation*> rel_ptrs;
+  for (const auto& r : rels) rel_ptrs.push_back(&r);
+  Relation slow = testing::NaiveNaturalJoin(rel_ptrs);
+  auto slow_proj = Project(slow, order);
+  ASSERT_TRUE(slow_proj.ok());
+  Relation fast_copy = *fast;
+  fast_copy.SortAndDedup();
+  EXPECT_TRUE(RelationsEqualAsSets(fast_copy, *slow_proj));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GenericJoinProperty,
+                         ::testing::Range(0, 40));
+
+TEST(OrderTest, RespectsPathPrecedence) {
+  PaperInstance inst = MakePaperInstance(3, PaperSchema::kExample34,
+                                         PaperDataMode::kAdversarial);
+  MultiModelQuery q = inst.Query();
+  auto order = ChooseAttributeOrder(q);
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(CheckAttributeOrder(q, *order).ok());
+  // A before B and D; C before E; F before H.
+  auto pos = [&](const std::string& a) {
+    return std::find(order->begin(), order->end(), a) - order->begin();
+  };
+  EXPECT_LT(pos("A"), pos("B"));
+  EXPECT_LT(pos("A"), pos("D"));
+  EXPECT_LT(pos("C"), pos("E"));
+  EXPECT_LT(pos("F"), pos("H"));
+  EXPECT_EQ(order->size(), 8u);
+}
+
+TEST(OrderTest, SmallestDomainHeuristicIsValidToo) {
+  PaperInstance inst = MakePaperInstance(5, PaperSchema::kExample34,
+                                         PaperDataMode::kAdversarial);
+  MultiModelQuery q = inst.Query();
+  auto order = ChooseAttributeOrder(q, OrderHeuristic::kSmallestDomain);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+  EXPECT_TRUE(CheckAttributeOrder(q, *order).ok());
+  // Both heuristics must produce the same answer through XJoin.
+  XJoinOptions a;
+  a.order_heuristic = OrderHeuristic::kCoverage;
+  XJoinOptions b;
+  b.order_heuristic = OrderHeuristic::kSmallestDomain;
+  auto ra = ExecuteXJoin(q, a);
+  auto rb = ExecuteXJoin(q, b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  // Column order follows the expansion order; compare as sets after
+  // projecting onto a common schema.
+  auto rb_proj = Project(*rb, ra->schema().attributes());
+  ASSERT_TRUE(rb_proj.ok());
+  Relation ra_copy = *ra;
+  ra_copy.SortAndDedup();
+  EXPECT_TRUE(RelationsEqualAsSets(ra_copy, *rb_proj));
+}
+
+TEST(OrderTest, CheckRejectsBadOrders) {
+  PaperInstance inst = MakePaperInstance(2, PaperSchema::kExample34,
+                                         PaperDataMode::kAdversarial);
+  MultiModelQuery q = inst.Query();
+  EXPECT_FALSE(CheckAttributeOrder(q, {"A"}).ok());  // missing attrs
+  EXPECT_FALSE(
+      CheckAttributeOrder(
+          q, {"B", "A", "C", "D", "E", "F", "G", "H"}).ok());  // B before A
+  EXPECT_FALSE(
+      CheckAttributeOrder(
+          q, {"A", "A", "C", "D", "E", "F", "G", "H"}).ok());  // repeat
+  EXPECT_TRUE(
+      CheckAttributeOrder(
+          q, {"A", "B", "C", "D", "E", "F", "G", "H"}).ok());
+}
+
+TEST(BoundTest, PaperUniformBounds) {
+  PaperInstance inst = MakePaperInstance(4, PaperSchema::kExample33,
+                                         PaperDataMode::kAdversarial);
+  MultiModelQuery q = inst.Query();
+  BoundOptions opts;
+  opts.path_size_mode = PathSizeMode::kUniform;
+  opts.uniform_n = 16.0;
+  auto bound = ComputeBound(q, opts);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_NEAR(bound->cover.uniform_exponent, 3.5, 1e-6);
+
+  PaperInstance inst34 = MakePaperInstance(4, PaperSchema::kExample34,
+                                           PaperDataMode::kAdversarial);
+  MultiModelQuery q34 = inst34.Query();
+  auto bound34 = ComputeBound(q34, opts);
+  ASSERT_TRUE(bound34.ok());
+  EXPECT_NEAR(bound34->cover.uniform_exponent, 2.0, 1e-6);
+}
+
+TEST(BoundTest, ExactAndChainCountModes) {
+  PaperInstance inst = MakePaperInstance(3, PaperSchema::kExample34,
+                                         PaperDataMode::kAdversarial);
+  MultiModelQuery q = inst.Query();
+  BoundOptions exact;
+  exact.path_size_mode = PathSizeMode::kExact;
+  auto b1 = ComputeBound(q, exact);
+  ASSERT_TRUE(b1.ok());
+  BoundOptions chain;
+  chain.path_size_mode = PathSizeMode::kChainCount;
+  auto b2 = ComputeBound(q, chain);
+  ASSERT_TRUE(b2.ok());
+  // Chain counts upper-bound exact sizes, so the bound can only grow.
+  EXPECT_GE(b2->cover.log2_bound, b1->cover.log2_bound - 1e-9);
+}
+
+TEST(ValidateTest, FullAssignmentExactness) {
+  auto doc = ParseXml(
+      "<r><a>1<b>x</b></a><a>2<b>y</b></a><c>only-under-a2</c></r>");
+  ASSERT_TRUE(doc.ok());
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(&*doc, &dict);
+  auto twig = Twig::Parse("a/b");
+  TwigStructureValidator v(&*twig, &index);
+  auto val = [&](const char* s) { return dict.Lookup(s); };
+  // (1,x) and (2,y) embed; (1,y) does not.
+  EXPECT_TRUE(v.ExistsEmbedding({val("1"), val("x")}));
+  EXPECT_TRUE(v.ExistsEmbedding({val("2"), val("y")}));
+  EXPECT_FALSE(v.ExistsEmbedding({val("1"), val("y")}));
+}
+
+TEST(ValidateTest, PartialAssignmentsAreSound) {
+  auto doc = ParseXml("<r><a>1<b>x</b></a></r>");
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(&*doc, &dict);
+  auto twig = Twig::Parse("a/b");
+  TwigStructureValidator v(&*twig, &index);
+  auto val = [&](const char* s) { return dict.Lookup(s); };
+  EXPECT_TRUE(v.ExistsEmbedding({val("1"), std::nullopt}));
+  EXPECT_TRUE(v.ExistsEmbedding({std::nullopt, val("x")}));
+  EXPECT_TRUE(v.ExistsEmbedding({std::nullopt, std::nullopt}));
+  EXPECT_FALSE(v.ExistsEmbedding({val("x"), std::nullopt}));  // no a with text x
+}
+
+TEST(ValidateTest, DescendantEdgesChecked) {
+  auto doc = ParseXml("<r><a>1<m><b>x</b></m></a><a>2</a><b>y</b></r>");
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(&*doc, &dict);
+  auto twig = Twig::Parse("a//b");
+  TwigStructureValidator v(&*twig, &index);
+  auto val = [&](const char* s) { return dict.Lookup(s); };
+  EXPECT_TRUE(v.ExistsEmbedding({val("1"), val("x")}));
+  EXPECT_FALSE(v.ExistsEmbedding({val("2"), val("x")}));  // b not under a2
+  EXPECT_FALSE(v.ExistsEmbedding({val("1"), val("y")}));  // y outside a1
+}
+
+// Property: on full assignments the validator agrees with the naive
+// matcher's value-level semantics.
+class ValidateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValidateProperty, AgreesWithNaiveMatcherOnFullAssignments) {
+  Rng rng(10000 + static_cast<uint64_t>(GetParam()));
+  std::vector<std::string> tags = {"a", "b", "c"};
+  auto doc = testing::RandomDocument(&rng, 2 + rng.NextBounded(30), tags, 3);
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(doc.get(), &dict);
+  Twig twig = testing::RandomTwig(&rng, 1 + rng.NextBounded(4), tags);
+  TwigStructureValidator validator(&twig, &index);
+
+  // Value tuples with >= 1 embedding, from the oracle.
+  auto matches = MatchTwigNaive(*doc, twig);
+  std::set<std::vector<int64_t>> valid_tuples;
+  for (const auto& m : matches) {
+    std::vector<int64_t> vals(m.size());
+    for (size_t i = 0; i < m.size(); ++i) vals[i] = index.ValueOf(m[i]);
+    valid_tuples.insert(vals);
+  }
+  // Every oracle tuple must validate.
+  for (const auto& vals : valid_tuples) {
+    std::vector<std::optional<int64_t>> opt(vals.begin(), vals.end());
+    EXPECT_TRUE(validator.ExistsEmbedding(opt));
+  }
+  // Perturbed tuples must validate iff they are themselves oracle tuples.
+  Rng rng2(777 + static_cast<uint64_t>(GetParam()));
+  for (const auto& vals : valid_tuples) {
+    std::vector<int64_t> mutated = vals;
+    size_t pos = rng2.NextBounded(mutated.size());
+    mutated[pos] = dict.Intern("v" + std::to_string(rng2.NextBounded(3)));
+    std::vector<std::optional<int64_t>> opt(mutated.begin(), mutated.end());
+    EXPECT_EQ(validator.ExistsEmbedding(opt),
+              valid_tuples.count(mutated) > 0);
+    if (valid_tuples.size() > 400) break;  // cap runtime
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ValidateProperty,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace xjoin

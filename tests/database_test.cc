@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "relational/operators.h"
+
+namespace xjoin {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.RegisterRelationCsv("R",
+                                        "orderID,userID\n"
+                                        "10963,jack\n"
+                                        "20134,tom\n"
+                                        "35768,bob\n")
+                    .ok());
+    ASSERT_TRUE(db_.RegisterDocumentXml("invoices", R"(
+      <invoices>
+        <invoice><orderID>10963</orderID>
+          <orderLine><ISBN>978-3-16-1</ISBN><price>30</price></orderLine>
+        </invoice>
+        <invoice><orderID>20134</orderID>
+          <orderLine><ISBN>634-3-12-2</ISBN><price>20</price></orderLine>
+        </invoice>
+      </invoices>)")
+                    .ok());
+  }
+
+  MultiModelDatabase db_;
+};
+
+TEST_F(DatabaseTest, RegistrationAndLookups) {
+  EXPECT_TRUE(db_.relation("R").ok());
+  EXPECT_FALSE(db_.relation("S").ok());
+  EXPECT_TRUE(db_.document_index("invoices").ok());
+  EXPECT_FALSE(db_.document_index("other").ok());
+  EXPECT_EQ(db_.RelationNames(), (std::vector<std::string>{"R"}));
+  EXPECT_EQ(db_.DocumentNames(), (std::vector<std::string>{"invoices"}));
+}
+
+TEST_F(DatabaseTest, DuplicateNamesRejected) {
+  EXPECT_FALSE(db_.RegisterRelationCsv("R", "A\n1\n").ok());
+  EXPECT_FALSE(db_.RegisterDocumentXml("R", "<a/>").ok());
+  EXPECT_FALSE(db_.RegisterDocumentXml("invoices", "<a/>").ok());
+}
+
+TEST_F(DatabaseTest, Figure1QueryThroughTextInterface) {
+  auto result = db_.Query(
+      "Q(userID, ISBN, price) := R, "
+      "invoices : invoice[orderID]/orderLine[ISBN]/price");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  const Dictionary& dict = db_.dictionary();
+  EXPECT_TRUE(result->ContainsRow(
+      {dict.Lookup("jack"), dict.Lookup("978-3-16-1"), dict.Lookup("30")}));
+}
+
+TEST_F(DatabaseTest, EnginesAgree) {
+  const char* q =
+      "Q(userID, ISBN) := R, invoices:invoice[orderID]/orderLine/ISBN";
+  auto a = db_.Query(q, Engine::kXJoin);
+  auto b = db_.Query(q, Engine::kBaseline);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto bp = Project(*b, a->schema().attributes());
+  ASSERT_TRUE(bp.ok());
+  EXPECT_TRUE(RelationsEqualAsSets(*a, *bp));
+}
+
+TEST_F(DatabaseTest, StarHeadAndHeadlessQueries) {
+  auto star = db_.Query("Q(*) := R");
+  ASSERT_TRUE(star.ok()) << star.status().ToString();
+  EXPECT_EQ(star->schema().size(), 2u);
+  auto headless = db_.Query("R");
+  ASSERT_TRUE(headless.ok());
+  EXPECT_EQ(headless->num_rows(), 3u);
+}
+
+TEST_F(DatabaseTest, TwigBranchCommasDoNotSplitInputs) {
+  auto result = db_.Query(
+      "Q(ISBN, price) := invoices:invoice/orderLine[ISBN,price]");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+TEST_F(DatabaseTest, ParseErrors) {
+  EXPECT_FALSE(db_.Query("Q(userID := R").ok());          // bad head
+  EXPECT_FALSE(db_.Query("Q(a) := ").ok());               // no inputs
+  EXPECT_FALSE(db_.Query("missing").ok());                // unknown relation
+  EXPECT_FALSE(db_.Query("nope:a/b").ok());               // unknown document
+  EXPECT_FALSE(db_.Query("invoices:a[").ok());            // bad twig
+  EXPECT_FALSE(db_.Query("Q(zzz) := R").ok());            // unknown output attr
+  EXPECT_FALSE(db_.Query("R,,R").ok());                   // empty input
+}
+
+TEST_F(DatabaseTest, MetricsPlumbing) {
+  Metrics m;
+  auto result = db_.Query("Q(userID) := R, invoices:invoice/orderID",
+                          Engine::kXJoin, &m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(m.Get("gj.total_intermediate"), 0);
+}
+
+TEST_F(DatabaseTest, ExplainShowsPlan) {
+  auto plan = db_.Explain(
+      "Q(userID, ISBN, price) := R, "
+      "invoices:invoice[orderID]/orderLine[ISBN]/price");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("relation R(orderID, userID)"), std::string::npos);
+  EXPECT_NE(plan->find("transform(Sx)"), std::string::npos);
+  EXPECT_NE(plan->find("expansion order"), std::string::npos);
+  EXPECT_NE(plan->find("worst-case size bound"), std::string::npos);
+}
+
+TEST_F(DatabaseTest, TwoDocumentsJoinThroughRelation) {
+  ASSERT_TRUE(db_.RegisterDocumentXml("books", R"(
+      <books>
+        <book><isbn>978-3-16-1</isbn><genre>databases</genre></book>
+        <book><isbn>634-3-12-2</isbn><genre>systems</genre></book>
+      </books>)")
+                  .ok());
+  // Two twigs over two documents; ISBN joins them (aliased on the books
+  // side so attribute names collide correctly).
+  auto result = db_.Query(
+      "Q(userID, genre) := R, "
+      "invoices:invoice[orderID]/orderLine/ISBN, "
+      "books:book[isbn=ISBN]/genre");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Dictionary& dict = db_.dictionary();
+  EXPECT_EQ(result->num_rows(), 2u);
+  EXPECT_TRUE(result->ContainsRow(
+      {dict.Lookup("jack"), dict.Lookup("databases")}));
+  EXPECT_TRUE(result->ContainsRow(
+      {dict.Lookup("tom"), dict.Lookup("systems")}));
+}
+
+TEST_F(DatabaseTest, NodeIdAlwaysPolicy) {
+  ASSERT_TRUE(db_.RegisterDocumentXml("structural", "<a><b>x</b><b>x</b></a>",
+                                      ValuePolicy::kNodeIdAlways)
+                  .ok());
+  auto result = db_.Query("structural:a/b");
+  ASSERT_TRUE(result.ok());
+  // Two b's with identical text still yield two rows (node identity).
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace xjoin

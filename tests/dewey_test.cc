@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+#include "xml/dewey.h"
+#include "xml/parser.h"
+
+namespace xjoin {
+namespace {
+
+TEST(DeweyTest, SmallDocument) {
+  auto doc = ParseXml("<a><b/><c><d/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  DeweyLabeling labels = DeweyLabeling::Build(*doc);
+  EXPECT_EQ(DeweyLabeling::ToString(labels.label(0)), "");     // a
+  EXPECT_EQ(DeweyLabeling::ToString(labels.label(1)), "0");    // b
+  EXPECT_EQ(DeweyLabeling::ToString(labels.label(2)), "1");    // c
+  EXPECT_EQ(DeweyLabeling::ToString(labels.label(3)), "1.0");  // d
+}
+
+TEST(DeweyTest, StringRoundTrip) {
+  for (const char* s : {"", "0", "3.1.4", "10.0.2"}) {
+    EXPECT_EQ(DeweyLabeling::ToString(DeweyLabeling::FromString(s)), s);
+  }
+}
+
+TEST(DeweyTest, AxisPredicates) {
+  DeweyLabel root;  // []
+  DeweyLabel a = {1};
+  DeweyLabel b = {1, 0};
+  DeweyLabel c = {1, 0, 2};
+  DeweyLabel d = {2};
+  EXPECT_TRUE(DeweyLabeling::IsAncestor(root, c));
+  EXPECT_TRUE(DeweyLabeling::IsAncestor(a, c));
+  EXPECT_FALSE(DeweyLabeling::IsAncestor(c, a));
+  EXPECT_FALSE(DeweyLabeling::IsAncestor(a, a));
+  EXPECT_FALSE(DeweyLabeling::IsAncestor(a, d));
+  EXPECT_TRUE(DeweyLabeling::IsParent(a, b));
+  EXPECT_FALSE(DeweyLabeling::IsParent(a, c));
+  EXPECT_FALSE(DeweyLabeling::IsParent(b, a));
+}
+
+TEST(DeweyTest, CompareIsDocumentOrderOnExamples) {
+  DeweyLabel a = {1};
+  DeweyLabel b = {1, 0};
+  DeweyLabel c = {2};
+  EXPECT_LT(DeweyLabeling::Compare(a, b), 0);  // ancestor first
+  EXPECT_LT(DeweyLabeling::Compare(b, c), 0);
+  EXPECT_EQ(DeweyLabeling::Compare(b, b), 0);
+  EXPECT_GT(DeweyLabeling::Compare(c, a), 0);
+}
+
+TEST(DeweyTest, LowestCommonAncestor) {
+  DeweyLabel a = {1, 0, 2};
+  DeweyLabel b = {1, 0, 3, 1};
+  DeweyLabel lca = DeweyLabeling::LowestCommonAncestor(a, b);
+  EXPECT_EQ(DeweyLabeling::ToString(lca), "1.0");
+  EXPECT_TRUE(
+      DeweyLabeling::LowestCommonAncestor(DeweyLabel{0}, DeweyLabel{1}).empty());
+}
+
+// Property: on random documents, Dewey predicates agree with the region
+// encoding, and Dewey order equals NodeId (preorder) order.
+class DeweyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeweyProperty, AgreesWithRegionEncoding) {
+  Rng rng(50000 + static_cast<uint64_t>(GetParam()));
+  auto doc = testing::RandomDocument(&rng, 2 + rng.NextBounded(40),
+                                     {"a", "b", "c"}, 3);
+  DeweyLabeling labels = DeweyLabeling::Build(*doc);
+  const size_t n = doc->num_nodes();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      NodeId a = static_cast<NodeId>(i), d = static_cast<NodeId>(j);
+      EXPECT_EQ(DeweyLabeling::IsAncestor(labels.label(a), labels.label(d)),
+                doc->IsAncestor(a, d))
+          << "a=" << a << " d=" << d;
+      EXPECT_EQ(DeweyLabeling::IsParent(labels.label(a), labels.label(d)),
+                doc->IsParent(a, d));
+      int cmp = DeweyLabeling::Compare(labels.label(a), labels.label(d));
+      EXPECT_EQ(cmp < 0, a < d);
+      EXPECT_EQ(cmp == 0, a == d);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, DeweyProperty,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace xjoin

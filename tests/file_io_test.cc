@@ -1,0 +1,75 @@
+// File-level ingestion paths (ReadCsvFile / ParseXmlFile) and their
+// error reporting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "relational/csv.h"
+#include "xml/parser.h"
+
+namespace xjoin {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+}
+
+TEST(CsvFileTest, ReadsFromDisk) {
+  std::string path = TempPath("xjoin_orders.csv");
+  WriteFile(path, "orderID,userID\n1,jack\n2,tom\n");
+  Dictionary dict;
+  auto rel = ReadCsvFile(path, CsvOptions{}, &dict);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->num_rows(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileFails) {
+  Dictionary dict;
+  auto rel = ReadCsvFile(TempPath("definitely_missing.csv"), CsvOptions{}, &dict);
+  EXPECT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvFileTest, ParseErrorMentionsPath) {
+  std::string path = TempPath("xjoin_bad.csv");
+  WriteFile(path, "A,B\nonly-one-field\n");
+  Dictionary dict;
+  auto rel = ReadCsvFile(path, CsvOptions{}, &dict);
+  ASSERT_FALSE(rel.ok());
+  EXPECT_NE(rel.status().message().find("xjoin_bad.csv"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(XmlFileTest, ReadsFromDisk) {
+  std::string path = TempPath("xjoin_doc.xml");
+  WriteFile(path, "<a><b>hi</b></a>");
+  auto doc = ParseXmlFile(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->num_nodes(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(XmlFileTest, MissingFileFails) {
+  auto doc = ParseXmlFile(TempPath("definitely_missing.xml"));
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kIOError);
+}
+
+TEST(XmlFileTest, ParseErrorMentionsPath) {
+  std::string path = TempPath("xjoin_bad.xml");
+  WriteFile(path, "<a><b></a>");
+  auto doc = ParseXmlFile(path);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("xjoin_bad.xml"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xjoin

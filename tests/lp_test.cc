@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/edge_cover.h"
+#include "lp/hypergraph.h"
+#include "lp/simplex.h"
+
+namespace xjoin {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+LpConstraint Row(std::vector<double> coeffs, LpRelation rel, double rhs) {
+  LpConstraint c;
+  c.coeffs = std::move(coeffs);
+  c.relation = rel;
+  c.rhs = rhs;
+  return c;
+}
+
+TEST(SimplexTest, SimpleMaximize) {
+  // max 3x + 2y st x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+  LpProblem p;
+  p.sense = LpProblem::Sense::kMaximize;
+  p.objective = {3, 2};
+  p.constraints.push_back(Row({1, 1}, LpRelation::kLessEqual, 4));
+  p.constraints.push_back(Row({1, 3}, LpRelation::kLessEqual, 6));
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(s->optimal());
+  EXPECT_NEAR(s->objective, 12.0, kTol);
+  EXPECT_NEAR(s->values[0], 4.0, kTol);
+  EXPECT_NEAR(s->values[1], 0.0, kTol);
+}
+
+TEST(SimplexTest, SimpleMinimizeWithGreaterEqual) {
+  // min x + y st x + 2y >= 4, 3x + y >= 6 -> x=1.6, y=1.2, obj=2.8.
+  LpProblem p;
+  p.sense = LpProblem::Sense::kMinimize;
+  p.objective = {1, 1};
+  p.constraints.push_back(Row({1, 2}, LpRelation::kGreaterEqual, 4));
+  p.constraints.push_back(Row({3, 1}, LpRelation::kGreaterEqual, 6));
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(s->optimal());
+  EXPECT_NEAR(s->objective, 2.8, kTol);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x + y st x + y = 3, x <= 2 -> obj 3.
+  LpProblem p;
+  p.sense = LpProblem::Sense::kMaximize;
+  p.objective = {1, 1};
+  p.constraints.push_back(Row({1, 1}, LpRelation::kEqual, 3));
+  p.constraints.push_back(Row({1, 0}, LpRelation::kLessEqual, 2));
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(s->optimal());
+  EXPECT_NEAR(s->objective, 3.0, kTol);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= 1 and x >= 2.
+  LpProblem p;
+  p.objective = {1};
+  p.constraints.push_back(Row({1}, LpRelation::kLessEqual, 1));
+  p.constraints.push_back(Row({1}, LpRelation::kGreaterEqual, 2));
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->outcome, LpSolution::Outcome::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // max x with no constraints binding it.
+  LpProblem p;
+  p.sense = LpProblem::Sense::kMaximize;
+  p.objective = {1};
+  p.constraints.push_back(Row({1}, LpRelation::kGreaterEqual, 0));
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->outcome, LpSolution::Outcome::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // min x st -x <= -2  (i.e. x >= 2).
+  LpProblem p;
+  p.objective = {1};
+  p.constraints.push_back(Row({-1}, LpRelation::kLessEqual, -2));
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(s->optimal());
+  EXPECT_NEAR(s->objective, 2.0, kTol);
+}
+
+TEST(SimplexTest, DimensionMismatchRejected) {
+  LpProblem p;
+  p.objective = {1, 2};
+  p.constraints.push_back(Row({1}, LpRelation::kLessEqual, 1));
+  EXPECT_FALSE(SolveLp(p).ok());
+}
+
+TEST(SimplexTest, DegenerateRedundantConstraints) {
+  // Duplicate constraints should not break phase 1/2.
+  LpProblem p;
+  p.sense = LpProblem::Sense::kMaximize;
+  p.objective = {1, 1};
+  for (int i = 0; i < 3; ++i) {
+    p.constraints.push_back(Row({1, 1}, LpRelation::kLessEqual, 2));
+  }
+  p.constraints.push_back(Row({1, 0}, LpRelation::kEqual, 1));
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(s->optimal());
+  EXPECT_NEAR(s->objective, 2.0, kTol);
+}
+
+TEST(HypergraphTest, AddAndQuery) {
+  Hypergraph g;
+  ASSERT_TRUE(g.AddEdge({"R", {"A", "B"}, 10}).ok());
+  ASSERT_TRUE(g.AddEdge({"S", {"B", "C"}, 20}).ok());
+  EXPECT_EQ(g.attributes(), (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_EQ(g.EdgesCovering("B"), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(g.EdgesCovering("A"), (std::vector<size_t>{0}));
+  EXPECT_EQ(g.AttributeIndex("C"), 2);
+  EXPECT_EQ(g.AttributeIndex("Z"), -1);
+}
+
+TEST(HypergraphTest, RejectsBadEdges) {
+  Hypergraph g;
+  EXPECT_FALSE(g.AddEdge({"R", {}, 10}).ok());
+  EXPECT_FALSE(g.AddEdge({"R", {"A", "A"}, 10}).ok());
+  EXPECT_FALSE(g.AddEdge({"R", {"A"}, 0.5}).ok());
+}
+
+TEST(EdgeCoverTest, TriangleQuery) {
+  // R(A,B), S(B,C), T(C,A), all size n: rho* = 1.5, bound = n^1.5.
+  Hypergraph g;
+  double n = 64.0;
+  ASSERT_TRUE(g.AddEdge({"R", {"A", "B"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"S", {"B", "C"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"T", {"C", "A"}, n}).ok());
+  auto cover = SolveFractionalEdgeCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->uniform_exponent, 1.5, kTol);
+  EXPECT_NEAR(cover->log2_bound, 1.5 * std::log2(n), kTol);
+  EXPECT_NEAR(cover->bound, std::pow(n, 1.5), 1e-3);
+  // Dual feasibility: per edge sum of y_a <= log2(n).
+  double y_sum = 0;
+  for (double y : cover->attribute_weights) y_sum += y;
+  EXPECT_NEAR(y_sum, cover->log2_bound, kTol);  // strong duality
+}
+
+TEST(EdgeCoverTest, ChainQueryUsesEndpoints) {
+  // R(A,B), S(B,C): cover needs both edges: bound = |R|*|S|... no -
+  // A needs R, C needs S, B covered by either: x_R = x_S = 1.
+  Hypergraph g;
+  ASSERT_TRUE(g.AddEdge({"R", {"A", "B"}, 8}).ok());
+  ASSERT_TRUE(g.AddEdge({"S", {"B", "C"}, 16}).ok());
+  auto cover = SolveFractionalEdgeCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->log2_bound, std::log2(8.0) + std::log2(16.0), kTol);
+  EXPECT_NEAR(cover->uniform_exponent, 2.0, kTol);
+}
+
+TEST(EdgeCoverTest, ContainedEdgeIsFree) {
+  // R(A,B,C) covers everything; S(B) adds nothing.
+  Hypergraph g;
+  ASSERT_TRUE(g.AddEdge({"R", {"A", "B", "C"}, 100}).ok());
+  ASSERT_TRUE(g.AddEdge({"S", {"B"}, 5}).ok());
+  auto cover = SolveFractionalEdgeCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->log2_bound, std::log2(100.0), kTol);
+}
+
+TEST(EdgeCoverTest, PaperExample33TwigOnly) {
+  // Paths of Figure 2 with |each| = n: bound n^5 (Example 3.3).
+  Hypergraph g;
+  double n = 16.0;
+  ASSERT_TRUE(g.AddEdge({"P1", {"A", "B"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P2", {"A", "D"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P3", {"C", "E"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P4", {"F", "H"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P5", {"G"}, n}).ok());
+  auto cover = SolveFractionalEdgeCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->uniform_exponent, 5.0, kTol);
+}
+
+TEST(EdgeCoverTest, PaperExample33FullQuery) {
+  // Adding R1(B,D), R2(F,G,H): bound n^3.5 (Example 3.3).
+  Hypergraph g;
+  double n = 16.0;
+  ASSERT_TRUE(g.AddEdge({"R1", {"B", "D"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"R2", {"F", "G", "H"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P1", {"A", "B"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P2", {"A", "D"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P3", {"C", "E"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P4", {"F", "H"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P5", {"G"}, n}).ok());
+  auto cover = SolveFractionalEdgeCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->uniform_exponent, 3.5, kTol);
+}
+
+TEST(EdgeCoverTest, PaperExample34FullQuery) {
+  // R1(A,B,C,D), R2(E,F,G,H) + twig paths: bound n^2 (Example 3.4).
+  Hypergraph g;
+  double n = 16.0;
+  ASSERT_TRUE(g.AddEdge({"R1", {"A", "B", "C", "D"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"R2", {"E", "F", "G", "H"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P1", {"A", "B"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P2", {"A", "D"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P3", {"C", "E"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P4", {"F", "H"}, n}).ok());
+  ASSERT_TRUE(g.AddEdge({"P5", {"G"}, n}).ok());
+  auto cover = SolveFractionalEdgeCover(g);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(cover->uniform_exponent, 2.0, kTol);
+}
+
+TEST(EdgeCoverTest, SubsetBound) {
+  Hypergraph g;
+  ASSERT_TRUE(g.AddEdge({"R", {"A", "B"}, 4}).ok());
+  ASSERT_TRUE(g.AddEdge({"S", {"B", "C"}, 8}).ok());
+  auto just_b = Log2BoundForSubset(g, {"B"});
+  ASSERT_TRUE(just_b.ok());
+  EXPECT_NEAR(*just_b, 2.0, kTol);  // cheapest cover of B is R (log2 4)
+  auto empty = Log2BoundForSubset(g, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_NEAR(*empty, 0.0, kTol);
+  EXPECT_FALSE(Log2BoundForSubset(g, {"Z"}).ok());
+}
+
+TEST(EdgeCoverTest, EmptyHypergraphRejected) {
+  Hypergraph g;
+  EXPECT_FALSE(SolveFractionalEdgeCover(g).ok());
+}
+
+}  // namespace
+}  // namespace xjoin

@@ -1,0 +1,73 @@
+#include "tests/test_util.h"
+
+#include <unordered_set>
+
+namespace xjoin::testing {
+
+Relation NaiveNaturalJoin(const std::vector<const Relation*>& inputs) {
+  // Output schema: union of attributes, first appearance order.
+  std::vector<std::string> attrs;
+  for (const Relation* r : inputs) {
+    for (const auto& a : r->schema().attributes()) {
+      bool seen = false;
+      for (const auto& existing : attrs) {
+        if (existing == a) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) attrs.push_back(a);
+    }
+  }
+  auto out_schema = Schema::Make(attrs);
+  Relation out(*out_schema);
+
+  // Recursive nested loops.
+  Tuple binding(attrs.size());
+  std::vector<bool> bound(attrs.size(), false);
+  auto attr_index = [&](const std::string& name) {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (attrs[i] == name) return i;
+    }
+    return attrs.size();
+  };
+
+  std::vector<std::vector<size_t>> col_to_global(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    for (const auto& a : inputs[i]->schema().attributes()) {
+      col_to_global[i].push_back(attr_index(a));
+    }
+  }
+
+  auto recurse = [&](auto&& self, size_t input_idx) -> void {
+    if (input_idx == inputs.size()) {
+      out.AppendRow(binding);
+      return;
+    }
+    const Relation& rel = *inputs[input_idx];
+    for (size_t r = 0; r < rel.num_rows(); ++r) {
+      bool compatible = true;
+      std::vector<size_t> newly_bound;
+      for (size_t c = 0; c < rel.num_columns(); ++c) {
+        size_t g = col_to_global[input_idx][c];
+        if (bound[g]) {
+          if (binding[g] != rel.at(r, c)) {
+            compatible = false;
+            break;
+          }
+        } else {
+          binding[g] = rel.at(r, c);
+          bound[g] = true;
+          newly_bound.push_back(g);
+        }
+      }
+      if (compatible) self(self, input_idx + 1);
+      for (size_t g : newly_bound) bound[g] = false;
+    }
+  };
+  if (!inputs.empty()) recurse(recurse, 0);
+  out.SortAndDedup();
+  return out;
+}
+
+}  // namespace xjoin::testing

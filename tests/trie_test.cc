@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "relational/operators.h"
+#include "relational/trie.h"
+#include "tests/test_util.h"
+
+namespace xjoin {
+namespace {
+
+Relation SmallRelation() {
+  auto s = Schema::Make({"A", "B"});
+  Relation r(*s);
+  r.AppendRow({1, 10});
+  r.AppendRow({1, 20});
+  r.AppendRow({2, 10});
+  r.AppendRow({2, 10});  // duplicate
+  r.AppendRow({5, 7});
+  return r;
+}
+
+// Enumerates all tuples of a trie through its iterator protocol.
+std::vector<Tuple> EnumerateTrie(TrieIterator* it) {
+  std::vector<Tuple> out;
+  Tuple current(static_cast<size_t>(it->arity()));
+  auto recurse = [&](auto&& self) -> void {
+    it->Open();
+    while (!it->AtEnd()) {
+      current[static_cast<size_t>(it->depth())] = it->Key();
+      if (it->depth() + 1 == it->arity()) {
+        out.push_back(current);
+      } else {
+        self(self);
+      }
+      it->Next();
+    }
+    it->Up();
+  };
+  recurse(recurse);
+  return out;
+}
+
+TEST(RelationTrieTest, BuildSortsAndDedups) {
+  auto trie = RelationTrie::Build(SmallRelation(), {"A", "B"});
+  ASSERT_TRUE(trie.ok());
+  EXPECT_EQ(trie->num_rows(), 4u);
+  EXPECT_EQ(trie->column(0), (std::vector<int64_t>{1, 1, 2, 5}));
+  EXPECT_EQ(trie->column(1), (std::vector<int64_t>{10, 20, 10, 7}));
+}
+
+TEST(RelationTrieTest, BuildWithPermutedOrder) {
+  auto trie = RelationTrie::Build(SmallRelation(), {"B", "A"});
+  ASSERT_TRUE(trie.ok());
+  EXPECT_EQ(trie->attribute_order(),
+            (std::vector<std::string>{"B", "A"}));
+  EXPECT_EQ(trie->column(0), (std::vector<int64_t>{7, 10, 10, 20}));
+}
+
+TEST(RelationTrieTest, BuildRejectsBadOrders) {
+  EXPECT_FALSE(RelationTrie::Build(SmallRelation(), {"A"}).ok());
+  EXPECT_FALSE(RelationTrie::Build(SmallRelation(), {"A", "Z"}).ok());
+  EXPECT_FALSE(RelationTrie::Build(SmallRelation(), {"A", "A"}).ok());
+}
+
+TEST(RelationTrieIteratorTest, WalksDistinctKeysPerLevel) {
+  auto trie = RelationTrie::Build(SmallRelation(), {"A", "B"});
+  auto it = trie->NewIterator();
+  EXPECT_EQ(it->depth(), -1);
+  it->Open();
+  EXPECT_EQ(it->depth(), 0);
+  EXPECT_EQ(it->Key(), 1);
+  it->Next();
+  EXPECT_EQ(it->Key(), 2);
+  it->Next();
+  EXPECT_EQ(it->Key(), 5);
+  it->Next();
+  EXPECT_TRUE(it->AtEnd());
+  it->Up();
+  EXPECT_EQ(it->depth(), -1);
+}
+
+TEST(RelationTrieIteratorTest, OpenDescendsIntoGroup) {
+  auto trie = RelationTrie::Build(SmallRelation(), {"A", "B"});
+  auto it = trie->NewIterator();
+  it->Open();           // A level at key 1
+  it->Open();           // B level under A=1
+  EXPECT_EQ(it->Key(), 10);
+  it->Next();
+  EXPECT_EQ(it->Key(), 20);
+  it->Next();
+  EXPECT_TRUE(it->AtEnd());
+  it->Up();
+  it->Next();           // A=2
+  it->Open();
+  EXPECT_EQ(it->Key(), 10);
+  it->Next();
+  EXPECT_TRUE(it->AtEnd());
+}
+
+TEST(RelationTrieIteratorTest, SeekFindsLeastGreaterOrEqual) {
+  auto trie = RelationTrie::Build(SmallRelation(), {"A", "B"});
+  auto it = trie->NewIterator();
+  it->Open();
+  it->Seek(2);
+  EXPECT_EQ(it->Key(), 2);
+  it->Seek(3);
+  EXPECT_EQ(it->Key(), 5);
+  it->Seek(6);
+  EXPECT_TRUE(it->AtEnd());
+}
+
+TEST(RelationTrieIteratorTest, EstimateKeysShrinks) {
+  auto trie = RelationTrie::Build(SmallRelation(), {"A", "B"});
+  auto it = trie->NewIterator();
+  it->Open();
+  int64_t first = it->EstimateKeys();
+  it->Next();
+  EXPECT_LE(it->EstimateKeys(), first);
+}
+
+TEST(RelationTrieIteratorTest, EmptyRelation) {
+  auto s = Schema::Make({"A", "B"});
+  Relation r(*s);
+  auto trie = RelationTrie::Build(r, {"A", "B"});
+  auto it = trie->NewIterator();
+  it->Open();
+  EXPECT_TRUE(it->AtEnd());
+}
+
+// Property: enumerating the trie yields exactly the sorted distinct
+// tuples of the relation, for random relations and random orders.
+class TrieEnumerationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrieEnumerationProperty, MatchesSortedDistinctTuples) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  Dictionary dict;
+  size_t arity = 1 + rng.NextBounded(4);
+  std::vector<std::string> attrs;
+  for (size_t i = 0; i < arity; ++i) attrs.push_back("a" + std::to_string(i));
+  Relation rel = testing::RandomRelation(&rng, &dict, attrs,
+                                         rng.NextBounded(60), 5);
+  std::vector<std::string> order = attrs;
+  rng.Shuffle(&order);
+
+  auto trie = RelationTrie::Build(rel, order);
+  ASSERT_TRUE(trie.ok());
+  auto it = trie->NewIterator();
+  std::vector<Tuple> enumerated = EnumerateTrie(it.get());
+
+  // Reference: project relation onto `order` then sort+dedup.
+  auto expected = Project(rel, order);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(enumerated.size(), expected->num_rows());
+  for (size_t r = 0; r < enumerated.size(); ++r) {
+    EXPECT_EQ(enumerated[r], expected->GetRow(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, TrieEnumerationProperty,
+                         ::testing::Range(0, 25));
+
+// Property: Seek on a level is equivalent to Next-ing until >= key.
+class TrieSeekProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrieSeekProperty, SeekEqualsLinearScan) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  Dictionary dict;
+  Relation rel =
+      testing::RandomRelation(&rng, &dict, {"a0", "a1"}, 50, 8);
+  auto trie = RelationTrie::Build(rel, {"a0", "a1"});
+  ASSERT_TRUE(trie.ok());
+
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t target = static_cast<int64_t>(rng.NextBounded(10));
+    auto via_seek = trie->NewIterator();
+    via_seek->Open();
+    if (via_seek->AtEnd()) break;
+    if (via_seek->Key() <= target) via_seek->Seek(target);
+
+    auto via_next = trie->NewIterator();
+    via_next->Open();
+    while (!via_next->AtEnd() && via_next->Key() < target) via_next->Next();
+
+    EXPECT_EQ(via_seek->AtEnd(), via_next->AtEnd());
+    if (!via_seek->AtEnd()) {
+      EXPECT_EQ(via_seek->Key(), via_next->Key());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, TrieSeekProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace xjoin

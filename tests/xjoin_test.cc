@@ -1,0 +1,429 @@
+// End-to-end tests of XJoin and the baseline: differential equivalence,
+// the paper's example instances, and the Lemma 3.5 optimality property
+// (per-stage intermediates within the LP bound).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "core/baseline.h"
+#include "core/bound.h"
+#include "core/xjoin.h"
+#include "relational/operators.h"
+#include "tests/test_util.h"
+#include "twigjoin/naive_twig.h"
+#include "workload/adversarial.h"
+#include "workload/bookstore.h"
+#include "workload/paper_example.h"
+#include "workload/xmark.h"
+#include "xml/parser.h"
+
+namespace xjoin {
+namespace {
+
+// Reference evaluator: naive twig matches -> value tuples, then naive
+// natural join with the relations, then projection.
+Relation ReferenceAnswer(const MultiModelQuery& query) {
+  std::vector<Relation> twig_values;
+  for (const auto& ti : query.twigs) {
+    auto schema = Schema::Make(ti.twig.attributes());
+    Relation values(*schema);
+    for (const auto& m : MatchTwigNaive(ti.index->doc(), ti.twig)) {
+      Tuple row(m.size());
+      for (size_t i = 0; i < m.size(); ++i) row[i] = ti.index->ValueOf(m[i]);
+      values.AppendRow(row);
+    }
+    values.SortAndDedup();
+    twig_values.push_back(std::move(values));
+  }
+  std::vector<const Relation*> inputs;
+  for (const auto& nr : query.relations) inputs.push_back(nr.relation);
+  for (const auto& tv : twig_values) inputs.push_back(&tv);
+  Relation joined = testing::NaiveNaturalJoin(inputs);
+  if (query.output_attributes.empty()) return joined;
+  return *Project(joined, query.output_attributes);
+}
+
+void ExpectSameAnswer(const MultiModelQuery& query, const XJoinOptions& opts) {
+  auto fast = ExecuteXJoin(query, opts);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  Relation expected = ReferenceAnswer(query);
+  auto fast_proj = Project(*fast, expected.schema().attributes());
+  ASSERT_TRUE(fast_proj.ok());
+  EXPECT_TRUE(RelationsEqualAsSets(*fast_proj, expected))
+      << "XJoin diverged from reference\nXJoin:\n"
+      << fast_proj->ToString() << "\nreference:\n"
+      << expected.ToString();
+}
+
+TEST(XJoinTest, Figure1BookstoreExample) {
+  // The exact Figure 1 data.
+  auto doc = ParseXml(R"(
+    <invoices>
+      <invoice><orderID>10963</orderID>
+        <orderLine><ISBN>978-3-16-1</ISBN><price>30</price>
+                   <discount>0.1</discount></orderLine>
+      </invoice>
+      <invoice><orderID>20134</orderID>
+        <orderLine><ISBN>634-3-12-2</ISBN><price>20</price>
+                   <discount>0.3</discount></orderLine>
+      </invoice>
+    </invoices>)");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(&*doc, &dict);
+
+  auto schema = Schema::Make({"orderID", "userID"});
+  Relation orders(*schema);
+  orders.AppendRow({dict.Intern("10963"), dict.Intern("jack")});
+  orders.AppendRow({dict.Intern("20134"), dict.Intern("tom")});
+  orders.AppendRow({dict.Intern("35768"), dict.Intern("bob")});
+
+  MultiModelQuery q;
+  q.relations.push_back({"R", &orders});
+  auto twig = Twig::Parse("invoice[orderID]/orderLine[ISBN]/price");
+  ASSERT_TRUE(twig.ok());
+  q.twigs.push_back(TwigInput{*std::move(twig), &index});
+  q.output_attributes = {"userID", "ISBN", "price"};
+
+  auto result = ExecuteXJoin(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_TRUE(result->ContainsRow(
+      {dict.Lookup("jack"), dict.Lookup("978-3-16-1"), dict.Lookup("30")}));
+  EXPECT_TRUE(result->ContainsRow(
+      {dict.Lookup("tom"), dict.Lookup("634-3-12-2"), dict.Lookup("20")}));
+}
+
+TEST(XJoinTest, PaperAdversarialInstanceHasNResults) {
+  for (int64_t n : {1, 2, 5, 8}) {
+    PaperInstance inst = MakePaperInstance(n, PaperSchema::kExample34,
+                                           PaperDataMode::kAdversarial);
+    MultiModelQuery q = inst.Query();
+    auto result = ExecuteXJoin(q);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->num_rows(), static_cast<size_t>(n)) << "n=" << n;
+  }
+}
+
+TEST(XJoinTest, PaperInstanceTwigAloneHasN5Embeddings) {
+  const int64_t n = 3;
+  PaperInstance inst = MakePaperInstance(n, PaperSchema::kExample34,
+                                         PaperDataMode::kAdversarial);
+  auto matches = MatchTwigNaive(*inst.doc, inst.twig);
+  EXPECT_EQ(matches.size(), static_cast<size_t>(n * n * n * n * n));
+}
+
+TEST(XJoinTest, AgreesWithBaselineOnPaperInstances) {
+  for (PaperSchema schema : {PaperSchema::kExample33, PaperSchema::kExample34}) {
+    for (PaperDataMode mode :
+         {PaperDataMode::kAdversarial, PaperDataMode::kRandom}) {
+      PaperInstance inst = MakePaperInstance(4, schema, mode);
+      MultiModelQuery q = inst.Query();
+      auto a = ExecuteXJoin(q);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      auto b = ExecuteBaseline(q);
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      auto b_proj = Project(*b, a->schema().attributes());
+      ASSERT_TRUE(b_proj.ok());
+      EXPECT_TRUE(RelationsEqualAsSets(*a, *b_proj));
+    }
+  }
+}
+
+TEST(XJoinTest, MaterializedPathsGiveSameAnswer) {
+  PaperInstance inst = MakePaperInstance(4, PaperSchema::kExample34,
+                                         PaperDataMode::kAdversarial);
+  MultiModelQuery q = inst.Query();
+  auto lazy = ExecuteXJoin(q);
+  XJoinOptions mat_opts;
+  mat_opts.materialize_paths = true;
+  auto mat = ExecuteXJoin(q, mat_opts);
+  ASSERT_TRUE(lazy.ok() && mat.ok());
+  EXPECT_TRUE(RelationsEqualAsSets(*lazy, *mat));
+}
+
+TEST(XJoinTest, StructuralPruningGivesSameAnswerWithFewerExpansions) {
+  PaperInstance inst = MakePaperInstance(5, PaperSchema::kExample34,
+                                         PaperDataMode::kRandom);
+  MultiModelQuery q = inst.Query();
+  Metrics plain_m, pruned_m;
+  XJoinOptions plain;
+  plain.metrics = &plain_m;
+  XJoinOptions pruned;
+  pruned.structural_pruning = true;
+  pruned.metrics = &pruned_m;
+  auto a = ExecuteXJoin(q, plain);
+  auto b = ExecuteXJoin(q, pruned);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(RelationsEqualAsSets(*a, *b));
+  EXPECT_LE(pruned_m.Get("xjoin.expanded"), plain_m.Get("xjoin.expanded"));
+}
+
+TEST(XJoinTest, ExplicitAttributeOrderHonored) {
+  PaperInstance inst = MakePaperInstance(3, PaperSchema::kExample34,
+                                         PaperDataMode::kAdversarial);
+  MultiModelQuery q = inst.Query();
+  XJoinOptions opts;
+  opts.attribute_order = {"A", "D", "B", "C", "E", "F", "G", "H"};
+  auto result = ExecuteXJoin(q, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 3u);
+
+  opts.attribute_order = {"B", "A", "D", "C", "E", "F", "G", "H"};
+  EXPECT_FALSE(ExecuteXJoin(q, opts).ok());  // violates precedence
+}
+
+TEST(XJoinTest, RelationalOnlyQueryWorks) {
+  // No twigs at all: XJoin degenerates to a pure WCOJ.
+  auto inst = MakeAgmTightInstance({{"A", "B"}, {"B", "C"}, {"C", "A"}}, 16);
+  ASSERT_TRUE(inst.ok());
+  MultiModelQuery q;
+  for (size_t i = 0; i < inst->relations.size(); ++i) {
+    q.relations.push_back(
+        {"R" + std::to_string(i + 1), inst->relations[i].get()});
+  }
+  auto result = ExecuteXJoin(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(static_cast<double>(result->num_rows()),
+              inst->expected_join_size, 1e-9);
+}
+
+TEST(XJoinTest, TwigOnlyQueryWorks) {
+  auto doc = ParseXml("<r><a>1<b>x</b></a><a>2<b>y</b></a></r>");
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(&*doc, &dict);
+  MultiModelQuery q;
+  auto twig = Twig::Parse("a/b");
+  q.twigs.push_back(TwigInput{*std::move(twig), &index});
+  auto result = ExecuteXJoin(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+TEST(XJoinTest, EmptyQueryRejected) {
+  MultiModelQuery q;
+  EXPECT_FALSE(ExecuteXJoin(q).ok());
+  EXPECT_FALSE(ExecuteBaseline(q).ok());
+}
+
+TEST(XJoinTest, Lemma35IntermediatesWithinBound) {
+  // Per-stage intermediate counts must stay within the AGM bound of the
+  // whole query (the LP bound of Equation 1) on the adversarial
+  // instance. (Each prefix's count is bounded by the full bound since
+  // projections cannot exceed it.)
+  const int64_t n = 6;
+  PaperInstance inst = MakePaperInstance(n, PaperSchema::kExample34,
+                                         PaperDataMode::kAdversarial);
+  MultiModelQuery q = inst.Query();
+  BoundOptions bopts;
+  bopts.path_size_mode = PathSizeMode::kChainCount;
+  auto bound = ComputeBound(q, bopts);
+  ASSERT_TRUE(bound.ok());
+  Metrics m;
+  XJoinOptions opts;
+  opts.metrics = &m;
+  auto result = ExecuteXJoin(q, opts);
+  ASSERT_TRUE(result.ok());
+  double limit = std::exp2(bound->cover.log2_bound);
+  for (size_t d = 0; d < 8; ++d) {
+    int64_t count = m.Get("gj.level" + std::to_string(d) + ".bindings");
+    EXPECT_LE(static_cast<double>(count), limit + 1e-6)
+        << "stage " << d << " exceeded the worst-case bound";
+  }
+  // And the baseline's peak intermediate must blow past XJoin's on this
+  // instance (the Figure 3 phenomenon).
+  Metrics bm;
+  BaselineOptions bl;
+  bl.metrics = &bm;
+  auto base = ExecuteBaseline(q, bl);
+  ASSERT_TRUE(base.ok());
+  EXPECT_GT(bm.Get("baseline.max_intermediate"),
+            m.Get("xjoin.max_intermediate"));
+}
+
+TEST(XJoinTest, AgmTightInstanceSaturatesBound) {
+  // Lemma 3.2: the generated instance's join size equals the bound.
+  auto inst = MakeAgmTightInstance({{"A", "B"}, {"B", "C"}, {"C", "A"}}, 64);
+  ASSERT_TRUE(inst.ok());
+  MultiModelQuery q;
+  for (size_t i = 0; i < inst->relations.size(); ++i) {
+    q.relations.push_back(
+        {"R" + std::to_string(i + 1), inst->relations[i].get()});
+    EXPECT_LE(inst->relations[i]->num_rows(), 64u);
+  }
+  auto result = ExecuteXJoin(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(static_cast<double>(result->num_rows()),
+              inst->expected_join_size, 1e-9);
+  // 64^1.5 = 512 when domains split evenly.
+  EXPECT_EQ(result->num_rows(), 512u);
+}
+
+TEST(BaselineTest, StrategiesAgree) {
+  PaperInstance inst = MakePaperInstance(3, PaperSchema::kExample34,
+                                         PaperDataMode::kRandom);
+  MultiModelQuery q = inst.Query();
+  BaselineOptions a, b, c, d;
+  a.strategy = TwigMatchStrategy::kPathStack;
+  b.strategy = TwigMatchStrategy::kStructuralPlan;
+  c.strategy = TwigMatchStrategy::kNaive;
+  d.strategy = TwigMatchStrategy::kTwigStack;
+  auto ra = ExecuteBaseline(q, a);
+  auto rb = ExecuteBaseline(q, b);
+  auto rc = ExecuteBaseline(q, c);
+  auto rd = ExecuteBaseline(q, d);
+  ASSERT_TRUE(ra.ok() && rb.ok() && rc.ok() && rd.ok());
+  auto pb = Project(*rb, ra->schema().attributes());
+  auto pc = Project(*rc, ra->schema().attributes());
+  auto pd = Project(*rd, ra->schema().attributes());
+  EXPECT_TRUE(RelationsEqualAsSets(*ra, *pb));
+  EXPECT_TRUE(RelationsEqualAsSets(*ra, *pc));
+  EXPECT_TRUE(RelationsEqualAsSets(*ra, *pd));
+}
+
+TEST(WorkloadTest, XMarkQueriesAnswerAndAgree) {
+  XMarkOptions opts;
+  opts.num_items = 40;
+  opts.num_persons = 25;
+  opts.num_open_auctions = 30;
+  opts.num_closed_auctions = 25;
+  XMarkInstance inst = MakeXMark(opts);
+  ASSERT_TRUE(inst.doc->Validate().ok());
+  for (MultiModelQuery q :
+       {inst.ClosedAuctionQuery(), inst.OpenAuctionQuery()}) {
+    auto a = ExecuteXJoin(q);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    EXPECT_GT(a->num_rows(), 0u);
+    auto b = ExecuteBaseline(q);
+    ASSERT_TRUE(b.ok());
+    auto bp = Project(*b, a->schema().attributes());
+    EXPECT_TRUE(RelationsEqualAsSets(*a, *bp));
+  }
+}
+
+TEST(WorkloadTest, BookstoreQueriesAnswerAndAgree) {
+  BookstoreOptions opts;
+  opts.num_orders = 80;
+  opts.num_invoices = 60;
+  opts.num_users = 20;
+  opts.num_books = 30;
+  BookstoreInstance inst = MakeBookstore(opts);
+  ASSERT_TRUE(inst.doc->Validate().ok());
+  for (MultiModelQuery q : {inst.Figure1Query(), inst.EnrichedQuery()}) {
+    auto a = ExecuteXJoin(q);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    EXPECT_GT(a->num_rows(), 0u);
+    auto b = ExecuteBaseline(q);
+    ASSERT_TRUE(b.ok());
+    auto bp = Project(*b, a->schema().attributes());
+    EXPECT_TRUE(RelationsEqualAsSets(*a, *bp));
+  }
+}
+
+// The heavyweight differential property: random document + random P-C/A-D
+// twig + random relations over twig attributes; XJoin under several
+// configurations must equal the brute-force reference.
+struct DiffParam {
+  int seed;
+  bool materialize;
+  bool pruning;
+};
+
+class XJoinDifferential : public ::testing::TestWithParam<DiffParam> {};
+
+TEST_P(XJoinDifferential, MatchesReference) {
+  DiffParam param = GetParam();
+  Rng rng(20000 + static_cast<uint64_t>(param.seed));
+  std::vector<std::string> tags = {"a", "b", "c"};
+  auto doc = testing::RandomDocument(&rng, 2 + rng.NextBounded(25), tags, 3);
+  auto dict = std::make_unique<Dictionary>();
+  NodeIndex index = NodeIndex::Build(doc.get(), dict.get());
+  Twig twig = testing::RandomTwig(&rng, 1 + rng.NextBounded(4), tags);
+
+  // 0-2 relations over a random subset of twig attributes (+ maybe one
+  // fresh attribute), values from the document's value pool.
+  std::vector<std::string> twig_attrs = twig.attributes();
+  size_t num_rels = rng.NextBounded(3);
+  std::vector<Relation> rels;
+  for (size_t i = 0; i < num_rels; ++i) {
+    std::vector<std::string> attrs;
+    for (const auto& a : twig_attrs) {
+      if (rng.NextBernoulli(0.5)) attrs.push_back(a);
+    }
+    if (rng.NextBernoulli(0.3)) attrs.push_back("extra" + std::to_string(i));
+    if (attrs.empty()) attrs.push_back(twig_attrs[0]);
+    rels.push_back(testing::RandomRelation(&rng, dict.get(), attrs,
+                                           3 + rng.NextBounded(15), 3));
+  }
+
+  MultiModelQuery q;
+  for (size_t i = 0; i < rels.size(); ++i) {
+    q.relations.push_back({"R" + std::to_string(i), &rels[i]});
+  }
+  q.twigs.push_back(TwigInput{twig, &index});
+
+  XJoinOptions opts;
+  opts.materialize_paths = param.materialize;
+  opts.structural_pruning = param.pruning;
+  ExpectSameAnswer(q, opts);
+}
+
+// Cross-twig joins: two random twigs over two random documents, the
+// second twig's root attribute aliased to a shared name so the twigs
+// value-join directly, plus an optional bridging relation.
+class CrossTwigDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossTwigDifferential, MatchesReference) {
+  Rng rng(40000 + static_cast<uint64_t>(GetParam()));
+  std::vector<std::string> tags = {"a", "b", "c"};
+  auto doc1 = testing::RandomDocument(&rng, 2 + rng.NextBounded(20), tags, 3);
+  auto doc2 = testing::RandomDocument(&rng, 2 + rng.NextBounded(20), tags, 3);
+  auto dict = std::make_unique<Dictionary>();
+  NodeIndex index1 = NodeIndex::Build(doc1.get(), dict.get());
+  NodeIndex index2 = NodeIndex::Build(doc2.get(), dict.get());
+
+  Twig twig1 = testing::RandomTwig(&rng, 1 + rng.NextBounded(3), tags);
+  // Second twig: leaf attribute renamed to match one of twig1's
+  // attributes, creating the cross-document join.
+  TwigBuilder tb;
+  std::string shared =
+      twig1.attributes()[rng.NextBounded(twig1.num_nodes())];
+  TwigNodeId root = tb.AddRoot(tags[rng.NextBounded(tags.size())], "p0");
+  tb.AddChild(root,
+              rng.NextBernoulli(0.4) ? TwigAxis::kDescendant : TwigAxis::kChild,
+              tags[rng.NextBounded(tags.size())], shared);
+  auto twig2 = tb.Finish();
+  ASSERT_TRUE(twig2.ok());
+
+  Relation bridge = testing::RandomRelation(
+      &rng, dict.get(), {twig1.attributes()[0], "p0"}, 10, 3);
+
+  MultiModelQuery q;
+  q.relations.push_back({"bridge", &bridge});
+  q.twigs.push_back(TwigInput{twig1, &index1});
+  q.twigs.push_back(TwigInput{*twig2, &index2});
+  ExpectSameAnswer(q, XJoinOptions{});
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, CrossTwigDifferential,
+                         ::testing::Range(0, 30));
+
+std::vector<DiffParam> MakeDiffParams() {
+  std::vector<DiffParam> params;
+  for (int seed = 0; seed < 40; ++seed) {
+    params.push_back({seed, false, false});
+  }
+  for (int seed = 0; seed < 15; ++seed) {
+    params.push_back({100 + seed, true, false});
+    params.push_back({200 + seed, false, true});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, XJoinDifferential,
+                         ::testing::ValuesIn(MakeDiffParams()));
+
+}  // namespace
+}  // namespace xjoin
