@@ -1,0 +1,40 @@
+# Invoked by ctest as build_system_test:
+#   cmake -DTESTS_DIR=<repo>/tests -DREGISTERED=a_test.cc,b_test.cc,... \
+#         -P check_tests_registered.cmake
+# Fails when a tests/*_test.cc exists on disk but is absent from the
+# XJOIN_TEST_SOURCES list in tests/CMakeLists.txt.
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT DEFINED TESTS_DIR OR NOT DEFINED REGISTERED)
+  message(FATAL_ERROR "TESTS_DIR and REGISTERED must be defined")
+endif()
+
+string(REPLACE "," ";" registered_list "${REGISTERED}")
+file(GLOB on_disk RELATIVE "${TESTS_DIR}" "${TESTS_DIR}/*_test.cc")
+
+set(missing "")
+foreach(src IN LISTS on_disk)
+  if(NOT src IN_LIST registered_list)
+    list(APPEND missing ${src})
+  endif()
+endforeach()
+
+set(stale "")
+foreach(src IN LISTS registered_list)
+  if(NOT src IN_LIST on_disk)
+    list(APPEND stale ${src})
+  endif()
+endforeach()
+
+if(missing)
+  message(FATAL_ERROR
+    "tests present on disk but not registered with ctest "
+    "(add them to XJOIN_TEST_SOURCES in tests/CMakeLists.txt): ${missing}")
+endif()
+if(stale)
+  message(FATAL_ERROR
+    "tests registered in tests/CMakeLists.txt but missing on disk: ${stale}")
+endif()
+
+list(LENGTH on_disk n)
+message(STATUS "all ${n} tests/*_test.cc files are registered with ctest")
