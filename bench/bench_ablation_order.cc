@@ -42,7 +42,8 @@ void Run() {
   XJ_CHECK(domain_order.ok());
   Row(&table, query, "auto (smallest domain)", *domain_order);
   Row(&table, query, "twig-first", {"A", "B", "D", "C", "E", "F", "H", "G"});
-  Row(&table, query, "relation-major", {"A", "B", "C", "D", "E", "F", "G", "H"});
+  Row(&table, query, "relation-major",
+      {"A", "B", "C", "D", "E", "F", "G", "H"});
   Row(&table, query, "leaves-late", {"A", "C", "F", "B", "D", "E", "H", "G"});
   table.Print();
   std::printf(

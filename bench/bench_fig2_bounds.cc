@@ -62,7 +62,8 @@ void Run() {
     PaperInstance inst = MakePaperInstance(n, PaperSchema::kExample34,
                                            PaperDataMode::kAdversarial);
     MultiModelQuery query = inst.Query();
-    for (PathSizeMode mode : {PathSizeMode::kExact, PathSizeMode::kChainCount}) {
+    for (PathSizeMode mode :
+         {PathSizeMode::kExact, PathSizeMode::kChainCount}) {
       BoundOptions opts;
       opts.path_size_mode = mode;
       auto bound = ComputeBound(query, opts);

@@ -1,10 +1,19 @@
 // Ext-1: scaling behaviour of XJoin vs the baseline as n grows, on both
 // the adversarial paper instance (baseline degrades as ~n^5) and random
-// data (both engines scale gracefully).
+// data (both engines scale gracefully) — plus the shard/thread sweep of
+// the parallel executor on the XMark join, emitting a JSON perf
+// trajectory future PRs can diff against.
+//
+// Flags: --threads=1,2,4,8   shard counts for the thread sweep
+//        --xmark-scale=64    XMark size multiplier for the sweep
+//        --json=PATH         also write the sweep records to PATH
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "workload/paper_example.h"
+#include "workload/xmark.h"
 
 namespace xjoin::bench {
 namespace {
@@ -30,11 +39,102 @@ void Sweep(PaperDataMode mode, const char* label) {
   table.Print();
 }
 
+// Shard/thread sweep on the XMark closed-auction join: serial first,
+// then each requested thread count, best of `kReps` runs. Every sharded
+// result is checked byte-identical to the serial one before timing is
+// trusted.
+void ThreadSweep(const std::vector<int>& threads_list, int64_t xmark_scale,
+                 const char* json_path) {
+  Banner("Thread sweep: sharded XJoin on the XMark closed-auction join");
+  XMarkOptions opts;
+  opts.num_items = 200 * xmark_scale;
+  opts.num_persons = 100 * xmark_scale;
+  opts.num_open_auctions = 120 * xmark_scale;
+  opts.num_closed_auctions = 100 * xmark_scale;
+  XMarkInstance inst = MakeXMark(opts);
+  MultiModelQuery query = inst.ClosedAuctionQuery();
+  constexpr int kReps = 3;
+
+  auto run_once = [&](int threads, Metrics* metrics) {
+    XJoinOptions xo;
+    xo.num_threads = threads;
+    xo.metrics = metrics;
+    Timer timer;
+    auto result = ExecuteXJoin(query, xo);
+    double seconds = timer.ElapsedSeconds();
+    XJ_CHECK(result.ok()) << result.status().ToString();
+    return std::make_pair(seconds, *std::move(result));
+  };
+
+  Metrics serial_metrics;
+  auto [serial_seconds, serial_result] = run_once(1, &serial_metrics);
+  for (int rep = 1; rep < kReps; ++rep) {
+    Metrics m;
+    serial_seconds = std::min(serial_seconds, run_once(1, &m).first);
+  }
+  const std::vector<Tuple> expected = serial_result.ToTuples();
+
+  Table table({"threads", "shards", "time", "speedup", "|Q|"});
+  std::string json = "[";
+  bool first = true;
+  for (int threads : threads_list) {
+    double best = 0.0;
+    int64_t shards = 1;
+    if (threads <= 1) {
+      best = serial_seconds;
+    } else {
+      for (int rep = 0; rep < kReps; ++rep) {
+        Metrics m;
+        auto [seconds, result] = run_once(threads, &m);
+        XJ_CHECK(result.ToTuples() == expected)
+            << "sharded result diverged at threads=" << threads;
+        if (rep == 0 || seconds < best) best = seconds;
+        shards = m.Get("gj.shards");
+      }
+    }
+    double speedup = best > 0 ? serial_seconds / best : 0.0;
+    table.AddRow({FmtInt(threads), FmtInt(shards), FmtSeconds(best),
+                  FmtF(speedup, 2) + "x",
+                  FmtInt(static_cast<int64_t>(serial_result.num_rows()))});
+    char record[512];
+    std::snprintf(record, sizeof(record),
+                  "%s\n  {\"bench\": \"bench_scaling\", "
+                  "\"section\": \"thread_sweep\", "
+                  "\"workload\": \"xmark.closed_auction\", "
+                  "\"xmark_scale\": %lld, \"doc_nodes\": %lld, "
+                  "\"threads\": %d, \"shards\": %lld, "
+                  "\"seconds\": %.6f, \"speedup\": %.3f, "
+                  "\"output_rows\": %lld}",
+                  first ? "" : ",",
+                  static_cast<long long>(xmark_scale),
+                  static_cast<long long>(inst.doc->num_nodes()), threads,
+                  static_cast<long long>(shards), best, speedup,
+                  static_cast<long long>(serial_result.num_rows()));
+    json += record;
+    first = false;
+  }
+  json += "\n]\n";
+  table.Print();
+
+  std::printf("\nJSON:\n%s", json.c_str());
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    XJ_CHECK(f != nullptr) << "cannot open " << json_path;
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("(written to %s)\n", json_path);
+  }
+}
+
 }  // namespace
 }  // namespace xjoin::bench
 
-int main() {
+int main(int argc, char** argv) {
   xjoin::bench::Sweep(xjoin::PaperDataMode::kAdversarial, "adversarial");
   xjoin::bench::Sweep(xjoin::PaperDataMode::kRandom, "random");
+  xjoin::bench::ThreadSweep(
+      xjoin::bench::IntListFlag(argc, argv, "threads", {1, 2, 4, 8}),
+      xjoin::bench::IntFlag(argc, argv, "xmark-scale", 64),
+      xjoin::bench::FlagValue(argc, argv, "json"));
   return 0;
 }

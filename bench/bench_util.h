@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -27,7 +28,8 @@ struct RunStats {
 };
 
 /// Runs XJoin once and extracts the Figure-3 quantities.
-inline RunStats RunXJoin(const MultiModelQuery& query, XJoinOptions options = {}) {
+inline RunStats RunXJoin(const MultiModelQuery& query,
+                         XJoinOptions options = {}) {
   Metrics metrics;
   options.metrics = &metrics;
   Timer timer;
@@ -63,7 +65,9 @@ class Table {
   explicit Table(std::vector<std::string> headers)
       : headers_(std::move(headers)) {}
 
-  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
 
   void Print() const {
     std::vector<size_t> width(headers_.size());
@@ -118,6 +122,42 @@ inline std::string FmtRatio(double num, double den) {
 
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// Looks up a "--name=value" flag in argv; returns nullptr when absent.
+/// This is the benches' entire CLI surface — no library, no state.
+inline const char* FlagValue(int argc, char** argv, const char* name) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+/// Integer flag with fallback: "--threads=4".
+inline int64_t IntFlag(int argc, char** argv, const char* name,
+                       int64_t fallback) {
+  const char* v = FlagValue(argc, argv, name);
+  return v == nullptr ? fallback : std::strtoll(v, nullptr, 10);
+}
+
+/// Comma-separated integer list flag: "--threads=1,2,4,8".
+inline std::vector<int> IntListFlag(int argc, char** argv, const char* name,
+                                    std::vector<int> fallback) {
+  const char* v = FlagValue(argc, argv, name);
+  if (v == nullptr) return fallback;
+  std::vector<int> out;
+  const char* p = v;
+  while (*p != '\0') {
+    char* end = nullptr;
+    long value = std::strtol(p, &end, 10);
+    if (end == p) break;
+    out.push_back(static_cast<int>(value));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out.empty() ? fallback : out;
 }
 
 }  // namespace xjoin::bench

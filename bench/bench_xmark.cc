@@ -1,6 +1,8 @@
 // Ext-2: XMark-like workload — deep twig queries over the auction
 // document joined with relational category/geography tables, across
 // scale factors and for both query shapes.
+//
+// Flags: --threads=N  run XJoin sharded on N threads (default 1, serial).
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -9,7 +11,7 @@
 namespace xjoin::bench {
 namespace {
 
-void Run() {
+void Run(int threads) {
   Banner("XMark-like workload: XJoin vs baseline");
   Table table({"scale", "doc nodes", "query", "|Q|", "baseline time",
                "xjoin time", "time ratio", "base max-inter",
@@ -32,7 +34,9 @@ void Run() {
     };
     for (auto& nq : queries) {
       RunStats base = RunBaseline(nq.query);
-      RunStats xj = RunXJoin(nq.query);
+      XJoinOptions xj_opts;
+      xj_opts.num_threads = threads;
+      RunStats xj = RunXJoin(nq.query, xj_opts);
       XJ_CHECK(base.output_rows == xj.output_rows);
       table.AddRow({FmtInt(scale),
                     FmtInt(static_cast<int64_t>(inst.doc->num_nodes())),
@@ -49,7 +53,8 @@ void Run() {
 }  // namespace
 }  // namespace xjoin::bench
 
-int main() {
-  xjoin::bench::Run();
+int main(int argc, char** argv) {
+  xjoin::bench::Run(
+      static_cast<int>(xjoin::bench::IntFlag(argc, argv, "threads", 1)));
   return 0;
 }

@@ -68,7 +68,8 @@ int main() {
   options.metrics = &metrics;
   auto result = ExecuteXJoin(query, options);
   if (!result.ok()) {
-    std::fprintf(stderr, "XJoin error: %s\n", result.status().ToString().c_str());
+    std::fprintf(stderr, "XJoin error: %s\n",
+                 result.status().ToString().c_str());
     return 1;
   }
 

@@ -3,7 +3,8 @@
 // and it prints the decomposition, the Equation-1 LP, and the worst-case
 // size bound — the paper's Example 3.3 workflow as a utility.
 //
-//   ./build/examples/sizebound_calculator 'A[B,D]//C/E//F[H]//G' 'R1:B,D' 'R2:F,G,H'
+//   ./build/examples/sizebound_calculator 'A[B,D]//C/E//F[H]//G'
+//       'R1:B,D' 'R2:F,G,H'    (all on one command line)
 //
 // With no arguments it runs the paper's example. Relational schemas are
 // NAME:attr1,attr2,...; every input is assumed to have size n (the

@@ -88,7 +88,8 @@ int RunShell() {
     if (command == "help") {
       std::printf(
           "commands: load csv NAME FILE | load xml NAME FILE | demo |\n"
-          "          query TEXT | baseline TEXT | explain TEXT | list | quit\n");
+          "          query TEXT | baseline TEXT | explain TEXT | list | "
+          "quit\n");
     } else if (command == "demo") {
       LoadDemo(&db);
     } else if (command == "load") {
@@ -129,8 +130,10 @@ int RunShell() {
       std::string text(TrimWhitespace(rest));
       if (command == "explain") {
         auto plan = db.Explain(text);
-        std::printf("%s", plan.ok() ? plan->c_str()
-                                    : (plan.status().ToString() + "\n").c_str());
+        std::printf("%s",
+                    plan.ok()
+                        ? plan->c_str()
+                        : (plan.status().ToString() + "\n").c_str());
       } else {
         Engine engine =
             command == "query" ? Engine::kXJoin : Engine::kBaseline;

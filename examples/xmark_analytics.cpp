@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
       revenue[{category, country}] += std::atoll(
           dict.Decode(result->at(r, 4)).c_str());
     }
-    std::printf("closed-auction revenue by (category, country) — top 10 of %zu:\n",
+    std::printf(
+        "closed-auction revenue by (category, country) — top 10 of %zu:\n",
                 revenue.size());
     std::multimap<int64_t, std::pair<std::string, std::string>> by_revenue;
     for (const auto& [key, total] : revenue) by_revenue.emplace(total, key);

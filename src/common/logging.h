@@ -10,7 +10,13 @@
 
 namespace xjoin {
 
-enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4
+};
 
 /// Process-wide minimum severity that is actually emitted.
 LogLevel GetLogLevel();

@@ -1,0 +1,45 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace xjoin {
+
+int ParallelWorkerCount(int num_threads, size_t n, size_t grain) {
+  if (num_threads <= 1 || n <= 1) return 1;
+  if (grain == 0) grain = 1;
+  size_t blocks = (n + grain - 1) / grain;
+  size_t workers = std::min<size_t>(static_cast<size_t>(num_threads), blocks);
+  return static_cast<int>(std::max<size_t>(workers, 1));
+}
+
+void ParallelFor(int num_threads, size_t n, size_t grain,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const int workers = ParallelWorkerCount(num_threads, n, grain);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> cursor{0};
+  auto worker = [&]() {
+    for (;;) {
+      size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      size_t end = std::min(begin + grain, n);
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers) - 1);
+  for (int t = 1; t < workers; ++t) threads.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace xjoin

@@ -21,7 +21,9 @@ std::vector<std::string> SplitString(std::string_view s, char sep) {
 std::string_view TrimWhitespace(std::string_view s) {
   size_t b = 0;
   size_t e = s.size();
-  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' || s[b] == '\n')) ++b;
+  while (b < e &&
+         (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' || s[b] == '\n'))
+    ++b;
   while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
                    s[e - 1] == '\n'))
     --e;

@@ -40,9 +40,11 @@ Result<Relation> ExecuteBaseline(const MultiModelQuery& query,
     for (const auto& nr : query.relations) rels.push_back(nr.relation);
     Metrics local;
     XJ_ASSIGN_OR_RETURN(Relation q1, JoinAll(rels, &local));
-    max_intermediate = std::max(max_intermediate, local.Get("plan.max_intermediate"));
+    max_intermediate =
+        std::max(max_intermediate, local.Get("plan.max_intermediate"));
     total_intermediate += local.Get("plan.total_intermediate");
-    MetricsAdd(metrics, "baseline.q1_size", static_cast<int64_t>(q1.num_rows()));
+    MetricsAdd(metrics, "baseline.q1_size",
+               static_cast<int64_t>(q1.num_rows()));
     partials.push_back(std::move(q1));
   }
 

@@ -15,10 +15,11 @@ Result<Hypergraph> BuildQueryHypergraph(const MultiModelQuery& query,
     HyperEdge edge;
     edge.name = nr.name;
     edge.attributes = nr.relation->schema().attributes();
-    edge.size = options.path_size_mode == PathSizeMode::kUniform
-                    ? options.uniform_n
-                    : std::max<double>(1.0,
-                                       static_cast<double>(nr.relation->num_rows()));
+    edge.size =
+        options.path_size_mode == PathSizeMode::kUniform
+            ? options.uniform_n
+            : std::max<double>(
+                  1.0, static_cast<double>(nr.relation->num_rows()));
     XJ_RETURN_NOT_OK(graph.AddEdge(std::move(edge)));
   }
   for (size_t t = 0; t < query.twigs.size(); ++t) {
@@ -33,11 +34,13 @@ Result<Hypergraph> BuildQueryHypergraph(const MultiModelQuery& query,
       switch (options.path_size_mode) {
         case PathSizeMode::kExact: {
           XJ_ASSIGN_OR_RETURN(Relation mat, rel.Materialize());
-          edge.size = std::max<double>(1.0, static_cast<double>(mat.num_rows()));
+          edge.size =
+              std::max<double>(1.0, static_cast<double>(mat.num_rows()));
           break;
         }
         case PathSizeMode::kChainCount:
-          edge.size = std::max<double>(1.0, static_cast<double>(rel.CountChains()));
+          edge.size =
+              std::max<double>(1.0, static_cast<double>(rel.CountChains()));
           break;
         case PathSizeMode::kUniform:
           edge.size = options.uniform_n;

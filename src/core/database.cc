@@ -107,7 +107,8 @@ std::vector<std::string> SplitTopLevel(std::string_view text) {
 
 }  // namespace
 
-Result<PreparedQuery> MultiModelDatabase::Prepare(const std::string& text) const {
+Result<PreparedQuery> MultiModelDatabase::Prepare(
+    const std::string& text) const {
   PreparedQuery prepared;
   std::string_view rest = TrimWhitespace(text);
 

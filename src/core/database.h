@@ -3,7 +3,8 @@
 // or tuples) and XML documents (parsed and indexed at registration),
 // and evaluates textual multi-model queries:
 //
-//     Q(userID, ISBN, price) := R, invoices : invoice[orderID]/orderLine[ISBN]/price
+//     Q(userID, ISBN, price) :=
+//         R, invoices : invoice[orderID]/orderLine[ISBN]/price
 //
 // Grammar:
 //     query   := [ head ":=" ] input ("," input)*
@@ -80,7 +81,8 @@ class MultiModelDatabase {
   Result<PreparedQuery> Prepare(const std::string& text) const;
 
   /// Prepares and evaluates in one step.
-  Result<Relation> Query(const std::string& text, Engine engine = Engine::kXJoin,
+  Result<Relation> Query(const std::string& text,
+                         Engine engine = Engine::kXJoin,
                          Metrics* metrics = nullptr) const;
 
   /// Human-readable plan: inputs, twig decompositions, chosen attribute

@@ -22,7 +22,8 @@ Result<TwigDecomposition> DecomposeTwig(const Twig& twig) {
       d.subtwig_root_of[i] = id;
       d.cut_edges.emplace_back(node.parent, id);
     } else {
-      d.subtwig_root_of[i] = d.subtwig_root_of[static_cast<size_t>(node.parent)];
+      d.subtwig_root_of[i] =
+          d.subtwig_root_of[static_cast<size_t>(node.parent)];
     }
   }
 
@@ -46,13 +47,15 @@ Result<TwigDecomposition> DecomposeTwig(const Twig& twig) {
       if (cur == root) break;
     }
     std::reverse(path.nodes.begin(), path.nodes.end());
-    for (TwigNodeId q : path.nodes) path.attributes.push_back(twig.node(q).attribute);
+    for (TwigNodeId q : path.nodes)
+      path.attributes.push_back(twig.node(q).attribute);
     d.paths.push_back(std::move(path));
   }
   return d;
 }
 
-std::string DecompositionToString(const Twig& twig, const TwigDecomposition& d) {
+std::string DecompositionToString(const Twig& twig,
+                                  const TwigDecomposition& d) {
   std::ostringstream out;
   for (size_t p = 0; p < d.paths.size(); ++p) {
     out << "P" << (p + 1) << "(";
@@ -64,8 +67,8 @@ std::string DecompositionToString(const Twig& twig, const TwigDecomposition& d) 
     if (p + 1 < d.paths.size()) out << "  ";
   }
   for (const auto& [a, b] : d.cut_edges) {
-    out << "  [cut: " << twig.node(a).attribute << "//" << twig.node(b).attribute
-        << "]";
+    out << "  [cut: " << twig.node(a).attribute << "//"
+        << twig.node(b).attribute << "]";
   }
   return out.str();
 }

@@ -15,25 +15,35 @@
 
 namespace xjoin {
 
-/// One root-leaf path of a P-C sub-twig.
+/// One root-leaf path of a P-C sub-twig (paper Section 3 step (3): each
+/// such path becomes a relational-like schema / one hyperedge of
+/// Equation 1's program).
 struct TwigPath {
   std::vector<TwigNodeId> nodes;       ///< root of sub-twig first
   std::vector<std::string> attributes; ///< parallel attribute names
 };
 
-/// The decomposition of one twig.
+/// The decomposition of one twig (paper Figure 2: the example twig
+/// splits into P1(A,B), P2(A,D), P3(C,E), P4(F,H), P5(G)).
 struct TwigDecomposition {
   std::vector<TwigPath> paths;
   /// The A-D edges removed in step (1): (ancestor node, descendant node).
+  /// These become the residual structural constraints re-checked by
+  /// core/validate.h after expansion.
   std::vector<std::pair<TwigNodeId, TwigNodeId>> cut_edges;
   /// For each twig node, the sub-twig root it belongs to.
   std::vector<TwigNodeId> subtwig_root_of;
 };
 
-/// Decomposes `twig`. Fails only on invalid twigs.
+/// Decomposes `twig` (paper Section 3 steps (1)-(3)): cut every A-D
+/// edge, split into P-C-only sub-twigs, enumerate each sub-twig's
+/// root-leaf paths. O(nodes + total path length) — linear in the twig
+/// except for twigs whose sub-trees branch heavily (a node on k paths is
+/// emitted k times). Fails only on invalid twigs.
 Result<TwigDecomposition> DecomposeTwig(const Twig& twig);
 
-/// Rendering like "P1(A, B)  P2(A, D)  [cut: A//C]".
+/// Rendering like "P1(A, B)  P2(A, D)  [cut: A//C]" (matches how the
+/// paper writes Figure 2's decomposition).
 std::string DecompositionToString(const Twig& twig, const TwigDecomposition& d);
 
 }  // namespace xjoin

@@ -1,8 +1,10 @@
 #include "core/generic_join.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "relational/schema.h"
 
 namespace xjoin {
@@ -48,77 +50,132 @@ struct LevelPlan {
   std::vector<size_t> participants;  // indices into inputs
 };
 
+// Restriction of the first attribute to a half-open key range; a shard's
+// slice of the level-0 intersection. Unbounded by default (serial run).
+struct KeyRange {
+  bool has_lo = false;
+  int64_t lo = 0;
+  bool has_hi = false;
+  int64_t hi = 0;
+};
+
+// The iterative (explicit-stack) expansion loop of Algorithm 1 over one
+// key range. All mutable state lives in this object, so one Engine per
+// shard over Clone()d iterators is data-race-free by construction. The
+// engine only accumulates raw counters; the driver merges and publishes
+// them, which keeps serial and sharded metric output consistent.
 class Engine {
  public:
-  Engine(const std::vector<JoinInput>& inputs, const GenericJoinOptions& options,
-         std::vector<LevelPlan> plan, Relation* out)
-      : inputs_(inputs),
-        options_(options),
-        plan_(std::move(plan)),
+  Engine(const std::vector<JoinInput>& inputs,
+         const std::vector<LevelPlan>& plan, const PrefixFilter& filter,
+         Relation* out)
+      : filter_(filter),
         out_(out),
-        prefix_(plan_.size(), 0) {}
-
-  void Run() {
-    level_totals_.assign(plan_.size(), 0);
-    Descend(0);
-    if (options_.metrics != nullptr) {
-      int64_t max_level = 0;
-      for (size_t d = 0; d < plan_.size(); ++d) {
-        options_.metrics->Add("gj.level" + std::to_string(d) + ".bindings",
-                              level_totals_[d]);
-        max_level = std::max(max_level, level_totals_[d]);
+        prefix_(plan.size(), 0),
+        level_totals_(plan.size(), 0) {
+    level_iters_.resize(plan.size());
+    for (size_t d = 0; d < plan.size(); ++d) {
+      level_iters_[d].reserve(plan[d].participants.size());
+      for (size_t i : plan[d].participants) {
+        level_iters_[d].push_back(inputs[i].iterator);
       }
-      options_.metrics->RecordMax("gj.max_intermediate", max_level);
-      options_.metrics->Add("gj.total_intermediate", total_intermediate_);
-      options_.metrics->Add("gj.seeks", seeks_);
-      options_.metrics->Add("gj.output", static_cast<int64_t>(out_->num_rows()));
     }
   }
 
- private:
-  void Descend(size_t depth) {
-    const LevelPlan& level = plan_[depth];
-    std::vector<TrieIterator*> iters;
-    iters.reserve(level.participants.size());
-    for (size_t i : level.participants) {
-      inputs_[i].iterator->Open();
-      iters.push_back(inputs_[i].iterator);
-    }
-    if (LeapfrogAlign(iters, &seeks_)) {
-      do {
+  void Run(const KeyRange& range) {
+    const size_t num_levels = level_iters_.size();
+    size_t depth = 0;
+    bool entering = true;
+    for (;;) {
+      std::vector<TrieIterator*>& iters = level_iters_[depth];
+      bool have;
+      if (entering) {
+        for (TrieIterator* it : iters) it->Open();
+        if (depth == 0 && range.has_lo && !iters[0]->AtEnd() &&
+            iters[0]->Key() < range.lo) {
+          iters[0]->Seek(range.lo);
+          ++seeks_;
+        }
+        have = LeapfrogAlign(iters, &seeks_);
+      } else {
+        have = LeapfrogAdvance(iters, &seeks_);
+      }
+      if (have && depth == 0 && range.has_hi && iters[0]->Key() >= range.hi) {
+        have = false;  // past this shard's slice
+      }
+      if (have) {
         prefix_[depth] = iters[0]->Key();
         ++level_totals_[depth];
         ++total_intermediate_;
-        bool keep = true;
-        if (options_.prefix_filter) {
-          keep = options_.prefix_filter(depth, PrefixView(depth));
-        }
+        bool keep = !filter_ || filter_(depth, prefix_);
         if (keep) {
-          if (depth + 1 == plan_.size()) {
+          if (depth + 1 == num_levels) {
             out_->AppendRow(prefix_);
+            entering = false;  // advance at this level
           } else {
-            Descend(depth + 1);
+            ++depth;  // descend
+            entering = true;
           }
+        } else {
+          entering = false;  // pruned: advance at this level
         }
-      } while (LeapfrogAdvance(iters, &seeks_));
+        continue;
+      }
+      // Level exhausted: close it and backtrack.
+      for (TrieIterator* it : iters) it->Up();
+      if (depth == 0) return;
+      --depth;
+      entering = false;
     }
-    for (size_t i : level.participants) inputs_[i].iterator->Up();
   }
 
-  std::vector<int64_t> PrefixView(size_t depth) const {
-    return std::vector<int64_t>(prefix_.begin(),
-                                prefix_.begin() + static_cast<ptrdiff_t>(depth) + 1);
-  }
+  const std::vector<int64_t>& level_totals() const { return level_totals_; }
+  int64_t seeks() const { return seeks_; }
+  int64_t total_intermediate() const { return total_intermediate_; }
 
-  const std::vector<JoinInput>& inputs_;
-  const GenericJoinOptions& options_;
-  std::vector<LevelPlan> plan_;
+ private:
+  const PrefixFilter& filter_;
   Relation* out_;
   Tuple prefix_;
   std::vector<int64_t> level_totals_;
+  std::vector<std::vector<TrieIterator*>> level_iters_;
   int64_t seeks_ = 0;
   int64_t total_intermediate_ = 0;
 };
+
+// Publishes the merged engine counters in the same shape the serial
+// engine always has.
+void PublishMetrics(Metrics* metrics, const std::vector<int64_t>& level_totals,
+                    int64_t seeks, int64_t total_intermediate,
+                    int64_t output_rows) {
+  if (metrics == nullptr) return;
+  int64_t max_level = 0;
+  for (size_t d = 0; d < level_totals.size(); ++d) {
+    metrics->Add("gj.level" + std::to_string(d) + ".bindings",
+                 level_totals[d]);
+    max_level = std::max(max_level, level_totals[d]);
+  }
+  metrics->RecordMax("gj.max_intermediate", max_level);
+  metrics->Add("gj.total_intermediate", total_intermediate);
+  metrics->Add("gj.seeks", seeks);
+  metrics->Add("gj.output", output_rows);
+}
+
+// Enumerates the distinct keys of the level-0 intersection (the shard
+// partitioning domain) with a leapfrog over the level-0 participants
+// only; leaves every iterator back at the virtual root.
+std::vector<int64_t> Level0IntersectionKeys(
+    const std::vector<TrieIterator*>& iters, int64_t* seeks) {
+  std::vector<int64_t> keys;
+  for (TrieIterator* it : iters) it->Open();
+  if (LeapfrogAlign(iters, seeks)) {
+    do {
+      keys.push_back(iters[0]->Key());
+    } while (LeapfrogAdvance(iters, seeks));
+  }
+  for (TrieIterator* it : iters) it->Up();
+  return keys;
+}
 
 }  // namespace
 
@@ -171,9 +228,113 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
   }
 
   XJ_ASSIGN_OR_RETURN(Schema schema, Schema::Make(order));
-  Relation out(std::move(schema));
-  Engine engine(inputs, options, std::move(plan), &out);
-  engine.Run();
+  Relation out(schema);
+
+  const int num_threads = std::max(1, options.num_threads);
+  const int requested_shards =
+      options.num_shards > 0 ? options.num_shards : num_threads;
+
+  if (requested_shards <= 1) {
+    Engine engine(inputs, plan, options.prefix_filter, &out);
+    engine.Run(KeyRange{});
+    PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
+                   engine.total_intermediate(),
+                   static_cast<int64_t>(out.num_rows()));
+    return out;
+  }
+
+  // Sharded driver: partition the first attribute's matching keys into
+  // contiguous ascending ranges, one per shard.
+  int64_t plan_seeks = 0;
+  std::vector<TrieIterator*> level0;
+  level0.reserve(plan[0].participants.size());
+  for (size_t i : plan[0].participants) level0.push_back(inputs[i].iterator);
+  std::vector<int64_t> keys = Level0IntersectionKeys(level0, &plan_seeks);
+
+  const size_t num_shards =
+      std::min<size_t>(static_cast<size_t>(requested_shards),
+                       std::max<size_t>(keys.size(), 1));
+
+  if (num_shards <= 1) {
+    // The key domain is too small to shard (0 or 1 distinct keys): fall
+    // back to the serial engine instead of paying clone + merge overhead.
+    Engine engine(inputs, plan, options.prefix_filter, &out);
+    engine.Run(KeyRange{});
+    PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
+                   engine.total_intermediate(),
+                   static_cast<int64_t>(out.num_rows()));
+    if (options.metrics != nullptr) {
+      options.metrics->Add("gj.shards", 1);
+      options.metrics->Add("gj.plan_seeks", plan_seeks);
+    }
+    return out;
+  }
+
+  struct Shard {
+    std::vector<std::unique_ptr<TrieIterator>> owned;
+    std::vector<JoinInput> inputs;
+    KeyRange range;
+    Relation out;
+    std::vector<int64_t> level_totals;
+    int64_t seeks = 0;
+    int64_t total_intermediate = 0;
+
+    explicit Shard(Schema s) : out(std::move(s)) {}
+  };
+
+  std::vector<Shard> shards;
+  shards.reserve(num_shards);
+  const size_t per_shard = keys.size() / num_shards;
+  const size_t remainder = keys.size() % num_shards;
+  size_t key_cursor = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    Shard shard(schema);
+    size_t take = per_shard + (s < remainder ? 1 : 0);
+    shard.range.has_lo = true;
+    shard.range.lo = keys[key_cursor];
+    key_cursor += take;
+    if (key_cursor < keys.size()) {
+      shard.range.has_hi = true;
+      shard.range.hi = keys[key_cursor];
+    }
+    shard.owned.reserve(inputs.size());
+    shard.inputs.reserve(inputs.size());
+    for (const JoinInput& in : inputs) {
+      shard.owned.push_back(in.iterator->Clone());
+      shard.inputs.push_back(
+          JoinInput{in.name, in.attributes, shard.owned.back().get()});
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  ParallelFor(num_threads, shards.size(), /*grain=*/1, [&](size_t s) {
+    Shard& shard = shards[s];
+    Engine engine(shard.inputs, plan, options.prefix_filter, &shard.out);
+    engine.Run(shard.range);
+    shard.level_totals = engine.level_totals();
+    shard.seeks = engine.seeks();
+    shard.total_intermediate = engine.total_intermediate();
+  });
+
+  // Deterministic merge: shards cover ascending key ranges, so appending
+  // in shard order reproduces the serial row order exactly.
+  std::vector<int64_t> level_totals(plan.size(), 0);
+  int64_t seeks = 0;
+  int64_t total_intermediate = 0;
+  for (Shard& shard : shards) {
+    out.AppendRows(shard.out);
+    for (size_t d = 0; d < shard.level_totals.size(); ++d) {
+      level_totals[d] += shard.level_totals[d];
+    }
+    seeks += shard.seeks;
+    total_intermediate += shard.total_intermediate;
+  }
+  PublishMetrics(options.metrics, level_totals, seeks, total_intermediate,
+                 static_cast<int64_t>(out.num_rows()));
+  if (options.metrics != nullptr) {
+    options.metrics->Add("gj.shards", static_cast<int64_t>(num_shards));
+    options.metrics->Add("gj.plan_seeks", plan_seeks);
+  }
   return out;
 }
 

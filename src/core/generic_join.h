@@ -4,6 +4,14 @@
 // XML path tries join through the same interface, which is what lets
 // XJoin "expand attributes by satisfying common values and relations
 // from all databases at the same time".
+//
+// Execution model: the expansion loop runs as an iterative explicit-stack
+// walk (one LevelState per attribute, no recursion), optionally sharded —
+// the first attribute's key domain is partitioned into K contiguous
+// ranges, every input is Clone()d per shard, and shards run on a thread
+// pool with zero shared mutable state. Shard outputs are concatenated in
+// shard order, which makes the sharded result byte-identical to the
+// serial one.
 #ifndef XJOIN_CORE_GENERIC_JOIN_H_
 #define XJOIN_CORE_GENERIC_JOIN_H_
 
@@ -27,9 +35,16 @@ struct JoinInput {
   TrieIterator* iterator = nullptr;     ///< positioned at the root
 };
 
-/// Called after each attribute binding with the bound prefix (values of
-/// attribute_order[0..depth]). Returning false prunes the subtree — used
-/// by XJoin's partial structural validation.
+/// Called after each attribute binding. `prefix` is the engine's binding
+/// buffer: it always has length attribute_order.size(), and exactly the
+/// entries prefix[0..depth] (values of attribute_order[0..depth]) are
+/// valid for this call — entries past `depth` are stale and must be
+/// ignored. Returning false prunes the subtree — used by XJoin's partial
+/// structural validation.
+///
+/// When the join runs sharded (num_threads/num_shards > 1), the filter is
+/// invoked concurrently from multiple shard threads (each with its own
+/// prefix buffer) and must be thread-safe.
 using PrefixFilter =
     std::function<bool(size_t depth, const std::vector<int64_t>& prefix)>;
 
@@ -38,17 +53,33 @@ struct GenericJoinOptions {
   /// Global expansion order (the paper's PA). Every attribute of every
   /// input must appear exactly once.
   std::vector<std::string> attribute_order;
-  /// Optional pruning hook (may be empty).
+  /// Optional pruning hook (may be empty). Must be thread-safe when the
+  /// join runs with more than one shard.
   PrefixFilter prefix_filter;
+  /// Number of worker threads. <= 1 runs the serial executor; > 1 runs
+  /// the sharded driver (see num_shards) on up to this many threads.
+  int num_threads = 1;
+  /// Number of level-0 key-range shards. 0 means "= num_threads". Values
+  /// > 1 force the sharded driver even when num_threads == 1 (useful for
+  /// deterministic testing of the shard partitioning itself). The
+  /// effective shard count is capped by the number of distinct level-0
+  /// intersection keys.
+  int num_shards = 0;
   /// Optional counters (nullable): per level "gj.level<i>.bindings" plus
   /// "gj.max_intermediate", "gj.total_intermediate", "gj.seeks",
-  /// "gj.output".
+  /// "gj.output". Sharded runs additionally record "gj.shards" (effective
+  /// shard count) and "gj.plan_seeks" (seeks spent enumerating the
+  /// level-0 intersection to place shard boundaries); binding counters
+  /// are exact sums over shards and equal the serial counts.
   Metrics* metrics = nullptr;
 };
 
 /// Runs the join and returns all result tuples over attribute_order.
 /// Fails when an attribute is covered by no input or an input's attribute
-/// order is inconsistent with the global order.
+/// order is inconsistent with the global order. The sharded path
+/// (num_threads/num_shards > 1) produces a Relation byte-identical to the
+/// serial path: shards cover contiguous ascending ranges of the first
+/// attribute's matching keys and are concatenated in shard order.
 Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
                              const GenericJoinOptions& options);
 

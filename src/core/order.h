@@ -24,15 +24,20 @@ enum class OrderHeuristic {
   kSmallestDomain,
 };
 
-/// Chooses a valid global order: a topological order of the path
-/// precedence constraints with greedy tie-breaking per `heuristic`,
-/// then first appearance for determinism.
+/// Chooses a valid global order (the PA input of paper Algorithm 1): a
+/// topological order of the path precedence constraints with greedy
+/// tie-breaking per `heuristic`, then first appearance for determinism.
+/// O(A^2 · I) for A attributes over I inputs (kCoverage); kSmallestDomain
+/// adds one domain scan per input at planning time. Any valid order is
+/// correct; the heuristic only shapes intermediate sizes (Lemma 3.5
+/// bounds them for every order that the LP bound respects).
 Result<std::vector<std::string>> ChooseAttributeOrder(
     const MultiModelQuery& query,
     OrderHeuristic heuristic = OrderHeuristic::kCoverage);
 
 /// Verifies that `order` contains every query attribute exactly once and
-/// respects every twig path's root-first precedence.
+/// respects every twig path's root-first precedence (the lazy path tries
+/// of core/virtual_relation.h can only descend top-down). O(A · I).
 Status CheckAttributeOrder(const MultiModelQuery& query,
                            const std::vector<std::string>& order);
 

@@ -184,9 +184,20 @@ void LazyPathTrieIterator::Seek(int64_t key) {
   XJ_DCHECK(!AtEnd());
   Frame& f = frames_[static_cast<size_t>(depth_)];
   auto cmp = [](const ValueNode& a, int64_t v) { return a.value < v; };
+  // Gallop from the cursor to bracket the target (leapfrog seeks are
+  // usually near), then binary search inside the bracket.
+  size_t base = f.pos;
+  size_t step = 1;
+  const size_t n = f.entries.size();
+  while (base + step < n && f.entries[base + step].value < key) {
+    base += step;
+    step <<= 1;
+  }
+  size_t search_hi = std::min(base + step, n);
   f.pos = static_cast<size_t>(
-      std::lower_bound(f.entries.begin() + static_cast<ptrdiff_t>(f.pos),
-                       f.entries.end(), key, cmp) -
+      std::lower_bound(f.entries.begin() + static_cast<ptrdiff_t>(base),
+                       f.entries.begin() + static_cast<ptrdiff_t>(search_hi),
+                       key, cmp) -
       f.entries.begin());
   FixGroup();
 }
@@ -195,6 +206,10 @@ int64_t LazyPathTrieIterator::EstimateKeys() const {
   XJ_DCHECK(depth_ >= 0);
   const Frame& f = frames_[static_cast<size_t>(depth_)];
   return static_cast<int64_t>(f.entries.size() - f.pos);
+}
+
+std::unique_ptr<TrieIterator> LazyPathTrieIterator::Clone() const {
+  return std::make_unique<LazyPathTrieIterator>(relation_);
 }
 
 }  // namespace xjoin

@@ -78,6 +78,7 @@ class LazyPathTrieIterator final : public TrieIterator {
   void Next() override;
   void Seek(int64_t key) override;
   int64_t EstimateKeys() const override;
+  std::unique_ptr<TrieIterator> Clone() const override;
 
  private:
   struct Frame {

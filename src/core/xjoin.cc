@@ -1,10 +1,12 @@
 #include "core/xjoin.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
 
+#include "common/parallel.h"
 #include "core/decompose.h"
 #include "core/generic_join.h"
 #include "core/order.h"
@@ -141,10 +143,17 @@ Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
   }
 
   // 3. Optional partial structural validation during expansion.
+  const int num_threads = std::max(1, options.num_threads);
+  // Validator metrics would race across worker threads; the validators
+  // themselves are stateless-const and safe to share. num_shards > 1 with
+  // a single thread stays inline, so metrics are safe there.
+  Metrics* validator_metrics = num_threads > 1 ? nullptr : options.metrics;
   GenericJoinOptions gj_options;
   gj_options.attribute_order = order;
   gj_options.metrics = options.metrics;
-  int64_t pruned = 0;
+  gj_options.num_threads = num_threads;
+  gj_options.num_shards = options.num_shards;
+  std::atomic<int64_t> pruned{0};
   if (options.structural_pruning) {
     gj_options.prefix_filter = [&](size_t depth,
                                    const std::vector<int64_t>& prefix) {
@@ -160,8 +169,8 @@ Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
           if (pos == depth) relevant = true;
         }
         if (!relevant) continue;
-        if (!plan->validator.ExistsEmbedding(values, options.metrics)) {
-          ++pruned;
+        if (!plan->validator.ExistsEmbedding(values, validator_metrics)) {
+          pruned.fetch_add(1, std::memory_order_relaxed);
           return false;
         }
       }
@@ -173,13 +182,20 @@ Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
   XJ_ASSIGN_OR_RETURN(Relation expanded, GenericJoin(inputs, gj_options));
   MetricsAdd(options.metrics, "xjoin.expanded",
              static_cast<int64_t>(expanded.num_rows()));
-  MetricsAdd(options.metrics, "xjoin.pruned", pruned);
+  MetricsAdd(options.metrics, "xjoin.pruned",
+             pruned.load(std::memory_order_relaxed));
 
-  // 5. Final structural validation.
+  // 5. Final structural validation. Row checks are independent, so they
+  // run chunked across the thread pool; the keep-mask is filled at
+  // disjoint indices and the surviving rows are appended serially in row
+  // order, keeping the output deterministic.
   Relation validated(expanded.schema());
-  {
-    // Column positions per twig node, per twig.
-    for (size_t r = 0; r < expanded.num_rows(); ++r) {
+  if (twig_plans.empty()) {
+    validated = std::move(expanded);
+  } else {
+    const size_t num_rows = expanded.num_rows();
+    std::vector<uint8_t> keep(num_rows, 0);
+    ParallelFor(num_threads, num_rows, /*grain=*/64, [&](size_t r) {
       bool ok = true;
       for (const auto& plan : twig_plans) {
         const Twig& twig = plan->input->twig;
@@ -187,12 +203,15 @@ Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
         for (size_t q = 0; q < twig.num_nodes(); ++q) {
           values[q] = expanded.at(r, plan->order_pos_of_node[q]);
         }
-        if (!plan->validator.ExistsEmbedding(values, options.metrics)) {
+        if (!plan->validator.ExistsEmbedding(values, validator_metrics)) {
           ok = false;
           break;
         }
       }
-      if (ok) validated.AppendRow(expanded.GetRow(r));
+      keep[r] = ok ? 1 : 0;
+    });
+    for (size_t r = 0; r < num_rows; ++r) {
+      if (keep[r] != 0) validated.AppendRow(expanded.GetRow(r));
     }
   }
   MetricsAdd(options.metrics, "xjoin.validated",

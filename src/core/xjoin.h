@@ -36,15 +36,35 @@ struct XJoinOptions {
   /// §4 extension: prune prefixes whose partial twig structure is
   /// already infeasible.
   bool structural_pruning = false;
+  /// Worker threads for the expansion loop and the final structural
+  /// validation. <= 1 (default) runs fully serial, bit-identical to the
+  /// pre-sharding engine; > 1 shards the first attribute's key domain
+  /// across a thread pool (see GenericJoinOptions::num_threads). The
+  /// result relation is byte-identical either way.
+  int num_threads = 1;
+  /// Level-0 shard count forwarded to GenericJoinOptions::num_shards
+  /// (0 = one shard per thread). num_shards > 1 with num_threads == 1
+  /// exercises the shard partitioning deterministically on one thread.
+  int num_shards = 0;
   /// Nullable counters. Records the generic-join "gj.*" counters plus
   /// "xjoin.expanded" (tuples before validation), "xjoin.validated"
   /// (tuples after), "xjoin.pruned" (prefixes cut by partial validation),
-  /// and "xjoin.max_intermediate".
+  /// and "xjoin.max_intermediate". With num_threads > 1 the per-twig
+  /// validation sub-counters are skipped (they would race); the "gj.*"
+  /// binding counters remain exact.
   Metrics* metrics = nullptr;
 };
 
-/// Runs XJoin and returns the distinct result tuples over the query's
-/// output attributes (all attributes when output_attributes is empty).
+/// Runs XJoin (paper Algorithm 1) and returns the distinct result tuples
+/// over the query's output attributes (all attributes when
+/// output_attributes is empty).
+///
+/// Worst-case optimality (paper Theorem 4.1 via Lemma 3.5): with a
+/// bound-respecting expansion order, every per-attribute expansion stage
+/// stays within the Equation-1 fractional-cover bound of the query, so
+/// total expansion work is O~(bound); the trailing structural validation
+/// adds O(|expanded|) embedding checks. Fails on invalid queries
+/// (ValidateQuery) or an inconsistent user-supplied attribute_order.
 Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
                               const XJoinOptions& options = {});
 

@@ -33,8 +33,11 @@ struct EdgeCoverResult {
   double uniform_exponent = 0.0;
 };
 
-/// Solves the cover LPs for `graph`. Fails on an empty hypergraph or if
-/// some attribute cannot be covered (never happens by construction).
+/// Solves the cover LPs for `graph` with the dense simplex of
+/// lp/simplex.h: O(attributes × edges) tableau per pivot, polynomially
+/// many pivots in practice (exponential only on adversarial LPs, which
+/// query hypergraphs are not). Fails on an empty hypergraph or if some
+/// attribute cannot be covered (never happens by construction).
 Result<EdgeCoverResult> SolveFractionalEdgeCover(const Hypergraph& graph);
 
 /// AGM bound restricted to a subset of attributes: the minimum-weight

@@ -7,7 +7,8 @@ namespace xjoin {
 
 Status Hypergraph::AddEdge(HyperEdge edge) {
   if (edge.attributes.empty()) {
-    return Status::InvalidArgument("hyperedge " + edge.name + " has no attributes");
+    return Status::InvalidArgument("hyperedge " + edge.name +
+                                   " has no attributes");
   }
   if (edge.size < 1.0) {
     return Status::InvalidArgument("hyperedge " + edge.name + " has size < 1");
@@ -33,7 +34,8 @@ int Hypergraph::AttributeIndex(const std::string& name) const {
   return -1;
 }
 
-std::vector<size_t> Hypergraph::EdgesCovering(const std::string& attribute) const {
+std::vector<size_t> Hypergraph::EdgesCovering(
+    const std::string& attribute) const {
   std::vector<size_t> out;
   for (size_t e = 0; e < edges_.size(); ++e) {
     for (const auto& a : edges_[e].attributes) {

@@ -12,18 +12,23 @@
 
 namespace xjoin {
 
-/// One hyperedge: a named relation schema with a size.
+/// One hyperedge: a named relation schema with a size. In the Equation-1
+/// program an edge is either a real relational table or a decomposed
+/// twig path treated as a table (paper Section 3).
 struct HyperEdge {
   std::string name;
   std::vector<std::string> attributes;
   double size = 1.0;  ///< cardinality |R| (>= 1)
 };
 
-/// A multi-hypergraph over attribute names.
+/// A multi-hypergraph over attribute names — the structure the paper's
+/// Equation 1 (fractional edge cover / AGM bound, reference [2]) is
+/// written over. Parallel edges with the same attribute set are allowed
+/// (two paths can share a schema).
 class Hypergraph {
  public:
   /// Adds an edge; fails on empty attribute list, duplicate attributes
-  /// within the edge, or size < 1.
+  /// within the edge, or size < 1. O(|edge|) amortized.
   Status AddEdge(HyperEdge edge);
 
   const std::vector<HyperEdge>& edges() const { return edges_; }
@@ -31,10 +36,11 @@ class Hypergraph {
   /// All distinct attributes, in first-appearance order.
   const std::vector<std::string>& attributes() const { return attributes_; }
 
-  /// Index of an attribute in attributes(), or -1.
+  /// Index of an attribute in attributes(), or -1. O(#attributes) scan.
   int AttributeIndex(const std::string& name) const;
 
   /// Edges containing `attribute` (indices into edges()).
+  /// O(sum of edge arities) scan.
   std::vector<size_t> EdgesCovering(const std::string& attribute) const;
 
   /// True if every attribute appears in at least one edge (always true by

@@ -201,7 +201,8 @@ Result<LpSolution> SolveLp(const LpProblem& problem) {
     if (basis[r] < n) solution.values[basis[r]] = t.at(r, total_cols - 1);
   }
   double obj = 0.0;
-  for (size_t j = 0; j < n; ++j) obj += problem.objective[j] * solution.values[j];
+  for (size_t j = 0; j < n; ++j)
+    obj += problem.objective[j] * solution.values[j];
   solution.objective = obj;
   return solution;
 }

@@ -31,7 +31,8 @@ Result<Relation> GroupBy(const Relation& input,
   std::vector<size_t> key_cols;
   for (const auto& attr : group_by) {
     int idx = input.schema().IndexOf(attr);
-    if (idx < 0) return Status::InvalidArgument("group-by: unknown attribute " + attr);
+    if (idx < 0)
+      return Status::InvalidArgument("group-by: unknown attribute " + attr);
     key_cols.push_back(static_cast<size_t>(idx));
   }
   std::vector<int> agg_cols(aggregates.size(), -1);
@@ -52,12 +53,14 @@ Result<Relation> GroupBy(const Relation& input,
   std::map<Tuple, GroupState> groups;
   for (size_t r = 0; r < input.num_rows(); ++r) {
     Tuple key(key_cols.size());
-    for (size_t c = 0; c < key_cols.size(); ++c) key[c] = input.at(r, key_cols[c]);
+    for (size_t c = 0; c < key_cols.size(); ++c)
+      key[c] = input.at(r, key_cols[c]);
     GroupState& state = groups[key];
     if (state.distinct.empty()) {
       state.distinct.resize(aggregates.size());
       state.sum.assign(aggregates.size(), 0.0);
-      state.min.assign(aggregates.size(), std::numeric_limits<double>::infinity());
+      state.min.assign(aggregates.size(),
+                       std::numeric_limits<double>::infinity());
       state.max.assign(aggregates.size(),
                        -std::numeric_limits<double>::infinity());
       state.numeric_count.assign(aggregates.size(), 0);

@@ -71,7 +71,8 @@ Result<Relation> ReadCsv(std::string_view text, const CsvOptions& options,
     for (auto& f : first_fields) names.emplace_back(TrimWhitespace(f));
     first_data = 1;
   } else {
-    for (size_t c = 0; c < arity; ++c) names.push_back("col" + std::to_string(c));
+    for (size_t c = 0; c < arity; ++c)
+      names.push_back("col" + std::to_string(c));
   }
   if (!options.types.empty() && options.types.size() != arity) {
     return Status::InvalidArgument("CSV type list arity mismatch");
@@ -84,12 +85,14 @@ Result<Relation> ReadCsv(std::string_view text, const CsvOptions& options,
     XJ_ASSIGN_OR_RETURN(std::vector<std::string> fields,
                         SplitCsvLine(lines[ln], options.delimiter, ln + 1));
     if (fields.size() != arity) {
-      return Status::ParseError("line " + std::to_string(ln + 1) + ": expected " +
-                                std::to_string(arity) + " fields, got " +
-                                std::to_string(fields.size()));
+      return Status::ParseError(
+          "line " + std::to_string(ln + 1) + ": expected " +
+          std::to_string(arity) + " fields, got " +
+          std::to_string(fields.size()));
     }
     for (size_t c = 0; c < arity; ++c) {
-      ValueType t = options.types.empty() ? ValueType::kString : options.types[c];
+      ValueType t =
+          options.types.empty() ? ValueType::kString : options.types[c];
       auto value = ParseValue(t, fields[c]);
       if (!value.ok()) {
         return value.status().WithContext("line " + std::to_string(ln + 1));

@@ -26,7 +26,8 @@ Result<Relation> Project(const Relation& input,
   idx.reserve(attributes.size());
   for (const auto& a : attributes) {
     int i = input.schema().IndexOf(a);
-    if (i < 0) return Status::InvalidArgument("project: unknown attribute " + a);
+    if (i < 0)
+      return Status::InvalidArgument("project: unknown attribute " + a);
     idx.push_back(static_cast<size_t>(i));
   }
   XJ_ASSIGN_OR_RETURN(Schema out_schema, Schema::Make(attributes));
@@ -82,18 +83,21 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
   table.reserve(right.num_rows() * 2);
   Tuple key(shared.size());
   for (size_t r = 0; r < right.num_rows(); ++r) {
-    for (size_t c = 0; c < shared.size(); ++c) key[c] = right.at(r, shared[c].second);
+    for (size_t c = 0; c < shared.size(); ++c)
+      key[c] = right.at(r, shared[c].second);
     table[key].push_back(r);
   }
 
   Tuple out_row(out.num_columns());
   for (size_t l = 0; l < left.num_rows(); ++l) {
-    for (size_t c = 0; c < shared.size(); ++c) key[c] = left.at(l, shared[c].first);
+    for (size_t c = 0; c < shared.size(); ++c)
+      key[c] = left.at(l, shared[c].first);
     auto it = table.find(key);
     if (it == table.end()) continue;
     for (size_t r : it->second) {
       size_t o = 0;
-      for (size_t c = 0; c < left.num_columns(); ++c) out_row[o++] = left.at(l, c);
+      for (size_t c = 0; c < left.num_columns(); ++c)
+        out_row[o++] = left.at(l, c);
       for (size_t j : right_extra) out_row[o++] = right.at(r, j);
       out.AppendRow(out_row);
       MetricsAdd(metrics, "hash_join.probe_matches", 1);
@@ -138,12 +142,14 @@ Result<Relation> SemiJoin(const Relation& left, const Relation& right) {
   std::unordered_map<Tuple, bool, KeyHash> table;
   Tuple key(shared.size());
   for (size_t r = 0; r < right.num_rows(); ++r) {
-    for (size_t c = 0; c < shared.size(); ++c) key[c] = right.at(r, shared[c].second);
+    for (size_t c = 0; c < shared.size(); ++c)
+      key[c] = right.at(r, shared[c].second);
     table[key] = true;
   }
   Relation out(left.schema());
   for (size_t l = 0; l < left.num_rows(); ++l) {
-    for (size_t c = 0; c < shared.size(); ++c) key[c] = left.at(l, shared[c].first);
+    for (size_t c = 0; c < shared.size(); ++c)
+      key[c] = left.at(l, shared[c].first);
     if (table.count(key)) out.AppendRow(left.GetRow(l));
   }
   return out;

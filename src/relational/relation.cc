@@ -17,6 +17,14 @@ void Relation::AppendRow(const Tuple& row) {
   for (size_t c = 0; c < columns_.size(); ++c) columns_[c].push_back(row[c]);
 }
 
+void Relation::AppendRows(const Relation& other) {
+  XJ_DCHECK(schema_ == other.schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].insert(columns_[c].end(), other.columns_[c].begin(),
+                       other.columns_[c].end());
+  }
+}
+
 Tuple Relation::GetRow(size_t row) const {
   Tuple t(columns_.size());
   for (size_t c = 0; c < columns_.size(); ++c) t[c] = columns_[c][row];
@@ -37,7 +45,8 @@ void Relation::SortAndDedup() {
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     for (size_t c = 0; c < k; ++c) {
-      if (columns_[c][a] != columns_[c][b]) return columns_[c][a] < columns_[c][b];
+      if (columns_[c][a] != columns_[c][b])
+        return columns_[c][a] < columns_[c][b];
     }
     return false;
   });
@@ -69,7 +78,8 @@ std::vector<Tuple> Relation::ToTuples() const {
   return out;
 }
 
-Result<Relation> Relation::FromTuples(Schema schema, std::vector<Tuple> tuples) {
+Result<Relation> Relation::FromTuples(Schema schema,
+                                      std::vector<Tuple> tuples) {
   Relation rel(std::move(schema));
   for (const auto& t : tuples) {
     if (t.size() != rel.num_columns()) {

@@ -29,6 +29,11 @@ class Relation {
   /// Appends a row given in schema order. Precondition: row.size() == arity.
   void AppendRow(const Tuple& row);
 
+  /// Appends every row of `other`, in order, by bulk column splice —
+  /// O(columns) vector inserts, no per-row temporaries. Precondition:
+  /// identical schema (same attribute names in the same order).
+  void AppendRows(const Relation& other);
+
   /// Cell accessor.
   int64_t at(size_t row, size_t col) const { return columns_[col][row]; }
 
@@ -39,7 +44,8 @@ class Relation {
   const std::vector<int64_t>& column(size_t col) const { return columns_[col]; }
 
   /// Column by attribute name; fails if the attribute is absent.
-  Result<const std::vector<int64_t>*> ColumnByName(const std::string& name) const;
+  Result<const std::vector<int64_t>*> ColumnByName(
+      const std::string& name) const;
 
   /// Sorts rows lexicographically by the given column positions (all
   /// columns if empty) and removes duplicate rows. Used to turn bags

@@ -7,8 +7,8 @@
 
 namespace xjoin {
 
-Result<RelationTrie> RelationTrie::Build(const Relation& relation,
-                                         const std::vector<std::string>& order) {
+Result<RelationTrie> RelationTrie::Build(
+    const Relation& relation, const std::vector<std::string>& order) {
   if (order.size() != relation.schema().size()) {
     return Status::InvalidArgument("trie order arity mismatch");
   }
@@ -17,7 +17,8 @@ Result<RelationTrie> RelationTrie::Build(const Relation& relation,
   for (const auto& name : order) {
     int idx = relation.schema().IndexOf(name);
     if (idx < 0) {
-      return Status::InvalidArgument("trie order names unknown attribute: " + name);
+      return Status::InvalidArgument("trie order names unknown attribute: " +
+                                     name);
     }
     perm.push_back(static_cast<size_t>(idx));
   }
@@ -62,7 +63,8 @@ Result<RelationTrie> RelationTrie::Build(const Relation& relation,
       }
       if (same) continue;  // dedup
     }
-    for (size_t c = 0; c < k; ++c) trie.cols_[c].push_back(relation.at(r, perm[c]));
+    for (size_t c = 0; c < k; ++c)
+      trie.cols_[c].push_back(relation.at(r, perm[c]));
   }
   return trie;
 }
@@ -149,9 +151,18 @@ void RelationTrieIterator::Seek(int64_t key) {
   XJ_DCHECK(!AtEnd());
   Frame& f = frames_[static_cast<size_t>(depth_)];
   const auto& col = trie_->cols_[static_cast<size_t>(depth_)];
+  // Leapfrog seeks are usually near the cursor: gallop to bracket the
+  // target, then binary search only inside the bracket.
+  size_t base = f.pos;
+  size_t step = 1;
+  while (base + step < f.hi && col[base + step] < key) {
+    base += step;
+    step <<= 1;
+  }
+  size_t search_hi = std::min(base + step, f.hi);
   f.pos = static_cast<size_t>(
-      std::lower_bound(col.begin() + static_cast<ptrdiff_t>(f.pos),
-                       col.begin() + static_cast<ptrdiff_t>(f.hi), key) -
+      std::lower_bound(col.begin() + static_cast<ptrdiff_t>(base),
+                       col.begin() + static_cast<ptrdiff_t>(search_hi), key) -
       col.begin());
   FixGroup();
 }
@@ -160,6 +171,10 @@ int64_t RelationTrieIterator::EstimateKeys() const {
   XJ_DCHECK(depth_ >= 0);
   const Frame& f = frames_[static_cast<size_t>(depth_)];
   return static_cast<int64_t>(f.hi - f.pos);
+}
+
+std::unique_ptr<TrieIterator> RelationTrieIterator::Clone() const {
+  return std::make_unique<RelationTrieIterator>(trie_);
 }
 
 }  // namespace xjoin

@@ -61,6 +61,7 @@ class RelationTrieIterator final : public TrieIterator {
   void Next() override;
   void Seek(int64_t key) override;
   int64_t EstimateKeys() const override;
+  std::unique_ptr<TrieIterator> Clone() const override;
 
  private:
   struct Frame {

@@ -10,6 +10,7 @@
 #define XJOIN_RELATIONAL_TRIE_ITERATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,11 @@ namespace xjoin {
 ///   key, Next() advances to the next distinct key, Seek(k) advances to the
 ///   least key >= k (never moves backward), and AtEnd() reports exhaustion
 ///   of the level. Calling Key/Next/Seek while AtEnd() is invalid.
+///
+/// Threading: an iterator is single-threaded, but distinct iterators over
+/// the same underlying data (see Clone()) may be driven from different
+/// threads concurrently — implementations must keep all mutable state
+/// inside the iterator and treat the backing trie/document as immutable.
 class TrieIterator {
  public:
   virtual ~TrieIterator() = default;
@@ -60,6 +66,16 @@ class TrieIterator {
   /// planners to pick the smallest iterator to lead a leapfrog). A rough
   /// upper bound is fine.
   virtual int64_t EstimateKeys() const = 0;
+
+  /// Creates a fresh, independent iterator over the same underlying trie,
+  /// positioned at the virtual root (depth() == -1) regardless of this
+  /// iterator's current position. The clone shares only immutable backing
+  /// data (sorted columns, the document, the node index) and may therefore
+  /// be used from a different thread than the original — this is what the
+  /// sharded generic-join driver relies on to give every shard its own
+  /// cursor stack with zero shared mutable state. The backing data must
+  /// outlive the clone, exactly as it must outlive the original.
+  virtual std::unique_ptr<TrieIterator> Clone() const = 0;
 };
 
 }  // namespace xjoin

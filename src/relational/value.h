@@ -45,7 +45,9 @@ class Value {
 
   int64_t AsInt64() const { return std::get<int64_t>(payload_); }
   double AsDouble() const { return std::get<double>(payload_); }
-  const std::string& AsString() const { return std::get<std::string>(payload_); }
+  const std::string& AsString() const {
+    return std::get<std::string>(payload_);
+  }
 
   /// Canonical textual form: what Encode() interns into the dictionary.
   std::string ToString() const;
@@ -53,7 +55,9 @@ class Value {
   /// Interns this value's canonical textual form, returning its code.
   int64_t Encode(Dictionary* dict) const { return dict->Intern(ToString()); }
 
-  bool operator==(const Value& other) const { return payload_ == other.payload_; }
+  bool operator==(const Value& other) const {
+    return payload_ == other.payload_;
+  }
 
  private:
   std::variant<int64_t, double, std::string> payload_;

@@ -36,7 +36,8 @@ bool Expand(SearchState* s, TwigNodeId q) {
     if (qn.tag != "*" && code < 0) return true;  // tag absent: no matches
     for (size_t i = 0; i < s->doc->num_nodes(); ++i) {
       NodeId id = static_cast<NodeId>(i);
-      if (qn.tag == "*" || s->doc->node(id).tag == code) candidates.push_back(id);
+      if (qn.tag == "*" || s->doc->node(id).tag == code)
+        candidates.push_back(id);
     }
   } else {
     NodeId bound_parent = s->current[static_cast<size_t>(qn.parent)];
@@ -72,7 +73,8 @@ std::vector<TwigMatch> MatchTwigNaive(const XmlDocument& doc, const Twig& twig,
                                       size_t limit) {
   std::vector<TwigMatch> out;
   if (twig.num_nodes() == 0 || doc.num_nodes() == 0) return out;
-  SearchState s{&doc, &twig, limit, &out, TwigMatch(twig.num_nodes(), kNullNode)};
+  SearchState s{&doc, &twig, limit, &out,
+                TwigMatch(twig.num_nodes(), kNullNode)};
   Expand(&s, twig.root());
   return out;
 }
@@ -83,7 +85,8 @@ bool IsValidMatch(const XmlDocument& doc, const Twig& twig,
   for (size_t i = 0; i < twig.num_nodes(); ++i) {
     const TwigNode& qn = twig.node(static_cast<TwigNodeId>(i));
     NodeId bound = match[i];
-    if (bound < 0 || static_cast<size_t>(bound) >= doc.num_nodes()) return false;
+    if (bound < 0 || static_cast<size_t>(bound) >= doc.num_nodes())
+      return false;
     if (!TagMatches(doc, bound, qn.tag)) return false;
     if (qn.parent != kNullTwigNode) {
       NodeId parent_bound = match[static_cast<size_t>(qn.parent)];

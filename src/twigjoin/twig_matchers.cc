@@ -45,10 +45,12 @@ Result<std::vector<TwigMatch>> RelationToMatches(const Twig& twig,
                                                  const Relation& relation) {
   std::vector<size_t> col_of_node(twig.num_nodes());
   for (size_t i = 0; i < twig.num_nodes(); ++i) {
-    int c = relation.schema().IndexOf(twig.node(static_cast<TwigNodeId>(i)).attribute);
+    int c = relation.schema().IndexOf(
+        twig.node(static_cast<TwigNodeId>(i)).attribute);
     if (c < 0) {
-      return Status::InvalidArgument("relation lacks twig attribute " +
-                                     twig.node(static_cast<TwigNodeId>(i)).attribute);
+      return Status::InvalidArgument(
+          "relation lacks twig attribute " +
+          twig.node(static_cast<TwigNodeId>(i)).attribute);
     }
     col_of_node[i] = static_cast<size_t>(c);
   }
@@ -135,7 +137,8 @@ std::vector<std::vector<NodeId>> MatchPathStack(
 
   // Recursive chain expansion from a just-pushed leaf entry.
   std::vector<NodeId> partial(k);
-  auto expand = [&](auto&& self, size_t level, const StackEntry& entry) -> void {
+  auto expand = [&](auto&& self, size_t level,
+                    const StackEntry& entry) -> void {
     partial[level] = entry.node;
     if (level == 0) {
       solutions.emplace_back(partial);
@@ -168,7 +171,8 @@ std::vector<std::vector<NodeId>> MatchPathStack(
     NodeId v = static_cast<NodeId>(best);
     // Clean all stacks: entries whose region ended before v are dead.
     for (auto& s : stacks) {
-      while (!s.empty() && doc.node(s.back().node).subtree_end < v) s.pop_back();
+      while (!s.empty() && doc.node(s.back().node).subtree_end < v)
+        s.pop_back();
     }
     ++cursor[qmin];
     if (qmin > 0 && stacks[qmin - 1].empty()) {
@@ -198,7 +202,8 @@ Result<Relation> MatchTwigPathStack(const XmlDocument& doc,
   int64_t total_path_solutions = 0;
   for (TwigNodeId leaf : leaves) {
     std::vector<TwigNodeId> path = twig.PathFromRoot(leaf);
-    std::vector<std::vector<NodeId>> sols = MatchPathStack(doc, index, twig, path);
+    std::vector<std::vector<NodeId>> sols =
+        MatchPathStack(doc, index, twig, path);
     total_path_solutions += static_cast<int64_t>(sols.size());
     std::vector<std::string> attrs;
     attrs.reserve(path.size());

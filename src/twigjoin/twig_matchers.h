@@ -54,10 +54,9 @@ Result<Relation> MatchTwigPathStack(const XmlDocument& doc,
 /// Matches one root-to-leaf chain (`path` = twig node ids, root first)
 /// with the linked-stack PathStack algorithm; returns one column per
 /// path node, bindings in document order of the leaf.
-std::vector<std::vector<NodeId>> MatchPathStack(const XmlDocument& doc,
-                                                const NodeIndex& index,
-                                                const Twig& twig,
-                                                const std::vector<TwigNodeId>& path);
+std::vector<std::vector<NodeId>> MatchPathStack(
+    const XmlDocument& doc, const NodeIndex& index, const Twig& twig,
+    const std::vector<TwigNodeId>& path);
 
 }  // namespace xjoin
 

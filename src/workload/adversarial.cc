@@ -31,7 +31,8 @@ Result<AdversarialInstance> MakeAgmTightInstance(
     // constraint per edge is sum y_a <= log2(n), so the per-attribute
     // domain is 2^{y_a} = n^{y_a / log2 n}.
     double y = cover.attribute_weights[a];
-    int64_t d = std::max<int64_t>(1, static_cast<int64_t>(std::floor(std::exp2(y))));
+    int64_t d =
+        std::max<int64_t>(1, static_cast<int64_t>(std::floor(std::exp2(y))));
     inst.domain_sizes[attrs[a]] = d;
     inst.expected_join_size *= static_cast<double>(d);
   }

@@ -74,8 +74,9 @@ BookstoreInstance MakeBookstore(const BookstoreOptions& options) {
   const char* countries[] = {"FI", "DE", "US", "JP", "BR"};
   inst.customers = std::make_unique<Relation>(*cust_schema);
   for (int64_t i = 0; i < options.num_users; ++i) {
-    inst.customers->AppendRow({inst.dict->Intern(UserId(i)),
-                               inst.dict->Intern(countries[rng.NextBounded(5)])});
+    inst.customers->AppendRow(
+        {inst.dict->Intern(UserId(i)),
+         inst.dict->Intern(countries[rng.NextBounded(5)])});
   }
 
   const char* genres[] = {"databases", "systems", "theory", "ml", "networks"};

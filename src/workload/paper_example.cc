@@ -117,8 +117,10 @@ PaperInstance MakePaperInstance(int64_t n, PaperSchema schema,
     inst.r2 = std::make_unique<Relation>(*s2);
     for (int64_t i = 1; i <= n; ++i) {
       if (mode == PaperDataMode::kAdversarial) {
-        inst.r1->AppendRow({code("a", 1), code("b", i), code("c", i), code("d", i)});
-        inst.r2->AppendRow({code("e", i), code("f", 1), code("g", i), code("h", i)});
+        inst.r1->AppendRow(
+            {code("a", 1), code("b", i), code("c", i), code("d", i)});
+        inst.r2->AppendRow(
+            {code("e", i), code("f", 1), code("g", i), code("h", i)});
       } else {
         inst.r1->AppendRow({pick("a"), pick("b"), pick("c"), pick("d")});
         inst.r2->AppendRow({pick("e"), pick("f"), pick("g"), pick("h")});

@@ -30,7 +30,8 @@ Status XmlDocument::Validate() const {
         static_cast<size_t>(n.subtree_end) >= nodes_.size() + 0u ||
         n.subtree_end >= static_cast<NodeId>(nodes_.size())) {
       return Status::Internal("node " + std::to_string(i) +
-                              ": bad subtree_end " + std::to_string(n.subtree_end));
+                              ": bad subtree_end " +
+                              std::to_string(n.subtree_end));
     }
     if (n.parent != kNullNode) {
       const XmlNode& p = nodes_[static_cast<size_t>(n.parent)];

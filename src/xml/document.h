@@ -36,7 +36,9 @@ struct XmlNode {
 class XmlDocument {
  public:
   size_t num_nodes() const { return nodes_.size(); }
-  const XmlNode& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  const XmlNode& node(NodeId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
 
   /// The root element; kNullNode for an empty document.
   NodeId root() const { return nodes_.empty() ? kNullNode : 0; }

@@ -35,16 +35,18 @@ NodeIndex NodeIndex::Build(const XmlDocument* doc, Dictionary* dict,
         ValueNode{index.values_[i], static_cast<NodeId>(i)});
   }
   for (auto& list : index.by_tag_value_) {
-    std::sort(list.begin(), list.end(), [](const ValueNode& a, const ValueNode& b) {
-      if (a.value != b.value) return a.value < b.value;
-      return a.node < b.node;
-    });
+    std::sort(list.begin(), list.end(),
+              [](const ValueNode& a, const ValueNode& b) {
+                if (a.value != b.value) return a.value < b.value;
+                return a.node < b.node;
+              });
   }
   return index;
 }
 
 const std::vector<NodeId>& NodeIndex::NodesByTag(int32_t tag) const {
-  if (tag < 0 || static_cast<size_t>(tag) >= by_tag_.size()) return empty_nodes_;
+  if (tag < 0 || static_cast<size_t>(tag) >= by_tag_.size())
+    return empty_nodes_;
   return by_tag_[static_cast<size_t>(tag)];
 }
 
@@ -55,7 +57,8 @@ const std::vector<ValueNode>& NodeIndex::ValueSortedNodes(int32_t tag) const {
   return by_tag_value_[static_cast<size_t>(tag)];
 }
 
-std::vector<ValueNode> NodeIndex::ChildValues(NodeId parent, int32_t tag) const {
+std::vector<ValueNode> NodeIndex::ChildValues(NodeId parent,
+                                              int32_t tag) const {
   std::vector<ValueNode> out;
   for (NodeId c = doc_->node(parent).first_child; c != kNullNode;
        c = doc_->node(c).next_sibling) {
@@ -86,7 +89,8 @@ std::vector<ValueNode> NodeIndex::DescendantValues(NodeId ancestor,
   return out;
 }
 
-std::vector<NodeId> NodeIndex::NodesByTagValue(int32_t tag, int64_t value) const {
+std::vector<NodeId> NodeIndex::NodesByTagValue(int32_t tag,
+                                               int64_t value) const {
   const auto& list = ValueSortedNodes(tag);
   std::vector<NodeId> out;
   auto cmp = [](const ValueNode& a, int64_t v) { return a.value < v; };

@@ -139,10 +139,12 @@ class Parser {
         base = 16;
         digits = digits.substr(1);
       }
-      if (digits.empty()) return Error("bad character reference &" + entity + ";");
+      if (digits.empty())
+        return Error("bad character reference &" + entity + ";");
       char* end = nullptr;
       long code = std::strtol(digits.c_str(), &end, base);
-      if (end != digits.c_str() + digits.size() || code <= 0 || code > 0x10FFFF) {
+      if (end != digits.c_str() + digits.size() || code <= 0 ||
+          code > 0x10FFFF) {
         return Error("bad character reference &" + entity + ";");
       }
       // Encode as UTF-8.
@@ -233,8 +235,8 @@ class Parser {
           Consume("</");
           XJ_ASSIGN_OR_RETURN(std::string closing, ParseName());
           if (closing != tag) {
-            return Error("mismatched close tag </" + closing + ">, expected </" +
-                         tag + ">");
+            return Error("mismatched close tag </" + closing +
+                         ">, expected </" + tag + ">");
           }
           SkipWhitespace();
           if (!Consume(">")) return Error("expected '>' in close tag");

@@ -38,8 +38,9 @@ namespace {
 void WriteNode(const XmlDocument& doc, NodeId id, const XmlWriteOptions& opts,
                int indent, std::ostringstream* out) {
   const XmlNode& n = doc.node(id);
-  std::string pad = opts.indent ? std::string(static_cast<size_t>(indent) * 2, ' ')
-                                : std::string();
+  std::string pad = opts.indent
+                        ? std::string(static_cast<size_t>(indent) * 2, ' ')
+                        : std::string();
   const std::string& tag = doc.TagName(id);
   *out << pad << "<" << tag;
 

@@ -16,7 +16,8 @@ struct XmlWriteOptions {
 };
 
 /// Renders the document as XML text.
-std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options = {});
+std::string WriteXml(const XmlDocument& doc,
+                     const XmlWriteOptions& options = {});
 
 /// Escapes &, <, >, ", ' for use in character data / attribute values.
 std::string EscapeXml(const std::string& raw);

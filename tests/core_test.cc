@@ -268,8 +268,8 @@ TEST_P(GenericJoinProperty, MatchesHashJoinPlan) {
     }
     if (attrs.empty()) attrs.push_back(pool[rng.NextBounded(4)]);
     schemas.push_back(attrs);
-    rels.push_back(
-        testing::RandomRelation(&rng, &dict, attrs, 5 + rng.NextBounded(25), 4));
+    rels.push_back(testing::RandomRelation(&rng, &dict, attrs,
+                                           5 + rng.NextBounded(25), 4));
   }
   // Global order: union of attrs in pool order.
   std::vector<std::string> order;
@@ -441,7 +441,8 @@ TEST(ValidateTest, PartialAssignmentsAreSound) {
   EXPECT_TRUE(v.ExistsEmbedding({val("1"), std::nullopt}));
   EXPECT_TRUE(v.ExistsEmbedding({std::nullopt, val("x")}));
   EXPECT_TRUE(v.ExistsEmbedding({std::nullopt, std::nullopt}));
-  EXPECT_FALSE(v.ExistsEmbedding({val("x"), std::nullopt}));  // no a with text x
+  // No a-node with text x.
+  EXPECT_FALSE(v.ExistsEmbedding({val("x"), std::nullopt}));
 }
 
 TEST(ValidateTest, DescendantEdgesChecked) {

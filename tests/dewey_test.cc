@@ -55,8 +55,8 @@ TEST(DeweyTest, LowestCommonAncestor) {
   DeweyLabel b = {1, 0, 3, 1};
   DeweyLabel lca = DeweyLabeling::LowestCommonAncestor(a, b);
   EXPECT_EQ(DeweyLabeling::ToString(lca), "1.0");
-  EXPECT_TRUE(
-      DeweyLabeling::LowestCommonAncestor(DeweyLabel{0}, DeweyLabel{1}).empty());
+  EXPECT_TRUE(DeweyLabeling::LowestCommonAncestor(DeweyLabel{0}, DeweyLabel{1})
+                  .empty());
 }
 
 // Property: on random documents, Dewey predicates agree with the region

@@ -32,7 +32,8 @@ TEST(CsvFileTest, ReadsFromDisk) {
 
 TEST(CsvFileTest, MissingFileFails) {
   Dictionary dict;
-  auto rel = ReadCsvFile(TempPath("definitely_missing.csv"), CsvOptions{}, &dict);
+  auto rel =
+      ReadCsvFile(TempPath("definitely_missing.csv"), CsvOptions{}, &dict);
   EXPECT_FALSE(rel.ok());
   EXPECT_EQ(rel.status().code(), StatusCode::kIOError);
 }

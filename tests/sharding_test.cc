@@ -1,0 +1,325 @@
+// Tests for the sharded generic-join executor and the TrieIterator
+// Clone() contract: sharded runs must be byte-identical to serial runs
+// on every workload, and every iterator implementation must produce
+// root-positioned, independent clones.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/decompose.h"
+#include "core/generic_join.h"
+#include "core/virtual_relation.h"
+#include "core/xjoin.h"
+#include "relational/trie.h"
+#include "tests/test_util.h"
+#include "workload/adversarial.h"
+#include "workload/paper_example.h"
+#include "workload/xmark.h"
+#include "xml/parser.h"
+
+namespace xjoin {
+namespace {
+
+// Byte-identical: same schema, same rows, same row order.
+void ExpectByteIdentical(const Relation& serial, const Relation& sharded) {
+  ASSERT_EQ(serial.schema().attributes(), sharded.schema().attributes());
+  ASSERT_EQ(serial.num_rows(), sharded.num_rows());
+  EXPECT_EQ(serial.ToTuples(), sharded.ToTuples());
+}
+
+// Depth-first enumeration of every tuple below the iterator's current
+// position (must be at the virtual root for a full enumeration).
+std::vector<Tuple> EnumerateIterator(TrieIterator* it) {
+  std::vector<Tuple> out;
+  Tuple current(static_cast<size_t>(it->arity()));
+  auto recurse = [&](auto&& self) -> void {
+    it->Open();
+    while (!it->AtEnd()) {
+      current[static_cast<size_t>(it->depth())] = it->Key();
+      if (it->depth() + 1 == it->arity()) {
+        out.push_back(current);
+      } else {
+        self(self);
+      }
+      it->Next();
+    }
+    it->Up();
+  };
+  recurse(recurse);
+  return out;
+}
+
+// Triangle join fixture R(A,B) ⋈ S(B,C) ⋈ T(A,C) over random data big
+// enough that every shard count below gets a non-trivial key slice.
+struct TriangleFixture {
+  std::optional<RelationTrie> tr, ts, tt;
+  std::unique_ptr<TrieIterator> ir, is, it;
+
+  explicit TriangleFixture(int n) {
+    auto mk = [](std::vector<Tuple> t, std::vector<std::string> attrs) {
+      auto s = Schema::Make(attrs);
+      return *Relation::FromTuples(*s, std::move(t));
+    };
+    std::vector<Tuple> r_rows, s_rows, t_rows;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if ((i * 7 + j * 3) % 5 == 0) r_rows.push_back({i, j});
+        if ((i * 5 + j * 2) % 4 == 0) s_rows.push_back({i, j});
+        if ((i * 3 + j * 11) % 6 == 0) t_rows.push_back({i, j});
+      }
+    }
+    tr = *RelationTrie::Build(mk(r_rows, {"A", "B"}), {"A", "B"});
+    ts = *RelationTrie::Build(mk(s_rows, {"B", "C"}), {"B", "C"});
+    tt = *RelationTrie::Build(mk(t_rows, {"A", "C"}), {"A", "C"});
+    ir = tr->NewIterator();
+    is = ts->NewIterator();
+    it = tt->NewIterator();
+  }
+
+  std::vector<JoinInput> Inputs() {
+    return {{"R", {"A", "B"}, ir.get()},
+            {"S", {"B", "C"}, is.get()},
+            {"T", {"A", "C"}, it.get()}};
+  }
+};
+
+TEST(ShardedGenericJoinTest, ShardCountsMatchSerialByteForByte) {
+  TriangleFixture fx(20);
+  GenericJoinOptions serial_opts;
+  serial_opts.attribute_order = {"A", "B", "C"};
+  auto serial = GenericJoin(fx.Inputs(), serial_opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_GT(serial->num_rows(), 0u);
+
+  for (int shards : {2, 3, 7, 16}) {
+    for (int threads : {1, 4}) {
+      GenericJoinOptions opts = serial_opts;
+      opts.num_threads = threads;
+      opts.num_shards = shards;
+      auto sharded = GenericJoin(fx.Inputs(), opts);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      ExpectByteIdentical(*serial, *sharded);
+    }
+  }
+}
+
+TEST(ShardedGenericJoinTest, BindingCountersEqualSerialCounters) {
+  TriangleFixture fx(20);
+  GenericJoinOptions opts;
+  opts.attribute_order = {"A", "B", "C"};
+  Metrics serial_m;
+  opts.metrics = &serial_m;
+  ASSERT_TRUE(GenericJoin(fx.Inputs(), opts).ok());
+
+  Metrics sharded_m;
+  opts.metrics = &sharded_m;
+  opts.num_threads = 4;
+  ASSERT_TRUE(GenericJoin(fx.Inputs(), opts).ok());
+
+  // Per-level binding counts are exact sums over shards.
+  for (int d = 0; d < 3; ++d) {
+    std::string name = "gj.level" + std::to_string(d) + ".bindings";
+    EXPECT_EQ(sharded_m.Get(name), serial_m.Get(name)) << name;
+  }
+  EXPECT_EQ(sharded_m.Get("gj.total_intermediate"),
+            serial_m.Get("gj.total_intermediate"));
+  EXPECT_EQ(sharded_m.Get("gj.output"), serial_m.Get("gj.output"));
+  EXPECT_GE(sharded_m.Get("gj.shards"), 2);
+  EXPECT_GT(sharded_m.Get("gj.plan_seeks"), 0);
+}
+
+TEST(ShardedGenericJoinTest, MoreShardsThanKeysDegradesGracefully) {
+  TriangleFixture fx(6);
+  GenericJoinOptions serial_opts;
+  serial_opts.attribute_order = {"A", "B", "C"};
+  auto serial = GenericJoin(fx.Inputs(), serial_opts);
+  ASSERT_TRUE(serial.ok());
+
+  GenericJoinOptions opts = serial_opts;
+  opts.num_threads = 4;
+  opts.num_shards = 1000;  // far more than distinct level-0 keys
+  auto sharded = GenericJoin(fx.Inputs(), opts);
+  ASSERT_TRUE(sharded.ok());
+  ExpectByteIdentical(*serial, *sharded);
+}
+
+TEST(ShardedGenericJoinTest, EmptyIntersectionYieldsEmptyResult) {
+  auto mk = [](std::vector<Tuple> t, std::vector<std::string> attrs) {
+    auto s = Schema::Make(attrs);
+    return *Relation::FromTuples(*s, std::move(t));
+  };
+  Relation r = mk({{0, 1}, {1, 2}}, {"A", "B"});
+  Relation t = mk({{5, 7}, {6, 8}}, {"A", "C"});  // disjoint A domain
+  auto tr = RelationTrie::Build(r, {"A", "B"});
+  auto tt = RelationTrie::Build(t, {"A", "C"});
+  auto ir = tr->NewIterator();
+  auto it = tt->NewIterator();
+  GenericJoinOptions opts;
+  opts.attribute_order = {"A", "B", "C"};
+  opts.num_threads = 4;
+  auto result = GenericJoin(
+      {{"R", {"A", "B"}, ir.get()}, {"T", {"A", "C"}, it.get()}}, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST(ShardedGenericJoinTest, ShardedRunIsDeterministic) {
+  TriangleFixture fx(20);
+  GenericJoinOptions opts;
+  opts.attribute_order = {"A", "B", "C"};
+  opts.num_threads = 4;
+  auto a = GenericJoin(fx.Inputs(), opts);
+  auto b = GenericJoin(fx.Inputs(), opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectByteIdentical(*a, *b);
+}
+
+// --- XJoin-level equivalence on the seed workloads -----------------------
+
+void ExpectShardedXJoinMatchesSerial(const MultiModelQuery& query,
+                                     XJoinOptions base) {
+  base.num_threads = 1;
+  base.num_shards = 0;
+  auto serial = ExecuteXJoin(query, base);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int threads : {2, 4}) {
+    for (int shards : {0, 3}) {
+      XJoinOptions opts = base;
+      opts.num_threads = threads;
+      opts.num_shards = shards;
+      auto sharded = ExecuteXJoin(query, opts);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shards=" + std::to_string(shards));
+      ExpectByteIdentical(*serial, *sharded);
+    }
+  }
+}
+
+TEST(ShardedXJoinTest, PaperExampleWorkloads) {
+  for (PaperSchema schema :
+       {PaperSchema::kExample33, PaperSchema::kExample34}) {
+    for (PaperDataMode mode :
+         {PaperDataMode::kAdversarial, PaperDataMode::kRandom}) {
+      PaperInstance inst = MakePaperInstance(5, schema, mode);
+      MultiModelQuery q = inst.Query();
+      ExpectShardedXJoinMatchesSerial(q, XJoinOptions{});
+    }
+  }
+}
+
+TEST(ShardedXJoinTest, PaperExampleWithPruningAndMaterializedPaths) {
+  PaperInstance inst = MakePaperInstance(5, PaperSchema::kExample34,
+                                         PaperDataMode::kRandom);
+  MultiModelQuery q = inst.Query();
+  XJoinOptions pruning;
+  pruning.structural_pruning = true;
+  ExpectShardedXJoinMatchesSerial(q, pruning);
+  XJoinOptions materialized;
+  materialized.materialize_paths = true;
+  ExpectShardedXJoinMatchesSerial(q, materialized);
+}
+
+TEST(ShardedXJoinTest, AdversarialAgmTightWorkload) {
+  auto inst = MakeAgmTightInstance({{"A", "B"}, {"B", "C"}, {"C", "A"}}, 64);
+  ASSERT_TRUE(inst.ok());
+  MultiModelQuery q;
+  for (size_t i = 0; i < inst->relations.size(); ++i) {
+    q.relations.push_back(
+        {"R" + std::to_string(i + 1), inst->relations[i].get()});
+  }
+  ExpectShardedXJoinMatchesSerial(q, XJoinOptions{});
+}
+
+TEST(ShardedXJoinTest, XMarkWorkloads) {
+  XMarkOptions opts;
+  opts.num_items = 40;
+  opts.num_persons = 25;
+  opts.num_open_auctions = 30;
+  opts.num_closed_auctions = 25;
+  XMarkInstance inst = MakeXMark(opts);
+  for (MultiModelQuery q :
+       {inst.ClosedAuctionQuery(), inst.OpenAuctionQuery()}) {
+    ExpectShardedXJoinMatchesSerial(q, XJoinOptions{});
+  }
+}
+
+// --- Clone() conformance -------------------------------------------------
+
+// The contract every implementation must satisfy: a clone starts at the
+// virtual root, enumerates the full trie, and leaves the original's
+// cursor untouched (and vice versa).
+void CheckCloneConformance(TrieIterator* original) {
+  // A clone of a root-positioned iterator enumerates the same tuples.
+  std::vector<Tuple> reference = EnumerateIterator(original);
+  auto fresh = original->Clone();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->arity(), original->arity());
+  EXPECT_EQ(fresh->depth(), -1);
+  EXPECT_EQ(EnumerateIterator(fresh.get()), reference);
+
+  if (reference.empty()) return;
+
+  // A clone taken mid-walk is root-positioned and unaffected by (and does
+  // not affect) the original's ongoing iteration.
+  original->Open();
+  ASSERT_FALSE(original->AtEnd());
+  int64_t key_before = original->Key();
+  auto mid = original->Clone();
+  EXPECT_EQ(mid->depth(), -1);
+  EXPECT_EQ(EnumerateIterator(mid.get()), reference);
+  EXPECT_EQ(original->depth(), 0);
+  EXPECT_EQ(original->Key(), key_before);
+  original->Up();
+  EXPECT_EQ(EnumerateIterator(original), reference);
+
+  // Clones of clones keep the contract.
+  auto second = mid->Clone();
+  EXPECT_EQ(EnumerateIterator(second.get()), reference);
+}
+
+TEST(CloneConformanceTest, RelationTrieIterator) {
+  auto schema = Schema::Make({"A", "B", "C"});
+  Relation rel(*schema);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 4; ++j) rel.AppendRow({i, j, (i + j) % 3});
+  }
+  auto trie = RelationTrie::Build(rel, {"A", "B", "C"});
+  ASSERT_TRUE(trie.ok());
+  auto it = trie->NewIterator();
+  CheckCloneConformance(it.get());
+}
+
+TEST(CloneConformanceTest, RelationTrieIteratorEmptyRelation) {
+  auto schema = Schema::Make({"A"});
+  Relation rel(*schema);
+  auto trie = RelationTrie::Build(rel, {"A"});
+  ASSERT_TRUE(trie.ok());
+  auto it = trie->NewIterator();
+  CheckCloneConformance(it.get());
+}
+
+TEST(CloneConformanceTest, LazyPathTrieIterator) {
+  auto doc = ParseXml(
+      "<r><a>1<b>x</b><b>y</b></a><a>2<b>x</b></a><a>3<b>z</b></a></r>");
+  ASSERT_TRUE(doc.ok());
+  Dictionary dict;
+  NodeIndex index = NodeIndex::Build(&*doc, &dict);
+  auto twig = Twig::Parse("a/b");
+  ASSERT_TRUE(twig.ok());
+  auto d = DecomposeTwig(*twig);
+  ASSERT_TRUE(d.ok());
+  auto rel = PathRelation::Make(*twig, d->paths[0], &index);
+  ASSERT_TRUE(rel.ok());
+  auto it = rel->NewLazyIterator();
+  CheckCloneConformance(it.get());
+}
+
+}  // namespace
+}  // namespace xjoin

@@ -76,7 +76,8 @@ TEST(TwigStackTest, NestedSameTagAncestors) {
 TEST(TwigStackTest, SuboptimalityCounterOnPcTwigs) {
   // The classic P-C weakness: elements pushed that never join.
   std::string xml = "<root>";
-  for (int i = 0; i < 8; ++i) xml += "<a><m><b/></m></a>";  // a/b fails (depth 2)
+  // a/b fails (depth 2).
+  for (int i = 0; i < 8; ++i) xml += "<a><m><b/></m></a>";
   xml += "<a><b/></a></root>";
   auto doc = ParseXml(xml);
   Dictionary dict;

@@ -116,7 +116,8 @@ TEST(XJoinTest, PaperInstanceTwigAloneHasN5Embeddings) {
 }
 
 TEST(XJoinTest, AgreesWithBaselineOnPaperInstances) {
-  for (PaperSchema schema : {PaperSchema::kExample33, PaperSchema::kExample34}) {
+  for (PaperSchema schema :
+       {PaperSchema::kExample33, PaperSchema::kExample34}) {
     for (PaperDataMode mode :
          {PaperDataMode::kAdversarial, PaperDataMode::kRandom}) {
       PaperInstance inst = MakePaperInstance(4, schema, mode);
