@@ -1,15 +1,38 @@
 // Micro-1 (google-benchmark): trie construction, seek costs, and
 // leapfrog intersection vs binary hash join on the relational substrate.
+//
+// The CSR level-array RelationTrie is benchmarked against a copy of the
+// pre-CSR layout (sorted columns + per-row binary-search cursors, the
+// repo's original implementation — see legacy_trie.h, kept in its own
+// translation unit so inlining stays symmetric) so build-time and
+// Seek-latency speedups are measurable from one binary:
+//
+//   BM_TrieBuild            vs  BM_TrieBuildLegacy
+//   BM_TrieSeek             vs  BM_TrieSeekLegacy
+//   BM_TrieIterateSeekHeavy vs  BM_TrieIterateSeekHeavyLegacy
+//
+// Accepts `--json=PATH` (shorthand for google-benchmark's
+// --benchmark_out=PATH --benchmark_out_format=json) so CI can archive
+// the numbers as a perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
 
 #include "common/dictionary.h"
 #include "common/random.h"
 #include "core/generic_join.h"
+#include "legacy_trie.h"
 #include "relational/operators.h"
 #include "relational/trie.h"
 
 namespace xjoin {
 namespace {
+
+using bench::LegacySortedColumnTrie;
 
 Relation RandomBinary(Rng* rng, int64_t rows, int64_t domain) {
   auto schema = Schema::Make({"A", "B"});
@@ -23,6 +46,7 @@ Relation RandomBinary(Rng* rng, int64_t rows, int64_t domain) {
   return rel;
 }
 
+// --- Build: CSR + radix vs legacy comparator sort ----------------------
 void BM_TrieBuild(benchmark::State& state) {
   Rng rng(1);
   Relation rel = RandomBinary(&rng, state.range(0), state.range(0) / 4 + 1);
@@ -34,6 +58,18 @@ void BM_TrieBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TrieBuild)->Arg(1000)->Arg(10000)->Arg(100000);
 
+void BM_TrieBuildLegacy(benchmark::State& state) {
+  Rng rng(1);  // same seed: same data as BM_TrieBuild
+  Relation rel = RandomBinary(&rng, state.range(0), state.range(0) / 4 + 1);
+  for (auto _ : state) {
+    auto trie = LegacySortedColumnTrie::Build(rel, {"A", "B"});
+    benchmark::DoNotOptimize(trie);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrieBuildLegacy)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// --- Seek latency: one cold gallop+bsearch per iteration ---------------
 void BM_TrieSeek(benchmark::State& state) {
   Rng rng(2);
   Relation rel = RandomBinary(&rng, state.range(0), state.range(0));
@@ -50,7 +86,77 @@ void BM_TrieSeek(benchmark::State& state) {
 }
 BENCHMARK(BM_TrieSeek)->Arg(10000)->Arg(100000);
 
-// Triangle query: leapfrog (GenericJoin) vs binary hash joins.
+void BM_TrieSeekLegacy(benchmark::State& state) {
+  Rng rng(2);  // same seed: same data as BM_TrieSeek
+  Relation rel = RandomBinary(&rng, state.range(0), state.range(0));
+  auto trie = LegacySortedColumnTrie::Build(rel, {"A", "B"});
+  Rng probe_rng(3);
+  for (auto _ : state) {
+    auto it = trie.NewIterator();
+    it->Open();
+    int64_t target = static_cast<int64_t>(
+        probe_rng.NextBounded(static_cast<uint64_t>(state.range(0))));
+    if (!it->AtEnd() && it->Key() <= target) it->Seek(target);
+    benchmark::DoNotOptimize(it);
+  }
+}
+BENCHMARK(BM_TrieSeekLegacy)->Arg(10000)->Arg(100000);
+
+// --- Seek-heavy iteration: the generic-join access pattern -------------
+// Walk level 0 by seeking ahead a few keys at a time; under each
+// binding, open level 1 and drain it with Next(). This is the inner
+// loop shape of a leapfrog join (many short seeks, many per-parent
+// child scans) and is where O(1) Open/Next and per-parent seek ranges
+// pay off against full-row-range binary searches.
+void BM_TrieIterateSeekHeavy(benchmark::State& state) {
+  Rng rng(5);
+  Relation rel = RandomBinary(&rng, state.range(0), state.range(0) / 4 + 1);
+  auto trie = RelationTrie::Build(rel, {"A", "B"});
+  for (auto _ : state) {
+    int64_t sum = 0;
+    auto it = trie->NewIterator();
+    it->Open();
+    while (!it->AtEnd()) {
+      it->Open();
+      while (!it->AtEnd()) {
+        sum += it->Key();
+        it->Next();
+      }
+      it->Up();
+      int64_t next_target = it->Key() + 3;
+      it->Seek(next_target);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrieIterateSeekHeavy)->Arg(10000)->Arg(100000);
+
+void BM_TrieIterateSeekHeavyLegacy(benchmark::State& state) {
+  Rng rng(5);  // same seed: same data as BM_TrieIterateSeekHeavy
+  Relation rel = RandomBinary(&rng, state.range(0), state.range(0) / 4 + 1);
+  auto trie = LegacySortedColumnTrie::Build(rel, {"A", "B"});
+  for (auto _ : state) {
+    int64_t sum = 0;
+    auto it = trie.NewIterator();
+    it->Open();
+    while (!it->AtEnd()) {
+      it->Open();
+      while (!it->AtEnd()) {
+        sum += it->Key();
+        it->Next();
+      }
+      it->Up();
+      int64_t next_target = it->Key() + 3;
+      it->Seek(next_target);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrieIterateSeekHeavyLegacy)->Arg(10000)->Arg(100000);
+
+// --- Triangle query: leapfrog (GenericJoin) vs binary hash joins -------
 void BM_TriangleLeapfrog(benchmark::State& state) {
   Rng rng(4);
   int64_t rows = state.range(0);
@@ -111,4 +217,31 @@ BENCHMARK(BM_TriangleHashJoin)->Arg(1000)->Arg(5000);
 }  // namespace
 }  // namespace xjoin
 
-BENCHMARK_MAIN();
+// Custom main: translate `--json=PATH` into google-benchmark's
+// --benchmark_out flags before initialization; everything else passes
+// through untouched.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "legacy_trie.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace xjoin {
+namespace bench {
+
+LegacySortedColumnTrie LegacySortedColumnTrie::Build(
+    const Relation& relation, const std::vector<std::string>& order) {
+  std::vector<size_t> perm;
+  for (const auto& name : order) {
+    perm.push_back(static_cast<size_t>(relation.schema().IndexOf(name)));
+  }
+  const size_t n = relation.num_rows();
+  const size_t k = order.size();
+  std::vector<size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+    for (size_t c = 0; c < k; ++c) {
+      int64_t va = relation.at(a, perm[c]);
+      int64_t vb = relation.at(b, perm[c]);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  });
+  LegacySortedColumnTrie trie;
+  trie.cols_.resize(k);
+  for (auto& col : trie.cols_) col.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = rows[i];
+    if (i > 0) {
+      size_t p = rows[i - 1];
+      bool same = true;
+      for (size_t c = 0; c < k; ++c) {
+        if (relation.at(r, perm[c]) != relation.at(p, perm[c])) {
+          same = false;
+          break;
+        }
+      }
+      if (same) continue;  // dedup
+    }
+    for (size_t c = 0; c < k; ++c)
+      trie.cols_[c].push_back(relation.at(r, perm[c]));
+  }
+  return trie;
+}
+
+std::unique_ptr<TrieIterator> LegacySortedColumnTrie::NewIterator() const {
+  return std::make_unique<LegacySortedColumnTrieIterator>(this);
+}
+
+int LegacySortedColumnTrieIterator::arity() const {
+  return static_cast<int>(trie_->cols_.size());
+}
+
+void LegacySortedColumnTrieIterator::FixGroup() {
+  Frame& f = frames_[static_cast<size_t>(depth_)];
+  const auto& col = trie_->cols_[static_cast<size_t>(depth_)];
+  if (f.pos >= f.hi) {
+    f.group_end = f.pos;
+    return;
+  }
+  int64_t key = col[f.pos];
+  size_t step = 1;
+  size_t lo = f.pos;
+  size_t hi = f.hi;
+  while (lo + step < hi && col[lo + step] == key) {
+    lo += step;
+    step <<= 1;
+  }
+  size_t search_hi = std::min(lo + step, hi);
+  f.group_end = static_cast<size_t>(
+      std::upper_bound(col.begin() + static_cast<ptrdiff_t>(lo),
+                       col.begin() + static_cast<ptrdiff_t>(search_hi), key) -
+      col.begin());
+}
+
+void LegacySortedColumnTrieIterator::Open() {
+  size_t lo, hi;
+  if (depth_ < 0) {
+    lo = 0;
+    hi = trie_->num_rows();
+  } else {
+    const Frame& f = frames_[static_cast<size_t>(depth_)];
+    lo = f.pos;
+    hi = f.group_end;
+  }
+  ++depth_;
+  frames_.resize(static_cast<size_t>(depth_) + 1);
+  Frame& nf = frames_[static_cast<size_t>(depth_)];
+  nf.lo = lo;
+  nf.hi = hi;
+  nf.pos = lo;
+  FixGroup();
+}
+
+void LegacySortedColumnTrieIterator::Up() {
+  frames_.pop_back();
+  --depth_;
+}
+
+bool LegacySortedColumnTrieIterator::AtEnd() const {
+  const Frame& f = frames_[static_cast<size_t>(depth_)];
+  return f.pos >= f.hi;
+}
+
+int64_t LegacySortedColumnTrieIterator::Key() const {
+  const Frame& f = frames_[static_cast<size_t>(depth_)];
+  return trie_->cols_[static_cast<size_t>(depth_)][f.pos];
+}
+
+void LegacySortedColumnTrieIterator::Next() {
+  Frame& f = frames_[static_cast<size_t>(depth_)];
+  f.pos = f.group_end;
+  FixGroup();
+}
+
+void LegacySortedColumnTrieIterator::Seek(int64_t key) {
+  Frame& f = frames_[static_cast<size_t>(depth_)];
+  const auto& col = trie_->cols_[static_cast<size_t>(depth_)];
+  size_t base = f.pos;
+  size_t step = 1;
+  while (base + step < f.hi && col[base + step] < key) {
+    base += step;
+    step <<= 1;
+  }
+  size_t search_hi = std::min(base + step, f.hi);
+  f.pos = static_cast<size_t>(
+      std::lower_bound(col.begin() + static_cast<ptrdiff_t>(base),
+                       col.begin() + static_cast<ptrdiff_t>(search_hi), key) -
+      col.begin());
+  FixGroup();
+}
+
+int64_t LegacySortedColumnTrieIterator::EstimateKeys() const {
+  const Frame& f = frames_[static_cast<size_t>(depth_)];
+  return static_cast<int64_t>(f.hi - f.pos);
+}
+
+std::unique_ptr<TrieIterator> LegacySortedColumnTrieIterator::Clone() const {
+  return std::make_unique<LegacySortedColumnTrieIterator>(trie_);
+}
+
+}  // namespace bench
+}  // namespace xjoin

@@ -1,0 +1,68 @@
+// The pre-CSR RelationTrie layout, kept verbatim as the benchmark
+// comparison baseline: full sorted columns (duplicates included below
+// level 0's grouping), a comparator-per-row std::sort build, and
+// binary-search row-range cursors. Lives in its own translation unit so
+// the compiler cannot devirtualize/inline it into the benchmark loop —
+// the original implementation sat behind the library boundary exactly
+// like the CSR trie does, and the comparison must keep that symmetric.
+#ifndef XJOIN_BENCH_LEGACY_TRIE_H_
+#define XJOIN_BENCH_LEGACY_TRIE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/trie_iterator.h"
+
+namespace xjoin {
+namespace bench {
+
+class LegacySortedColumnTrie {
+ public:
+  static LegacySortedColumnTrie Build(const Relation& relation,
+                                      const std::vector<std::string>& order);
+
+  size_t num_rows() const { return cols_.empty() ? 0 : cols_[0].size(); }
+
+  std::unique_ptr<TrieIterator> NewIterator() const;
+
+ private:
+  friend class LegacySortedColumnTrieIterator;
+
+  std::vector<std::vector<int64_t>> cols_;
+};
+
+class LegacySortedColumnTrieIterator final : public TrieIterator {
+ public:
+  explicit LegacySortedColumnTrieIterator(const LegacySortedColumnTrie* trie)
+      : trie_(trie) {}
+
+  int arity() const override;
+  int depth() const override { return depth_; }
+  void Open() override;
+  void Up() override;
+  bool AtEnd() const override;
+  int64_t Key() const override;
+  void Next() override;
+  void Seek(int64_t key) override;
+  int64_t EstimateKeys() const override;
+  std::unique_ptr<TrieIterator> Clone() const override;
+
+ private:
+  struct Frame {
+    size_t lo, hi;
+    size_t pos, group_end;
+  };
+
+  void FixGroup();
+
+  const LegacySortedColumnTrie* trie_;
+  int depth_ = -1;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace bench
+}  // namespace xjoin
+
+#endif  // XJOIN_BENCH_LEGACY_TRIE_H_

@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -25,8 +26,95 @@ Status MultiModelDatabase::RegisterRelation(const std::string& name,
   if (relations_.count(name) || documents_.count(name)) {
     return Status::AlreadyExists(name + " is already registered");
   }
-  relations_.emplace(name, std::move(relation));
+  relations_.emplace(name, RelationEntry(std::move(relation)));
   return Status::OK();
+}
+
+Status MultiModelDatabase::UpdateRelation(const std::string& name,
+                                          Relation relation) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("no relation " + name);
+  it->second.relation = std::move(relation);
+  ++it->second.version;
+  InvalidateTrieCache(name);
+  return Status::OK();
+}
+
+void MultiModelDatabase::InvalidateTrieCache(const std::string& name) {
+  std::lock_guard<std::mutex> lock(trie_cache_mu_);
+  for (auto it = trie_cache_.begin(); it != trie_cache_.end();) {
+    if (std::get<0>(it->first) == name) {
+      it = trie_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MultiModelDatabase::ClearTrieCache() {
+  std::lock_guard<std::mutex> lock(trie_cache_mu_);
+  trie_cache_.clear();
+}
+
+size_t MultiModelDatabase::TrieCacheSize() const {
+  std::lock_guard<std::mutex> lock(trie_cache_mu_);
+  return trie_cache_.size();
+}
+
+int64_t MultiModelDatabase::trie_cache_hits() const {
+  std::lock_guard<std::mutex> lock(trie_cache_mu_);
+  return trie_cache_hits_;
+}
+
+int64_t MultiModelDatabase::trie_cache_misses() const {
+  std::lock_guard<std::mutex> lock(trie_cache_mu_);
+  return trie_cache_misses_;
+}
+
+Result<uint64_t> MultiModelDatabase::relation_version(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("no relation " + name);
+  return it->second.version;
+}
+
+TrieProvider MultiModelDatabase::CacheTrieProvider(Metrics* metrics,
+                                                   int num_threads) const {
+  return [this, metrics, num_threads](
+             const std::string& name, const Relation& relation,
+             const std::vector<std::string>& order)
+             -> Result<std::shared_ptr<const RelationTrie>> {
+    auto entry = relations_.find(name);
+    if (entry == relations_.end() || &entry->second.relation != &relation) {
+      // Not one of our registered relations (defensive: a provider is
+      // only as good as its key) — let the engine build privately.
+      return std::shared_ptr<const RelationTrie>();
+    }
+    TrieCacheKey key(name, entry->second.version, JoinStrings(order, ","));
+    {
+      std::lock_guard<std::mutex> lock(trie_cache_mu_);
+      auto hit = trie_cache_.find(key);
+      if (hit != trie_cache_.end()) {
+        ++trie_cache_hits_;
+        MetricsAdd(metrics, "db.trie_cache.hits", 1);
+        return hit->second;
+      }
+    }
+    // Build outside the lock (concurrent queries may race to build the
+    // same trie; the emplace below keeps the first and the extra build
+    // is discarded — correctness over double-build avoidance).
+    TrieBuildOptions build_options;
+    build_options.num_threads = num_threads;
+    build_options.metrics = metrics;
+    XJ_ASSIGN_OR_RETURN(RelationTrie trie,
+                        RelationTrie::Build(relation, order, build_options));
+    auto shared = std::make_shared<const RelationTrie>(std::move(trie));
+    std::lock_guard<std::mutex> lock(trie_cache_mu_);
+    ++trie_cache_misses_;
+    MetricsAdd(metrics, "db.trie_cache.misses", 1);
+    auto inserted = trie_cache_.emplace(std::move(key), std::move(shared));
+    return inserted.first->second;
+  };
 }
 
 Status MultiModelDatabase::RegisterDocumentXml(const std::string& name,
@@ -55,7 +143,7 @@ Result<const Relation*> MultiModelDatabase::relation(
     const std::string& name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) return Status::NotFound("no relation " + name);
-  return &it->second;
+  return &it->second.relation;
 }
 
 Result<const NodeIndex*> MultiModelDatabase::document_index(
@@ -67,8 +155,8 @@ Result<const NodeIndex*> MultiModelDatabase::document_index(
 
 std::vector<std::string> MultiModelDatabase::RelationNames() const {
   std::vector<std::string> names;
-  for (const auto& [name, rel] : relations_) {
-    (void)rel;
+  for (const auto& [name, entry] : relations_) {
+    (void)entry;
     names.push_back(name);
   }
   return names;
@@ -158,15 +246,25 @@ Result<PreparedQuery> MultiModelDatabase::Prepare(
 Result<Relation> MultiModelDatabase::Query(const std::string& text,
                                            Engine engine,
                                            Metrics* metrics) const {
-  XJ_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
   if (engine == Engine::kXJoin) {
     XJoinOptions options;
     options.metrics = metrics;
-    return ExecuteXJoin(prepared.query, options);
+    return QueryXJoin(text, std::move(options));
   }
+  XJ_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
   BaselineOptions options;
   options.metrics = metrics;
   return ExecuteBaseline(prepared.query, options);
+}
+
+Result<Relation> MultiModelDatabase::QueryXJoin(const std::string& text,
+                                                XJoinOptions options) const {
+  XJ_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
+  if (!options.trie_provider) {
+    options.trie_provider =
+        CacheTrieProvider(options.metrics, std::max(1, options.num_threads));
+  }
+  return ExecuteXJoin(prepared.query, options);
 }
 
 Result<std::string> MultiModelDatabase::Explain(const std::string& text) const {

@@ -15,9 +15,12 @@
 #ifndef XJOIN_CORE_DATABASE_H_
 #define XJOIN_CORE_DATABASE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/dictionary.h"
@@ -44,7 +47,8 @@ struct PreparedQuery {
   MultiModelQuery query;
 };
 
-/// The facade. Not thread-safe for concurrent mutation.
+/// The facade. Not thread-safe for concurrent mutation; concurrent
+/// const queries are safe (the internal trie cache is mutex-guarded).
 class MultiModelDatabase {
  public:
   MultiModelDatabase() = default;
@@ -60,6 +64,11 @@ class MultiModelDatabase {
   /// Registers an already-built relation (its codes must come from this
   /// database's dictionary).
   Status RegisterRelation(const std::string& name, Relation relation);
+
+  /// Replaces an already-registered relation (NotFound otherwise). Bumps
+  /// the relation's version and invalidates its cached tries, so later
+  /// queries rebuild against the new contents.
+  Status UpdateRelation(const std::string& name, Relation relation);
 
   /// Parses and registers an XML document under `name`.
   Status RegisterDocumentXml(const std::string& name, std::string_view xml,
@@ -85,6 +94,34 @@ class MultiModelDatabase {
                          Engine engine = Engine::kXJoin,
                          Metrics* metrics = nullptr) const;
 
+  /// Prepares and evaluates with explicit XJoin options. Unless
+  /// options.trie_provider is already set, the database wires in its
+  /// trie cache: relation tries are built once per (relation, attribute
+  /// order, relation version) and shared across queries, so repeated
+  /// XJoin/bench queries stop rebuilding identical tries. Cache hits and
+  /// misses are recorded on options.metrics ("db.trie_cache.hits" /
+  /// "db.trie_cache.misses") and on the database-wide counters below.
+  Result<Relation> QueryXJoin(const std::string& text,
+                              XJoinOptions options) const;
+
+  /// Explicit trie-cache invalidation hook: drops cached tries for
+  /// `name` under every attribute order. UpdateRelation calls this
+  /// automatically; call it yourself after mutating a relation through
+  /// any other back door.
+  void InvalidateTrieCache(const std::string& name);
+
+  /// Drops every cached trie (all relations).
+  void ClearTrieCache();
+
+  /// Trie-cache observability (tests, ops).
+  size_t TrieCacheSize() const;
+  int64_t trie_cache_hits() const;
+  int64_t trie_cache_misses() const;
+
+  /// Monotonic per-relation version, bumped by UpdateRelation; part of
+  /// the trie-cache key. NotFound for unknown relations.
+  Result<uint64_t> relation_version(const std::string& name) const;
+
   /// Human-readable plan: inputs, twig decompositions, chosen attribute
   /// order, and the worst-case size bound.
   Result<std::string> Explain(const std::string& text) const;
@@ -95,9 +132,30 @@ class MultiModelDatabase {
     std::unique_ptr<NodeIndex> index;
   };
 
+  struct RelationEntry {
+    Relation relation;
+    uint64_t version = 0;
+
+    explicit RelationEntry(Relation rel) : relation(std::move(rel)) {}
+  };
+
+  // (relation name, relation version, attribute order joined with ',').
+  using TrieCacheKey = std::tuple<std::string, uint64_t, std::string>;
+
+  /// The TrieProvider XJoin calls: consult the cache, build and insert
+  /// on miss (cache-miss builds use `num_threads` workers). Thread-safe
+  /// against concurrent const queries.
+  TrieProvider CacheTrieProvider(Metrics* metrics, int num_threads) const;
+
   Dictionary dict_;
-  std::map<std::string, Relation> relations_;
+  std::map<std::string, RelationEntry> relations_;
   std::map<std::string, Document> documents_;
+
+  mutable std::mutex trie_cache_mu_;
+  mutable std::map<TrieCacheKey, std::shared_ptr<const RelationTrie>>
+      trie_cache_;
+  mutable int64_t trie_cache_hits_ = 0;
+  mutable int64_t trie_cache_misses_ = 0;
 };
 
 }  // namespace xjoin

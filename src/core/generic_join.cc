@@ -1,6 +1,7 @@
 #include "core/generic_join.h"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "common/logging.h"
@@ -50,13 +51,18 @@ struct LevelPlan {
   std::vector<size_t> participants;  // indices into inputs
 };
 
-// Restriction of the first attribute to a half-open key range; a shard's
-// slice of the level-0 intersection. Unbounded by default (serial run).
-struct KeyRange {
+// Restriction of the leading attributes to a lexicographic half-open
+// prefix range; a shard's slice of the expansion space. `depth` is the
+// number of constrained levels: 1 shards on level-0 keys alone, 2 on
+// (level-0, level-1) composite prefixes — the fallback when the level-0
+// key domain is smaller than the requested shard count. Unbounded by
+// default (serial run).
+struct PrefixRange {
+  int depth = 1;
   bool has_lo = false;
-  int64_t lo = 0;
+  int64_t lo[2] = {0, 0};  // inclusive lexicographic lower bound
   bool has_hi = false;
-  int64_t hi = 0;
+  int64_t hi[2] = {0, 0};  // exclusive lexicographic upper bound
 };
 
 // The iterative (explicit-stack) expansion loop of Algorithm 1 over one
@@ -82,7 +88,7 @@ class Engine {
     }
   }
 
-  void Run(const KeyRange& range) {
+  void Run(const PrefixRange& range) {
     const size_t num_levels = level_iters_.size();
     size_t depth = 0;
     bool entering = true;
@@ -91,17 +97,53 @@ class Engine {
       bool have;
       if (entering) {
         for (TrieIterator* it : iters) it->Open();
-        if (depth == 0 && range.has_lo && !iters[0]->AtEnd() &&
-            iters[0]->Key() < range.lo) {
-          iters[0]->Seek(range.lo);
-          ++seeks_;
+        // Lead with the iterator reporting the fewest remaining keys:
+        // LeapfrogAdvance steps iters[0], so the smallest level drives
+        // the intersection (fewest advance rounds). EstimateKeys is O(1)
+        // on the CSR trie, so this costs one probe per participant.
+        if (iters.size() > 1) {
+          size_t lead = 0;
+          int64_t best = iters[0]->EstimateKeys();
+          for (size_t i = 1; i < iters.size(); ++i) {
+            int64_t estimate = iters[i]->EstimateKeys();
+            if (estimate < best) {
+              best = estimate;
+              lead = i;
+            }
+          }
+          if (lead != 0) std::swap(iters[0], iters[lead]);
+        }
+        if (range.has_lo && !iters[0]->AtEnd()) {
+          // Skip straight to the shard's lexicographic lower bound.
+          if (depth == 0 && iters[0]->Key() < range.lo[0]) {
+            iters[0]->Seek(range.lo[0]);
+            ++seeks_;
+          } else if (depth == 1 && range.depth == 2 &&
+                     prefix_[0] == range.lo[0] &&
+                     iters[0]->Key() < range.lo[1]) {
+            iters[0]->Seek(range.lo[1]);
+            ++seeks_;
+          }
         }
         have = LeapfrogAlign(iters, &seeks_);
       } else {
         have = LeapfrogAdvance(iters, &seeks_);
       }
-      if (have && depth == 0 && range.has_hi && iters[0]->Key() >= range.hi) {
-        have = false;  // past this shard's slice
+      if (have && range.has_hi) {
+        // Past this shard's slice? hi is an exclusive lexicographic
+        // bound on the constrained prefix: with depth-2 ranges a level-0
+        // key equal to hi[0] must still descend (keys below hi[1] are
+        // ours), and the cut happens at level 1.
+        if (depth == 0) {
+          int64_t key = iters[0]->Key();
+          if (range.depth == 1 ? key >= range.hi[0] : key > range.hi[0]) {
+            have = false;
+          }
+        } else if (depth == 1 && range.depth == 2 &&
+                   prefix_[0] == range.hi[0] &&
+                   iters[0]->Key() >= range.hi[1]) {
+          have = false;
+        }
       }
       if (have) {
         prefix_[depth] = iters[0]->Key();
@@ -177,6 +219,30 @@ std::vector<int64_t> Level0IntersectionKeys(
   return keys;
 }
 
+// Enumerates the (level-0, level-1) composite prefixes of the join —
+// the deeper shard partitioning domain used when level 0 alone has
+// fewer distinct keys than the requested shard count. Runs the engine
+// over a two-level truncation of the plan; leaves every iterator back
+// at the virtual root. Results are distinct and lexicographically
+// ascending.
+std::vector<std::array<int64_t, 2>> Level01PrefixPairs(
+    const std::vector<JoinInput>& inputs, const std::vector<LevelPlan>& plan,
+    int64_t* seeks) {
+  std::vector<LevelPlan> plan2(plan.begin(), plan.begin() + 2);
+  auto schema = Schema::Make({plan[0].attribute, plan[1].attribute});
+  Relation pairs_rel(*schema);
+  PrefixFilter no_filter;
+  Engine engine(inputs, plan2, no_filter, &pairs_rel);
+  engine.Run(PrefixRange{});
+  *seeks += engine.seeks();
+  std::vector<std::array<int64_t, 2>> pairs;
+  pairs.reserve(pairs_rel.num_rows());
+  for (size_t r = 0; r < pairs_rel.num_rows(); ++r) {
+    pairs.push_back({pairs_rel.at(r, 0), pairs_rel.at(r, 1)});
+  }
+  return pairs;
+}
+
 }  // namespace
 
 Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
@@ -236,7 +302,7 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
 
   if (requested_shards <= 1) {
     Engine engine(inputs, plan, options.prefix_filter, &out);
-    engine.Run(KeyRange{});
+    engine.Run(PrefixRange{});
     PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
                    engine.total_intermediate(),
                    static_cast<int64_t>(out.num_rows()));
@@ -244,27 +310,45 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
   }
 
   // Sharded driver: partition the first attribute's matching keys into
-  // contiguous ascending ranges, one per shard.
+  // contiguous ascending ranges, one per shard. When level 0 alone has
+  // fewer distinct keys than the requested shard count (and the order
+  // has a second attribute), fall back to sharding on the
+  // level-0 x level-1 composite prefix instead of silently degenerating
+  // to ~1 shard.
   int64_t plan_seeks = 0;
   std::vector<TrieIterator*> level0;
   level0.reserve(plan[0].participants.size());
   for (size_t i : plan[0].participants) level0.push_back(inputs[i].iterator);
   std::vector<int64_t> keys = Level0IntersectionKeys(level0, &plan_seeks);
 
-  const size_t num_shards =
-      std::min<size_t>(static_cast<size_t>(requested_shards),
-                       std::max<size_t>(keys.size(), 1));
+  // Composite planning runs a serial two-level leapfrog, so only pay
+  // for it when level-0 sharding would fall well short of the request
+  // (under half the shards) — a near-miss level-0 split is cheaper than
+  // enumerating the pair domain up front.
+  std::vector<std::array<int64_t, 2>> pairs;
+  bool composite = keys.size() * 2 <= static_cast<size_t>(requested_shards) &&
+                   plan.size() >= 2 && !keys.empty();
+  if (composite) {
+    pairs = Level01PrefixPairs(inputs, plan, &plan_seeks);
+    composite = pairs.size() > 1;
+  }
+
+  const size_t domain = composite ? pairs.size() : keys.size();
+  const size_t num_shards = std::min<size_t>(
+      static_cast<size_t>(requested_shards), std::max<size_t>(domain, 1));
 
   if (num_shards <= 1) {
-    // The key domain is too small to shard (0 or 1 distinct keys): fall
-    // back to the serial engine instead of paying clone + merge overhead.
+    // The prefix domain is too small to shard (0 or 1 distinct
+    // prefixes): fall back to the serial engine instead of paying
+    // clone + merge overhead.
     Engine engine(inputs, plan, options.prefix_filter, &out);
-    engine.Run(KeyRange{});
+    engine.Run(PrefixRange{});
     PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
                    engine.total_intermediate(),
                    static_cast<int64_t>(out.num_rows()));
     if (options.metrics != nullptr) {
       options.metrics->Add("gj.shards", 1);
+      options.metrics->Add("gj.shard_depth", 1);
       options.metrics->Add("gj.plan_seeks", plan_seeks);
     }
     return out;
@@ -273,7 +357,7 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
   struct Shard {
     std::vector<std::unique_ptr<TrieIterator>> owned;
     std::vector<JoinInput> inputs;
-    KeyRange range;
+    PrefixRange range;
     Relation out;
     std::vector<int64_t> level_totals;
     int64_t seeks = 0;
@@ -284,18 +368,29 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
 
   std::vector<Shard> shards;
   shards.reserve(num_shards);
-  const size_t per_shard = keys.size() / num_shards;
-  const size_t remainder = keys.size() % num_shards;
-  size_t key_cursor = 0;
+  const size_t per_shard = domain / num_shards;
+  const size_t remainder = domain % num_shards;
+  size_t cursor = 0;
   for (size_t s = 0; s < num_shards; ++s) {
     Shard shard(schema);
     size_t take = per_shard + (s < remainder ? 1 : 0);
+    shard.range.depth = composite ? 2 : 1;
     shard.range.has_lo = true;
-    shard.range.lo = keys[key_cursor];
-    key_cursor += take;
-    if (key_cursor < keys.size()) {
+    if (composite) {
+      shard.range.lo[0] = pairs[cursor][0];
+      shard.range.lo[1] = pairs[cursor][1];
+    } else {
+      shard.range.lo[0] = keys[cursor];
+    }
+    cursor += take;
+    if (cursor < domain) {
       shard.range.has_hi = true;
-      shard.range.hi = keys[key_cursor];
+      if (composite) {
+        shard.range.hi[0] = pairs[cursor][0];
+        shard.range.hi[1] = pairs[cursor][1];
+      } else {
+        shard.range.hi[0] = keys[cursor];
+      }
     }
     shard.owned.reserve(inputs.size());
     shard.inputs.reserve(inputs.size());
@@ -333,6 +428,7 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
                  static_cast<int64_t>(out.num_rows()));
   if (options.metrics != nullptr) {
     options.metrics->Add("gj.shards", static_cast<int64_t>(num_shards));
+    options.metrics->Add("gj.shard_depth", composite ? 2 : 1);
     options.metrics->Add("gj.plan_seeks", plan_seeks);
   }
   return out;

@@ -59,18 +59,26 @@ struct GenericJoinOptions {
   /// Number of worker threads. <= 1 runs the serial executor; > 1 runs
   /// the sharded driver (see num_shards) on up to this many threads.
   int num_threads = 1;
-  /// Number of level-0 key-range shards. 0 means "= num_threads". Values
+  /// Number of prefix-range shards. 0 means "= num_threads". Values
   /// > 1 force the sharded driver even when num_threads == 1 (useful for
-  /// deterministic testing of the shard partitioning itself). The
-  /// effective shard count is capped by the number of distinct level-0
-  /// intersection keys.
+  /// deterministic testing of the shard partitioning itself). Shards
+  /// normally cover contiguous ranges of the level-0 intersection keys;
+  /// when that domain has fewer than half the requested shard count
+  /// (and the order has >= 2 attributes), the driver shards on the
+  /// level-0 x level-1 composite prefix instead, so small leading
+  /// domains no longer degenerate to ~1 shard. The effective shard
+  /// count is capped by the size of the chosen prefix domain.
   int num_shards = 0;
   /// Optional counters (nullable): per level "gj.level<i>.bindings" plus
   /// "gj.max_intermediate", "gj.total_intermediate", "gj.seeks",
   /// "gj.output". Sharded runs additionally record "gj.shards" (effective
-  /// shard count) and "gj.plan_seeks" (seeks spent enumerating the
-  /// level-0 intersection to place shard boundaries); binding counters
-  /// are exact sums over shards and equal the serial counts.
+  /// shard count), "gj.shard_depth" (1 = level-0 ranges, 2 = composite
+  /// prefixes), and "gj.plan_seeks" (seeks spent enumerating the shard
+  /// partitioning domain). With level-0 sharding the binding counters
+  /// are exact sums over shards and equal the serial counts; composite
+  /// sharding may recount a level-0 binding once per shard that splits
+  /// its children (at most num_shards extra), while output and
+  /// deeper-level counters stay exact.
   Metrics* metrics = nullptr;
 };
 

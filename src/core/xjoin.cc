@@ -110,16 +110,39 @@ Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
     twig_plans.push_back(std::move(plan));
   }
 
-  // Materialize relation tries (and path tries if requested).
+  // Materialize relation tries (and path tries if requested). Named
+  // relations go through the trie provider first (the database-level
+  // trie cache); a null provider result means "build locally". Local
+  // builds use the query's thread budget for the parallel CSR pass.
+  const int num_threads = std::max(1, options.num_threads);
+  TrieBuildOptions build_options;
+  build_options.num_threads = num_threads;
+  build_options.metrics = options.metrics;
   std::vector<Relation> materialized_paths;  // keeps Relations alive
+  std::vector<std::shared_ptr<const RelationTrie>> shared_tries;
+  shared_tries.reserve(rel_specs.size());
   size_t num_tries = rel_specs.size() +
                      (options.materialize_paths ? path_specs.size() : 0);
   tries.reserve(num_tries);
   for (const auto& spec : rel_specs) {
-    XJ_ASSIGN_OR_RETURN(RelationTrie trie,
-                        RelationTrie::Build(*spec.relation, spec.attrs));
-    tries.push_back(std::move(trie));
-    iterators.push_back(tries.back().NewIterator());
+    const RelationTrie* trie = nullptr;
+    if (options.trie_provider) {
+      XJ_ASSIGN_OR_RETURN(
+          std::shared_ptr<const RelationTrie> shared,
+          options.trie_provider(spec.name, *spec.relation, spec.attrs));
+      if (shared != nullptr) {
+        shared_tries.push_back(std::move(shared));
+        trie = shared_tries.back().get();
+      }
+    }
+    if (trie == nullptr) {
+      XJ_ASSIGN_OR_RETURN(
+          RelationTrie built,
+          RelationTrie::Build(*spec.relation, spec.attrs, build_options));
+      tries.push_back(std::move(built));
+      trie = &tries.back();
+    }
+    iterators.push_back(trie->NewIterator());
     inputs.push_back(JoinInput{spec.name, spec.attrs, iterators.back().get()});
   }
   if (options.materialize_paths) {
@@ -131,9 +154,9 @@ Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
     if (options.materialize_paths) {
       XJ_ASSIGN_OR_RETURN(Relation mat, rel.Materialize());
       materialized_paths.push_back(std::move(mat));
-      XJ_ASSIGN_OR_RETURN(
-          RelationTrie trie,
-          RelationTrie::Build(materialized_paths.back(), spec.attrs));
+      XJ_ASSIGN_OR_RETURN(RelationTrie trie,
+                          RelationTrie::Build(materialized_paths.back(),
+                                              spec.attrs, build_options));
       tries.push_back(std::move(trie));
       iterators.push_back(tries.back().NewIterator());
     } else {
@@ -143,7 +166,6 @@ Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
   }
 
   // 3. Optional partial structural validation during expansion.
-  const int num_threads = std::max(1, options.num_threads);
   // Validator metrics would race across worker threads; the validators
   // themselves are stateless-const and safe to share. num_shards > 1 with
   // a single thread stays inline, so metrics are safe there.

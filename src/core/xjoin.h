@@ -13,6 +13,8 @@
 #ifndef XJOIN_CORE_XJOIN_H_
 #define XJOIN_CORE_XJOIN_H_
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,8 +23,20 @@
 #include "core/order.h"
 #include "core/query.h"
 #include "relational/relation.h"
+#include "relational/trie.h"
 
 namespace xjoin {
+
+/// Optional supplier of materialized relation tries, consulted for every
+/// named relational input before the engine builds one privately — this
+/// is how MultiModelDatabase's trie cache plugs into XJoin. Returning a
+/// null shared_ptr (inside an OK result) means "no cached trie, build
+/// locally". A returned trie must match (relation, order) exactly and
+/// must stay immutable and alive for the duration of the query; the
+/// engine keeps the shared_ptr until execution finishes.
+using TrieProvider = std::function<Result<std::shared_ptr<const RelationTrie>>(
+    const std::string& name, const Relation& relation,
+    const std::vector<std::string>& order)>;
 
 /// Execution options for XJoin.
 struct XJoinOptions {
@@ -42,10 +56,13 @@ struct XJoinOptions {
   /// across a thread pool (see GenericJoinOptions::num_threads). The
   /// result relation is byte-identical either way.
   int num_threads = 1;
-  /// Level-0 shard count forwarded to GenericJoinOptions::num_shards
+  /// Prefix shard count forwarded to GenericJoinOptions::num_shards
   /// (0 = one shard per thread). num_shards > 1 with num_threads == 1
   /// exercises the shard partitioning deterministically on one thread.
   int num_shards = 0;
+  /// Optional trie cache hook (see TrieProvider above). Empty = every
+  /// query builds its own tries.
+  TrieProvider trie_provider;
   /// Nullable counters. Records the generic-join "gj.*" counters plus
   /// "xjoin.expanded" (tuples before validation), "xjoin.validated"
   /// (tuples after), "xjoin.pruned" (prefixes cut by partial validation),

@@ -4,11 +4,67 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace xjoin {
 
-Result<RelationTrie> RelationTrie::Build(
-    const Relation& relation, const std::vector<std::string>& order) {
+namespace {
+
+// Below this row count the comparator std::sort beats the radix passes'
+// setup cost.
+constexpr size_t kRadixMinRows = 256;
+
+// Order-preserving map from int64 to uint64 (flips the sign bit so
+// unsigned digit comparison matches signed order).
+inline uint64_t OrderedBits(int64_t v) {
+  return static_cast<uint64_t>(v) ^ (uint64_t{1} << 63);
+}
+
+// One stable LSD counting pass over 8-bit digits at `shift`, permuting
+// `src` into `dst` by biased[row]'s digit. Returns false (dst untouched)
+// when every key shares the digit, so callers skip the permute.
+bool RadixPass(const std::vector<uint64_t>& biased, int shift,
+               const std::vector<size_t>& src, std::vector<size_t>* dst) {
+  size_t count[256] = {0};
+  for (size_t r : src) ++count[(biased[r] >> shift) & 0xFF];
+  size_t offsets[256];
+  size_t running = 0;
+  for (int digit = 0; digit < 256; ++digit) {
+    if (count[digit] == src.size()) return false;
+    offsets[digit] = running;
+    running += count[digit];
+  }
+  for (size_t r : src) {
+    (*dst)[offsets[(biased[r] >> shift) & 0xFF]++] = r;
+  }
+  return true;
+}
+
+// Stable-sorts `rows` by `col` (ascending) with an LSD radix over the
+// bytes that actually vary; constant bytes cost one pass over the column
+// (the variation mask), nothing more.
+void StableRadixSortByColumn(const std::vector<int64_t>& col,
+                             std::vector<size_t>* rows,
+                             std::vector<size_t>* scratch,
+                             std::vector<uint64_t>* biased) {
+  const size_t n = col.size();
+  uint64_t first = OrderedBits(col[0]);
+  uint64_t varying = 0;
+  for (size_t i = 0; i < n; ++i) {
+    (*biased)[i] = OrderedBits(col[i]);
+    varying |= (*biased)[i] ^ first;
+  }
+  for (int byte = 0; byte < 8; ++byte) {
+    if (((varying >> (8 * byte)) & 0xFF) == 0) continue;
+    if (RadixPass(*biased, 8 * byte, *rows, scratch)) rows->swap(*scratch);
+  }
+}
+
+}  // namespace
+
+Result<RelationTrie> RelationTrie::Build(const Relation& relation,
+                                         const std::vector<std::string>& order,
+                                         const TrieBuildOptions& options) {
   if (order.size() != relation.schema().size()) {
     return Status::InvalidArgument("trie order arity mismatch");
   }
@@ -33,39 +89,99 @@ Result<RelationTrie> RelationTrie::Build(
     }
   }
 
+  Timer timer;
   const size_t n = relation.num_rows();
   const size_t k = order.size();
-  std::vector<size_t> rows(n);
-  std::iota(rows.begin(), rows.end(), size_t{0});
-  std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
-    for (size_t c = 0; c < k; ++c) {
-      int64_t va = relation.at(a, perm[c]);
-      int64_t vb = relation.at(b, perm[c]);
-      if (va != vb) return va < vb;
-    }
-    return false;
-  });
+  const int num_threads = std::max(1, options.num_threads);
 
   RelationTrie trie;
   trie.order_ = order;
-  trie.cols_.resize(k);
-  for (auto& col : trie.cols_) col.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    size_t r = rows[i];
-    if (i > 0) {
-      size_t p = rows[i - 1];
-      bool same = true;
+  trie.keys_.resize(k);
+  trie.child_begin_.resize(k > 0 ? k - 1 : 0);
+  for (auto& cb : trie.child_begin_) cb.push_back(0);
+  if (n == 0 || k == 0) return trie;
+
+  // 1. Reference the columns in trie order — the relation is columnar,
+  // so no copies are needed until the sorted materialization below.
+  std::vector<const std::vector<int64_t>*> cols(k);
+  for (size_t c = 0; c < k; ++c) cols[c] = &relation.column(perm[c]);
+
+  // 2. Sort the row permutation lexicographically. Fast path: LSD radix
+  // over the columns, least-significant first — each column costs only
+  // one counting pass per byte that actually varies (dictionary codes
+  // are small, so typically 1-2 passes). Tiny inputs use std::sort.
+  std::vector<size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  if (n >= kRadixMinRows) {
+    std::vector<size_t> scratch(n);
+    std::vector<uint64_t> biased(n);
+    for (size_t c = k; c-- > 0;) {
+      StableRadixSortByColumn(*cols[c], &rows, &scratch, &biased);
+    }
+    MetricsAdd(options.metrics, "trie.radix_sorts", 1);
+  } else {
+    std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
       for (size_t c = 0; c < k; ++c) {
-        if (relation.at(r, perm[c]) != relation.at(p, perm[c])) {
-          same = false;
-          break;
+        if ((*cols[c])[a] != (*cols[c])[b]) {
+          return (*cols[c])[a] < (*cols[c])[b];
         }
       }
-      if (same) continue;  // dedup
-    }
-    for (size_t c = 0; c < k; ++c)
-      trie.cols_[c].push_back(relation.at(r, perm[c]));
+      return false;
+    });
+    MetricsAdd(options.metrics, "trie.std_sorts", 1);
   }
+
+  // 3. Materialize the sorted columns (parallel per column).
+  std::vector<std::vector<int64_t>> sorted(k);
+  ParallelFor(num_threads, k, /*grain=*/1, [&](size_t c) {
+    const std::vector<int64_t>& col = *cols[c];
+    sorted[c].resize(n);
+    for (size_t i = 0; i < n; ++i) sorted[c][i] = col[rows[i]];
+  });
+
+  // 4. diff[i] = first level where sorted row i differs from row i-1
+  // (0 for the first row, k for a full duplicate). Duplicates therefore
+  // create no trie node at any level — dedup falls out of the CSR pass
+  // for free, with no re-reads of the unsorted relation.
+  std::vector<uint32_t> diff(n);
+  ParallelFor(num_threads, n, /*grain=*/4096, [&](size_t i) {
+    if (i == 0) {
+      diff[0] = 0;
+      return;
+    }
+    uint32_t level = 0;
+    while (level < k && sorted[level][i] == sorted[level][i - 1]) ++level;
+    diff[i] = level;
+  });
+
+  // 5. Per-level CSR assembly: level d gets one node per row whose first
+  // difference is at or above it, and counts its level-(d+1) children as
+  // it goes. Levels are independent given `diff`, so they run on the
+  // pool.
+  ParallelFor(num_threads, k, /*grain=*/1, [&](size_t d) {
+    std::vector<int64_t>& keys = trie.keys_[d];
+    const std::vector<int64_t>& col = sorted[d];
+    if (d + 1 < k) {
+      std::vector<size_t>& cb = trie.child_begin_[d];
+      cb.clear();
+      size_t children = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (diff[i] <= d) {
+          cb.push_back(children);
+          keys.push_back(col[i]);
+        }
+        if (diff[i] <= d + 1) ++children;
+      }
+      cb.push_back(children);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (diff[i] <= d) keys.push_back(col[i]);
+      }
+    }
+  });
+
+  MetricsAdd(options.metrics, "trie.builds", 1);
+  MetricsAdd(options.metrics, "trie.build_micros", timer.ElapsedMicros());
   return trie;
 }
 
@@ -78,48 +194,22 @@ RelationTrieIterator::RelationTrieIterator(const RelationTrie* trie)
   frames_.reserve(static_cast<size_t>(trie->arity()));
 }
 
-void RelationTrieIterator::FixGroup() {
-  Frame& f = frames_[static_cast<size_t>(depth_)];
-  const auto& col = trie_->cols_[static_cast<size_t>(depth_)];
-  if (f.pos >= f.hi) {
-    f.group_end = f.pos;
-    return;
-  }
-  // Gallop to the end of the run of equal keys, then binary search.
-  int64_t key = col[f.pos];
-  size_t step = 1;
-  size_t lo = f.pos;
-  size_t hi = f.hi;
-  while (lo + step < hi && col[lo + step] == key) {
-    lo += step;
-    step <<= 1;
-  }
-  size_t search_hi = std::min(lo + step, hi);
-  f.group_end = static_cast<size_t>(
-      std::upper_bound(col.begin() + static_cast<ptrdiff_t>(lo),
-                       col.begin() + static_cast<ptrdiff_t>(search_hi), key) -
-      col.begin());
-}
-
 void RelationTrieIterator::Open() {
   XJ_DCHECK(depth_ + 1 < trie_->arity());
   size_t lo, hi;
   if (depth_ < 0) {
     lo = 0;
-    hi = trie_->num_rows();
+    hi = trie_->keys_[0].size();
   } else {
     const Frame& f = frames_[static_cast<size_t>(depth_)];
-    XJ_DCHECK(f.pos < f.group_end);
-    lo = f.pos;
-    hi = f.group_end;
+    XJ_DCHECK(f.pos < f.hi);
+    const std::vector<size_t>& cb =
+        trie_->child_begin_[static_cast<size_t>(depth_)];
+    lo = cb[f.pos];
+    hi = cb[f.pos + 1];
   }
   ++depth_;
-  frames_.resize(static_cast<size_t>(depth_) + 1);
-  Frame& nf = frames_[static_cast<size_t>(depth_)];
-  nf.lo = lo;
-  nf.hi = hi;
-  nf.pos = lo;
-  FixGroup();
+  frames_.push_back(Frame{lo, hi, lo});
 }
 
 void RelationTrieIterator::Up() {
@@ -137,22 +227,21 @@ bool RelationTrieIterator::AtEnd() const {
 int64_t RelationTrieIterator::Key() const {
   XJ_DCHECK(!AtEnd());
   const Frame& f = frames_[static_cast<size_t>(depth_)];
-  return trie_->cols_[static_cast<size_t>(depth_)][f.pos];
+  return trie_->keys_[static_cast<size_t>(depth_)][f.pos];
 }
 
 void RelationTrieIterator::Next() {
   XJ_DCHECK(!AtEnd());
-  Frame& f = frames_[static_cast<size_t>(depth_)];
-  f.pos = f.group_end;
-  FixGroup();
+  ++frames_[static_cast<size_t>(depth_)].pos;
 }
 
 void RelationTrieIterator::Seek(int64_t key) {
   XJ_DCHECK(!AtEnd());
   Frame& f = frames_[static_cast<size_t>(depth_)];
-  const auto& col = trie_->cols_[static_cast<size_t>(depth_)];
-  // Leapfrog seeks are usually near the cursor: gallop to bracket the
-  // target, then binary search only inside the bracket.
+  const std::vector<int64_t>& col = trie_->keys_[static_cast<size_t>(depth_)];
+  // Keys within the parent's child range are already distinct; gallop to
+  // bracket the target (leapfrog seeks are usually near the cursor),
+  // then binary search only inside the bracket.
   size_t base = f.pos;
   size_t step = 1;
   while (base + step < f.hi && col[base + step] < key) {
@@ -164,7 +253,6 @@ void RelationTrieIterator::Seek(int64_t key) {
       std::lower_bound(col.begin() + static_cast<ptrdiff_t>(base),
                        col.begin() + static_cast<ptrdiff_t>(search_hi), key) -
       col.begin());
-  FixGroup();
 }
 
 int64_t RelationTrieIterator::EstimateKeys() const {

@@ -1,4 +1,8 @@
-// Materialized sorted tries over columnar relations.
+// Materialized tries over columnar relations, stored as CSR level
+// arrays: level d keeps a dense array of distinct keys (given the bound
+// prefix) plus child offsets into level d+1 — classic compressed-
+// sparse-row nesting. Cursors are O(1) per Open/Next/Up/EstimateKeys;
+// Seek gallops inside the current parent's (small) child range.
 #ifndef XJOIN_RELATIONAL_TRIE_H_
 #define XJOIN_RELATIONAL_TRIE_H_
 
@@ -7,34 +11,58 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "relational/relation.h"
 #include "relational/trie_iterator.h"
 
 namespace xjoin {
 
-/// A relation sorted lexicographically under an attribute permutation,
-/// exposing TrieIterator cursors. Building costs O(n log n); cursors are
-/// O(log n) per Seek (binary search within the active range).
+/// Knobs for RelationTrie::Build.
+struct TrieBuildOptions {
+  /// Worker threads for the per-level CSR construction (the sort stays
+  /// serial — it is the LSD radix fast path). <= 1 builds fully inline.
+  int num_threads = 1;
+  /// Nullable counters: "trie.builds", "trie.build_micros",
+  /// "trie.radix_sorts", "trie.std_sorts".
+  Metrics* metrics = nullptr;
+};
+
+/// A relation deduplicated and sorted lexicographically under an
+/// attribute permutation, flattened into one CSR level per attribute:
+///
+///   keys_[d]        — all level-d trie nodes' keys, parent-major
+///   child_begin_[d] — node i at level d owns keys_[d+1] entries
+///                     [child_begin_[d][i], child_begin_[d][i+1])
+///
+/// Build sorts dictionary codes with an LSD radix sort (std::sort below
+/// a small-input threshold) and assembles the per-level arrays in one
+/// pass over the sorted columns — duplicate rows fold away during that
+/// pass, no re-reads of the unsorted relation.
 class RelationTrie {
  public:
-  /// Sorts (a copy of) `relation` by the attribute order given as a list
-  /// of attribute names (must be exactly the relation's attributes,
-  /// possibly permuted) and deduplicates rows.
+  /// Builds the CSR trie for `relation` under the attribute order given
+  /// as a list of attribute names (must be exactly the relation's
+  /// attributes, possibly permuted).
   static Result<RelationTrie> Build(const Relation& relation,
-                                    const std::vector<std::string>& order);
+                                    const std::vector<std::string>& order,
+                                    const TrieBuildOptions& options = {});
 
   /// Attribute names in trie (sorted) order.
   const std::vector<std::string>& attribute_order() const { return order_; }
 
-  size_t num_rows() const { return cols_.empty() ? 0 : cols_[0].size(); }
-  int arity() const { return static_cast<int>(cols_.size()); }
+  /// Number of distinct tuples (leaf count).
+  size_t num_rows() const { return keys_.empty() ? 0 : keys_.back().size(); }
+  int arity() const { return static_cast<int>(keys_.size()); }
 
   /// Creates a cursor positioned at the virtual root.
   std::unique_ptr<TrieIterator> NewIterator() const;
 
-  /// Direct read access to sorted column `c` (tests, debugging).
-  const std::vector<int64_t>& column(size_t c) const { return cols_[c]; }
+  /// Direct read access to the CSR arrays (tests, debugging).
+  const std::vector<int64_t>& level_keys(size_t d) const { return keys_[d]; }
+  const std::vector<size_t>& child_begin(size_t d) const {
+    return child_begin_[d];
+  }
 
  private:
   RelationTrie() = default;
@@ -42,12 +70,15 @@ class RelationTrie {
   friend class RelationTrieIterator;
 
   std::vector<std::string> order_;
-  std::vector<std::vector<int64_t>> cols_;  // sorted lexicographically
+  std::vector<std::vector<int64_t>> keys_;        // one per level
+  std::vector<std::vector<size_t>> child_begin_;  // one per level except last
 };
 
-/// Cursor over a RelationTrie. The state at depth d is a half-open row
-/// range [lo, hi) of tuples agreeing with the bound prefix, plus the
-/// current key group [pos, group_end) within it.
+/// Cursor over a RelationTrie. The state at depth d is the half-open
+/// range [lo, hi) of keys_[d] owned by the bound prefix (the parent
+/// node's child range) plus the cursor position within it, so Open,
+/// Next, Up, Key, AtEnd, and EstimateKeys are all O(1); Seek is a gallop
+/// + binary search over the per-parent range only.
 class RelationTrieIterator final : public TrieIterator {
  public:
   explicit RelationTrieIterator(const RelationTrie* trie);
@@ -65,13 +96,9 @@ class RelationTrieIterator final : public TrieIterator {
 
  private:
   struct Frame {
-    size_t lo, hi;        // rows matching the bound prefix
-    size_t pos;           // start of the current key group
-    size_t group_end;     // one past the current key group
+    size_t lo, hi;  // the parent's child range within keys_[depth]
+    size_t pos;     // cursor, lo <= pos <= hi
   };
-
-  // Recomputes group_end for the frame at depth_ from pos.
-  void FixGroup();
 
   const RelationTrie* trie_;
   int depth_ = -1;

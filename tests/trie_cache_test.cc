@@ -1,0 +1,156 @@
+// Database-level trie cache: hits on repeated queries, keying by
+// (relation, attribute order, relation version), invalidation on
+// UpdateRelation and via the explicit hook, and byte-identical results
+// with the cache on or off.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/database.h"
+
+namespace xjoin {
+namespace {
+
+class TrieCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.RegisterRelationCsv("R",
+                                        "A,B\n"
+                                        "1,x\n"
+                                        "1,y\n"
+                                        "2,x\n")
+                    .ok());
+    ASSERT_TRUE(db_.RegisterRelationCsv("S",
+                                        "B,C\n"
+                                        "x,7\n"
+                                        "y,8\n")
+                    .ok());
+  }
+
+  MultiModelDatabase db_;
+};
+
+TEST_F(TrieCacheTest, RepeatedQueriesHitTheCache) {
+  Metrics first_metrics;
+  auto first = db_.Query("Q(*) := R, S", Engine::kXJoin, &first_metrics);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(db_.trie_cache_misses(), 2);  // one trie per relation
+  EXPECT_EQ(db_.trie_cache_hits(), 0);
+  EXPECT_EQ(db_.TrieCacheSize(), 2u);
+  EXPECT_EQ(first_metrics.Get("db.trie_cache.misses"), 2);
+
+  Metrics second_metrics;
+  auto second = db_.Query("Q(*) := R, S", Engine::kXJoin, &second_metrics);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(db_.trie_cache_misses(), 2);
+  EXPECT_EQ(db_.trie_cache_hits(), 2);
+  EXPECT_EQ(db_.TrieCacheSize(), 2u);
+  EXPECT_EQ(second_metrics.Get("db.trie_cache.hits"), 2);
+  EXPECT_EQ(second_metrics.Get("db.trie_cache.misses"), 0);
+
+  // Cached and uncached runs are byte-identical.
+  EXPECT_EQ(first->ToTuples(), second->ToTuples());
+}
+
+TEST_F(TrieCacheTest, DistinctAttributeOrdersGetDistinctEntries) {
+  XJoinOptions forward;
+  forward.attribute_order = {"A", "B", "C"};
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := R, S", forward).ok());
+  size_t after_first = db_.TrieCacheSize();
+  EXPECT_EQ(after_first, 2u);
+
+  // A different global order induces a different trie order for R
+  // ((B,A) instead of (A,B)) — a new cache entry, not a bogus hit — but
+  // S's induced order (B,C) is unchanged and hits.
+  XJoinOptions reversed;
+  reversed.attribute_order = {"B", "A", "C"};
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := R, S", reversed).ok());
+  EXPECT_EQ(db_.TrieCacheSize(), 3u);
+  EXPECT_EQ(db_.trie_cache_hits(), 1);
+}
+
+TEST_F(TrieCacheTest, UpdateRelationInvalidatesAndRebuilds) {
+  ASSERT_TRUE(db_.Query("Q(*) := R, S").ok());
+  EXPECT_EQ(db_.TrieCacheSize(), 2u);
+  EXPECT_EQ(*db_.relation_version("R"), 0u);
+
+  // Replace R: its cached trie must go; S's must stay.
+  Relation replacement = **db_.relation("R");
+  Tuple extra = {db_.mutable_dictionary()->Intern("2"),
+                 db_.mutable_dictionary()->Intern("y")};
+  replacement.AppendRow(extra);
+  ASSERT_TRUE(db_.UpdateRelation("R", std::move(replacement)).ok());
+  EXPECT_EQ(*db_.relation_version("R"), 1u);
+  EXPECT_EQ(db_.TrieCacheSize(), 1u);
+
+  // The next query sees the new contents (no stale trie).
+  auto result = db_.Query("Q(A, B, C) := R, S");
+  ASSERT_TRUE(result.ok());
+  const Dictionary& dict = db_.dictionary();
+  EXPECT_TRUE(result->ContainsRow(
+      {dict.Lookup("2"), dict.Lookup("y"), dict.Lookup("8")}));
+  EXPECT_EQ(db_.TrieCacheSize(), 2u);
+
+  // Updating a relation that does not exist fails.
+  auto s = Schema::Make({"Z"});
+  EXPECT_FALSE(db_.UpdateRelation("nope", Relation(*s)).ok());
+}
+
+TEST_F(TrieCacheTest, ExplicitInvalidationHooks) {
+  ASSERT_TRUE(db_.Query("Q(*) := R, S").ok());
+  ASSERT_EQ(db_.TrieCacheSize(), 2u);
+
+  db_.InvalidateTrieCache("R");
+  EXPECT_EQ(db_.TrieCacheSize(), 1u);
+  db_.InvalidateTrieCache("R");  // idempotent
+  EXPECT_EQ(db_.TrieCacheSize(), 1u);
+
+  db_.ClearTrieCache();
+  EXPECT_EQ(db_.TrieCacheSize(), 0u);
+
+  // Queries after a flush rebuild and re-populate.
+  ASSERT_TRUE(db_.Query("Q(*) := R, S").ok());
+  EXPECT_EQ(db_.TrieCacheSize(), 2u);
+}
+
+TEST_F(TrieCacheTest, CachedRunsMatchProviderFreeRuns) {
+  // Run once with the database cache (warm it), once explicitly
+  // provider-free; relations and twigs must agree byte for byte.
+  ASSERT_TRUE(db_.RegisterDocumentXml("doc", R"(
+      <items><item><B>x</B><D>5</D></item>
+             <item><B>y</B><D>6</D></item></items>)")
+                  .ok());
+  const std::string q = "Q(*) := R, S, doc : item[B]/D";
+  auto cached_cold = db_.Query(q);
+  ASSERT_TRUE(cached_cold.ok()) << cached_cold.status().ToString();
+  auto cached_warm = db_.Query(q);
+  ASSERT_TRUE(cached_warm.ok());
+
+  XJoinOptions no_cache;
+  no_cache.trie_provider = [](const std::string&, const Relation&,
+                              const std::vector<std::string>&)
+      -> Result<std::shared_ptr<const RelationTrie>> {
+    return std::shared_ptr<const RelationTrie>();  // always build locally
+  };
+  auto uncached = db_.QueryXJoin(q, no_cache);
+  ASSERT_TRUE(uncached.ok());
+
+  EXPECT_EQ(cached_cold->ToTuples(), cached_warm->ToTuples());
+  EXPECT_EQ(cached_cold->ToTuples(), uncached->ToTuples());
+}
+
+TEST_F(TrieCacheTest, ShardedQueriesShareTheCache) {
+  XJoinOptions sharded;
+  sharded.num_threads = 4;
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := R, S", sharded).ok());
+  int64_t misses = db_.trie_cache_misses();
+  EXPECT_EQ(misses, 2);
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := R, S", sharded).ok());
+  EXPECT_EQ(db_.trie_cache_misses(), misses);
+  EXPECT_GE(db_.trie_cache_hits(), 2);
+}
+
+}  // namespace
+}  // namespace xjoin

@@ -1,0 +1,699 @@
+// Parameterized TrieIterator conformance suite, run against all three
+// implementations — RelationTrie (CSR level arrays), LazyPathTrie
+// (in-place document navigation), and the materialized path trie
+// (RelationTrie over a flattened PathRelation) — plus a randomized
+// equivalence check of the CSR trie against a reference sorted-vector
+// oracle. Every implementation must satisfy the exact protocol in
+// relational/trie_iterator.h: Open/Up/Next/Seek/AtEnd/Key semantics,
+// EstimateKeys as an upper bound, and root-positioned independent
+// Clones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/decompose.h"
+#include "core/virtual_relation.h"
+#include "relational/operators.h"
+#include "relational/trie.h"
+#include "tests/test_util.h"
+#include "xml/parser.h"
+
+namespace xjoin {
+namespace {
+
+// ---------------------------------------------------------------------
+// Reference oracle: a TrieIterator over an explicit sorted-distinct
+// tuple vector, implemented with plain linear scans — deliberately the
+// dumbest possible realization of the contract.
+class OracleTrieIterator final : public TrieIterator {
+ public:
+  OracleTrieIterator(std::shared_ptr<const std::vector<Tuple>> tuples,
+                     int arity)
+      : tuples_(std::move(tuples)), arity_(arity) {}
+
+  int arity() const override { return arity_; }
+  int depth() const override { return depth_; }
+
+  void Open() override {
+    size_t lo, hi;
+    if (depth_ < 0) {
+      lo = 0;
+      hi = tuples_->size();
+    } else {
+      const Frame& f = frames_[static_cast<size_t>(depth_)];
+      lo = f.pos;
+      hi = f.group_end;
+    }
+    ++depth_;
+    frames_.push_back(Frame{lo, hi, lo, lo});
+    FixGroup();
+  }
+
+  void Up() override {
+    frames_.pop_back();
+    --depth_;
+  }
+
+  bool AtEnd() const override {
+    const Frame& f = frames_[static_cast<size_t>(depth_)];
+    return f.pos >= f.hi;
+  }
+
+  int64_t Key() const override {
+    const Frame& f = frames_[static_cast<size_t>(depth_)];
+    return (*tuples_)[f.pos][static_cast<size_t>(depth_)];
+  }
+
+  void Next() override {
+    Frame& f = frames_[static_cast<size_t>(depth_)];
+    f.pos = f.group_end;
+    FixGroup();
+  }
+
+  void Seek(int64_t key) override {
+    while (!AtEnd() && Key() < key) Next();
+  }
+
+  int64_t EstimateKeys() const override {
+    // Exact distinct count remaining at this level (linear scan).
+    const Frame& f = frames_[static_cast<size_t>(depth_)];
+    int64_t count = 0;
+    size_t i = f.pos;
+    while (i < f.hi) {
+      ++count;
+      int64_t key = (*tuples_)[i][static_cast<size_t>(depth_)];
+      while (i < f.hi && (*tuples_)[i][static_cast<size_t>(depth_)] == key) {
+        ++i;
+      }
+    }
+    return count;
+  }
+
+  std::unique_ptr<TrieIterator> Clone() const override {
+    return std::make_unique<OracleTrieIterator>(tuples_, arity_);
+  }
+
+ private:
+  struct Frame {
+    size_t lo, hi;
+    size_t pos, group_end;
+  };
+
+  void FixGroup() {
+    Frame& f = frames_[static_cast<size_t>(depth_)];
+    if (f.pos >= f.hi) {
+      f.group_end = f.pos;
+      return;
+    }
+    int64_t key = (*tuples_)[f.pos][static_cast<size_t>(depth_)];
+    size_t e = f.pos + 1;
+    while (e < f.hi && (*tuples_)[e][static_cast<size_t>(depth_)] == key) ++e;
+    f.group_end = e;
+  }
+
+  std::shared_ptr<const std::vector<Tuple>> tuples_;
+  int arity_;
+  int depth_ = -1;
+  std::vector<Frame> frames_;
+};
+
+// ---------------------------------------------------------------------
+// Fixtures: one per implementation, each owning its backing data and
+// exposing (a) fresh iterators and (b) the sorted-distinct oracle
+// tuples describing the same logical trie.
+struct TrieFixture {
+  virtual ~TrieFixture() = default;
+  virtual std::unique_ptr<TrieIterator> NewIterator() const = 0;
+  virtual int arity() const = 0;
+  const std::vector<Tuple>& oracle() const { return *oracle_; }
+  std::unique_ptr<TrieIterator> NewOracleIterator() const {
+    return std::make_unique<OracleTrieIterator>(oracle_, arity());
+  }
+
+ protected:
+  void SetOracle(std::vector<Tuple> tuples) {
+    std::sort(tuples.begin(), tuples.end());
+    tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+    oracle_ = std::make_shared<const std::vector<Tuple>>(std::move(tuples));
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Tuple>> oracle_;
+};
+
+struct RelationTrieFixture : TrieFixture {
+  RelationTrieFixture(const Relation& rel,
+                      const std::vector<std::string>& order) {
+    auto projected = Project(rel, order);
+    SetOracle(projected->ToTuples());
+    auto built = RelationTrie::Build(rel, order);
+    trie = std::make_unique<RelationTrie>(*std::move(built));
+  }
+
+  std::unique_ptr<TrieIterator> NewIterator() const override {
+    return trie->NewIterator();
+  }
+  int arity() const override { return trie->arity(); }
+
+  std::unique_ptr<RelationTrie> trie;
+};
+
+// Shared XML backing for the two path-trie fixtures.
+struct PathBacking {
+  PathBacking(const std::string& xml, const std::string& pattern) {
+    auto parsed = ParseXml(xml);
+    doc = std::make_unique<XmlDocument>(*std::move(parsed));
+    index = std::make_unique<NodeIndex>(NodeIndex::Build(doc.get(), &dict));
+    auto parsed_twig = Twig::Parse(pattern);
+    twig = std::make_unique<Twig>(*std::move(parsed_twig));
+    auto decomposition = DecomposeTwig(*twig);
+    auto rel = PathRelation::Make(*twig, decomposition->paths[0], index.get());
+    relation = std::make_unique<PathRelation>(*std::move(rel));
+  }
+
+  Dictionary dict;
+  std::unique_ptr<XmlDocument> doc;
+  std::unique_ptr<NodeIndex> index;
+  std::unique_ptr<Twig> twig;
+  std::unique_ptr<PathRelation> relation;
+};
+
+struct LazyPathTrieFixture : TrieFixture {
+  LazyPathTrieFixture(const std::string& xml, const std::string& pattern)
+      : backing(xml, pattern) {
+    SetOracle(backing.relation->Materialize()->ToTuples());
+  }
+
+  std::unique_ptr<TrieIterator> NewIterator() const override {
+    return backing.relation->NewLazyIterator();
+  }
+  int arity() const override { return backing.relation->arity(); }
+
+  PathBacking backing;
+};
+
+struct MaterializedPathTrieFixture : TrieFixture {
+  MaterializedPathTrieFixture(const std::string& xml,
+                              const std::string& pattern)
+      : backing(xml, pattern) {
+    Relation mat = *backing.relation->Materialize();
+    SetOracle(mat.ToTuples());
+    auto built = RelationTrie::Build(mat, backing.relation->attributes());
+    trie = std::make_unique<RelationTrie>(*std::move(built));
+  }
+
+  std::unique_ptr<TrieIterator> NewIterator() const override {
+    return trie->NewIterator();
+  }
+  int arity() const override { return trie->arity(); }
+
+  PathBacking backing;
+  std::unique_ptr<RelationTrie> trie;
+};
+
+// ---------------------------------------------------------------------
+// Fixture registry (the parameter domain).
+Relation BasicRelation() {
+  auto s = Schema::Make({"A", "B"});
+  Relation r(*s);
+  r.AppendRow({1, 10});
+  r.AppendRow({1, 20});
+  r.AppendRow({2, 10});
+  r.AppendRow({2, 10});  // duplicate
+  r.AppendRow({5, 7});
+  r.AppendRow({5, 9});
+  r.AppendRow({9, 1});
+  return r;
+}
+
+Relation Arity3Relation() {
+  auto s = Schema::Make({"A", "B", "C"});
+  Relation r(*s);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) r.AppendRow({i, j, (i * j) % 3});
+  }
+  return r;
+}
+
+// The lazy path trie exposes every chain prefix, so its conformance
+// fixtures use documents where every partial chain extends to a full
+// one (no dangling prefixes); the dangling-prefix behavior gets its own
+// targeted tests below. The materialized fixtures flatten first, so
+// they tolerate dangling chains.
+constexpr char kCompleteXml[] =
+    "<r><a>1<b>x</b><b>y</b><b>y</b></a><a>2<b>x</b></a>"
+    "<a>1<b>z</b></a></r>";
+constexpr char kCompleteDeepXml[] =
+    "<r><a>1<b>x<c>p</c><c>q</c></b><b>y<c>p</c></b></a>"
+    "<a>2<b>x<c>r</c></b></a></r>";
+constexpr char kDanglingXml[] =
+    "<r><a>1<b>x</b><b>y</b><b>y</b></a><a>2<b>x</b></a>"
+    "<a>1<b>z</b></a><a>3</a></r>";
+constexpr char kDanglingDeepXml[] =
+    "<r><a>1<b>x<c>p</c><c>q</c></b><b>y<c>p</c></b></a>"
+    "<a>2<b>x<c>r</c></b></a><a>3<b>w</b></a></r>";
+
+struct FixtureSpec {
+  const char* name;
+  std::function<std::shared_ptr<TrieFixture>()> make;
+};
+
+const std::vector<FixtureSpec>& Registry() {
+  static const std::vector<FixtureSpec>* specs = new std::vector<FixtureSpec>{
+      {"RelationTrieBasic",
+       [] {
+         return std::make_shared<RelationTrieFixture>(
+             BasicRelation(), std::vector<std::string>{"A", "B"});
+       }},
+      {"RelationTriePermutedOrder",
+       [] {
+         return std::make_shared<RelationTrieFixture>(
+             BasicRelation(), std::vector<std::string>{"B", "A"});
+       }},
+      {"RelationTrieArity3",
+       [] {
+         return std::make_shared<RelationTrieFixture>(
+             Arity3Relation(), std::vector<std::string>{"A", "B", "C"});
+       }},
+      {"RelationTrieEmpty",
+       [] {
+         auto s = Schema::Make({"A", "B"});
+         return std::make_shared<RelationTrieFixture>(
+             Relation(*s), std::vector<std::string>{"A", "B"});
+       }},
+      {"RelationTrieSingleRow",
+       [] {
+         auto s = Schema::Make({"A"});
+         Relation r(*s);
+         r.AppendRow({42});
+         return std::make_shared<RelationTrieFixture>(
+             r, std::vector<std::string>{"A"});
+       }},
+      {"LazyPathTrieBasic",
+       [] {
+         return std::make_shared<LazyPathTrieFixture>(kCompleteXml, "a/b");
+       }},
+      {"LazyPathTrieDepth3",
+       [] {
+         return std::make_shared<LazyPathTrieFixture>(kCompleteDeepXml,
+                                                      "a/b/c");
+       }},
+      {"MaterializedPathTrieBasic",
+       [] {
+         return std::make_shared<MaterializedPathTrieFixture>(kDanglingXml,
+                                                              "a/b");
+       }},
+      {"MaterializedPathTrieDepth3",
+       [] {
+         return std::make_shared<MaterializedPathTrieFixture>(kDanglingDeepXml,
+                                                              "a/b/c");
+       }},
+      {"MaterializedPathTrieAbsentTag",
+       [] {
+         return std::make_shared<MaterializedPathTrieFixture>(kDanglingXml,
+                                                              "a/zz");
+       }},
+  };
+  return *specs;
+}
+
+// Depth-first enumeration of all tuples below the virtual root.
+std::vector<Tuple> Enumerate(TrieIterator* it) {
+  std::vector<Tuple> out;
+  if (it->arity() == 0) return out;
+  Tuple current(static_cast<size_t>(it->arity()));
+  auto recurse = [&](auto&& self) -> void {
+    it->Open();
+    while (!it->AtEnd()) {
+      current[static_cast<size_t>(it->depth())] = it->Key();
+      if (it->depth() + 1 == it->arity()) {
+        out.push_back(current);
+      } else {
+        self(self);
+      }
+      it->Next();
+    }
+    it->Up();
+  };
+  recurse(recurse);
+  return out;
+}
+
+class TrieConformanceTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  std::shared_ptr<TrieFixture> fixture_ = Registry()[GetParam()].make();
+};
+
+TEST_P(TrieConformanceTest, EnumerationMatchesOracle) {
+  auto it = fixture_->NewIterator();
+  EXPECT_EQ(it->depth(), -1);
+  EXPECT_EQ(Enumerate(it.get()), fixture_->oracle());
+  // The walk must restore the root position; a second pass sees the
+  // same trie.
+  EXPECT_EQ(it->depth(), -1);
+  EXPECT_EQ(Enumerate(it.get()), fixture_->oracle());
+}
+
+TEST_P(TrieConformanceTest, OpenUpBookkeeping) {
+  auto it = fixture_->NewIterator();
+  ASSERT_GT(it->arity(), 0);
+  it->Open();
+  EXPECT_EQ(it->depth(), 0);
+  if (fixture_->oracle().empty()) {
+    EXPECT_TRUE(it->AtEnd());
+  } else {
+    ASSERT_FALSE(it->AtEnd());
+    EXPECT_EQ(it->Key(), fixture_->oracle()[0][0]);
+    for (int d = 1; d < it->arity(); ++d) {
+      it->Open();
+      EXPECT_EQ(it->depth(), d);
+      ASSERT_FALSE(it->AtEnd());
+      EXPECT_EQ(it->Key(), fixture_->oracle()[0][static_cast<size_t>(d)]);
+    }
+    for (int d = it->arity() - 1; d > 0; --d) {
+      it->Up();
+      EXPECT_EQ(it->depth(), d - 1);
+      EXPECT_FALSE(it->AtEnd());
+    }
+  }
+  it->Up();
+  EXPECT_EQ(it->depth(), -1);
+}
+
+TEST_P(TrieConformanceTest, NextWalksDistinctAscendingKeys) {
+  auto it = fixture_->NewIterator();
+  ASSERT_GT(it->arity(), 0);
+  it->Open();
+  std::vector<int64_t> keys;
+  while (!it->AtEnd()) {
+    keys.push_back(it->Key());
+    it->Next();
+  }
+  std::vector<int64_t> expected;
+  for (const Tuple& t : fixture_->oracle()) {
+    if (expected.empty() || expected.back() != t[0]) expected.push_back(t[0]);
+  }
+  EXPECT_EQ(keys, expected);
+  // Strictly ascending == distinct.
+  for (size_t i = 1; i < keys.size(); ++i) EXPECT_LT(keys[i - 1], keys[i]);
+}
+
+TEST_P(TrieConformanceTest, SeekFindsLeastKeyAtLeastTarget) {
+  if (fixture_->oracle().empty()) return;
+  // Level-0 distinct keys.
+  std::vector<int64_t> keys;
+  for (const Tuple& t : fixture_->oracle()) {
+    if (keys.empty() || keys.back() != t[0]) keys.push_back(t[0]);
+  }
+  // Probe every key, every midpoint, and one past the end.
+  std::vector<int64_t> targets = keys;
+  for (int64_t k : keys) targets.push_back(k + 1);
+  targets.push_back(keys.back() + 100);
+  for (int64_t target : targets) {
+    auto it = fixture_->NewIterator();
+    it->Open();
+    if (it->Key() > target) continue;  // Seek precondition: key >= Key()
+    it->Seek(target);
+    auto expected = std::lower_bound(keys.begin(), keys.end(), target);
+    if (expected == keys.end()) {
+      EXPECT_TRUE(it->AtEnd()) << "target=" << target;
+    } else {
+      ASSERT_FALSE(it->AtEnd()) << "target=" << target;
+      EXPECT_EQ(it->Key(), *expected) << "target=" << target;
+    }
+  }
+  // Seeking the current key is a no-op.
+  auto it = fixture_->NewIterator();
+  it->Open();
+  int64_t first = it->Key();
+  it->Seek(first);
+  EXPECT_EQ(it->Key(), first);
+}
+
+TEST_P(TrieConformanceTest, EstimateKeysIsUpperBoundAndShrinks) {
+  if (fixture_->oracle().empty()) return;
+  auto it = fixture_->NewIterator();
+  auto oracle = fixture_->NewOracleIterator();
+  it->Open();
+  oracle->Open();
+  int64_t prev = it->EstimateKeys();
+  while (!it->AtEnd()) {
+    EXPECT_GE(it->EstimateKeys(), oracle->EstimateKeys());
+    EXPECT_LE(it->EstimateKeys(), prev);
+    prev = it->EstimateKeys();
+    it->Next();
+    oracle->Next();
+  }
+}
+
+TEST_P(TrieConformanceTest, CloneIsRootPositionedAndIndependent) {
+  auto original = fixture_->NewIterator();
+  std::vector<Tuple> reference = Enumerate(original.get());
+  auto fresh = original->Clone();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->arity(), original->arity());
+  EXPECT_EQ(fresh->depth(), -1);
+  EXPECT_EQ(Enumerate(fresh.get()), reference);
+
+  if (reference.empty()) return;
+
+  // A clone taken mid-walk does not observe or perturb the original.
+  original->Open();
+  int64_t key_before = original->Key();
+  auto mid = original->Clone();
+  EXPECT_EQ(mid->depth(), -1);
+  // Interleave: step the clone while the original is parked.
+  mid->Open();
+  while (!mid->AtEnd()) mid->Next();
+  EXPECT_EQ(original->depth(), 0);
+  EXPECT_EQ(original->Key(), key_before);
+  mid->Up();
+  EXPECT_EQ(Enumerate(mid.get()), reference);
+  original->Up();
+  EXPECT_EQ(Enumerate(original.get()), reference);
+}
+
+// Randomized equivalence: drive the implementation and the sorted-
+// vector oracle with one random-but-legal op sequence and compare all
+// observable state after every step.
+TEST_P(TrieConformanceTest, RandomWalkMatchesOracle) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(7000 + 31 * GetParam() + seed);
+    auto it = fixture_->NewIterator();
+    auto oracle = fixture_->NewOracleIterator();
+    const int arity = it->arity();
+    if (arity == 0) return;
+    for (int step = 0; step < 400; ++step) {
+      // Legal moves given the current state.
+      enum class Op { kOpen, kUp, kNext, kSeek };
+      std::vector<Op> moves;
+      if (it->depth() == -1) {
+        moves.push_back(Op::kOpen);
+      } else {
+        moves.push_back(Op::kUp);
+        if (!it->AtEnd()) {
+          moves.push_back(Op::kNext);
+          moves.push_back(Op::kSeek);
+          if (it->depth() + 1 < arity) moves.push_back(Op::kOpen);
+        }
+      }
+      Op op = moves[rng.NextBounded(moves.size())];
+      switch (op) {
+        case Op::kOpen:
+          it->Open();
+          oracle->Open();
+          break;
+        case Op::kUp:
+          it->Up();
+          oracle->Up();
+          break;
+        case Op::kNext:
+          it->Next();
+          oracle->Next();
+          break;
+        case Op::kSeek: {
+          int64_t target = it->Key();
+          target += static_cast<int64_t>(rng.NextBounded(4));
+          it->Seek(target);
+          oracle->Seek(target);
+          break;
+        }
+      }
+      ASSERT_EQ(it->depth(), oracle->depth()) << "step " << step;
+      if (it->depth() >= 0) {
+        ASSERT_EQ(it->AtEnd(), oracle->AtEnd()) << "step " << step;
+        if (!it->AtEnd()) {
+          ASSERT_EQ(it->Key(), oracle->Key()) << "step " << step;
+          ASSERT_GE(it->EstimateKeys(), oracle->EstimateKeys())
+              << "step " << step;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImplementations, TrieConformanceTest,
+    ::testing::Range(size_t{0}, Registry().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return Registry()[info.param].name;
+    });
+
+// ---------------------------------------------------------------------
+// The lazy path trie's documented relaxation: it enumerates every chain
+// prefix, so a level may expose keys whose deeper subtree turns out to
+// be empty (a node with no matching children). Full-tuple enumeration
+// still agrees with the materialized relation — which is all the join
+// engine relies on — and opening a dangling key yields an empty level,
+// exactly what the leapfrog backtracks over.
+TEST(LazyPathTrieRelaxationTest, DanglingPrefixesExposeEmptySubtrees) {
+  LazyPathTrieFixture fixture(kDanglingXml, "a/b");
+  // Enumeration matches the materialized relation despite <a>3</a>
+  // contributing no chain.
+  auto it = fixture.NewIterator();
+  EXPECT_EQ(Enumerate(it.get()), fixture.oracle());
+
+  // Level 0 exposes a superset of the oracle's level-0 keys ...
+  std::vector<int64_t> oracle_keys;
+  for (const Tuple& t : fixture.oracle()) {
+    if (oracle_keys.empty() || oracle_keys.back() != t[0]) {
+      oracle_keys.push_back(t[0]);
+    }
+  }
+  std::vector<int64_t> lazy_keys;
+  it->Open();
+  while (!it->AtEnd()) {
+    lazy_keys.push_back(it->Key());
+    it->Next();
+  }
+  EXPECT_GT(lazy_keys.size(), oracle_keys.size());
+  for (int64_t k : oracle_keys) {
+    EXPECT_TRUE(std::find(lazy_keys.begin(), lazy_keys.end(), k) !=
+                lazy_keys.end());
+  }
+
+  // ... and opening a dangling key yields an empty next level.
+  bool saw_dangling = false;
+  it->Up();
+  it->Open();
+  while (!it->AtEnd()) {
+    it->Open();
+    if (it->AtEnd()) saw_dangling = true;
+    it->Up();
+    it->Next();
+  }
+  EXPECT_TRUE(saw_dangling);
+}
+
+TEST(LazyPathTrieRelaxationTest, AbsentTagYieldsNoTuples) {
+  LazyPathTrieFixture fixture(kDanglingXml, "a/zz");
+  EXPECT_TRUE(fixture.oracle().empty());
+  auto it = fixture.NewIterator();
+  EXPECT_TRUE(Enumerate(it.get()).empty());
+}
+
+// ---------------------------------------------------------------------
+// Randomized CSR-vs-oracle equivalence on generated relations (random
+// arity, random attribute order, duplicate-heavy domains).
+class CsrTrieRandomizedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrTrieRandomizedTest, MatchesSortedVectorOracle) {
+  Rng rng(9000 + static_cast<uint64_t>(GetParam()));
+  Dictionary dict;
+  size_t arity = 1 + rng.NextBounded(4);
+  std::vector<std::string> attrs;
+  for (size_t i = 0; i < arity; ++i) attrs.push_back("a" + std::to_string(i));
+  Relation rel = xjoin::testing::RandomRelation(&rng, &dict, attrs,
+                                                rng.NextBounded(300), 6);
+  std::vector<std::string> order = attrs;
+  rng.Shuffle(&order);
+
+  RelationTrieFixture fixture(rel, order);
+  auto it = fixture.NewIterator();
+  EXPECT_EQ(Enumerate(it.get()), fixture.oracle());
+
+  // Random walk against the oracle.
+  auto impl = fixture.NewIterator();
+  auto oracle = fixture.NewOracleIterator();
+  for (int step = 0; step < 300; ++step) {
+    if (impl->depth() == -1) {
+      impl->Open();
+      oracle->Open();
+    } else if (impl->AtEnd() || rng.NextBernoulli(0.2)) {
+      impl->Up();
+      oracle->Up();
+    } else if (rng.NextBernoulli(0.5) && impl->depth() + 1 < impl->arity()) {
+      impl->Open();
+      oracle->Open();
+    } else if (rng.NextBernoulli(0.5)) {
+      impl->Next();
+      oracle->Next();
+    } else {
+      int64_t target = impl->Key() + static_cast<int64_t>(rng.NextBounded(3));
+      impl->Seek(target);
+      oracle->Seek(target);
+    }
+    ASSERT_EQ(impl->depth(), oracle->depth()) << "step " << step;
+    if (impl->depth() >= 0) {
+      ASSERT_EQ(impl->AtEnd(), oracle->AtEnd()) << "step " << step;
+      if (!impl->AtEnd()) {
+        ASSERT_EQ(impl->Key(), oracle->Key()) << "step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, CsrTrieRandomizedTest,
+                         ::testing::Range(0, 20));
+
+// The radix path (>= 256 rows) and the std::sort path must produce
+// identical tries.
+TEST(CsrTrieBuildTest, RadixAndComparatorSortsAgree) {
+  Rng rng(123);
+  Dictionary dict;
+  // Values that exercise multiple radix bytes, plus negatives.
+  auto s = Schema::Make({"A", "B"});
+  Relation rel(*s);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t a = static_cast<int64_t>(rng.NextBounded(1 << 20)) - (1 << 19);
+    int64_t b = static_cast<int64_t>(rng.NextBounded(97));
+    rel.AppendRow({a, b});
+  }
+  auto big = RelationTrie::Build(rel, {"A", "B"});
+  ASSERT_TRUE(big.ok());
+
+  // Reference: sort+dedup through the Relation and re-enumerate.
+  Relation sorted_rel = rel;
+  sorted_rel.SortAndDedup();
+  RelationTrieFixture fixture(sorted_rel, {"A", "B"});
+  auto it = big->NewIterator();
+  EXPECT_EQ(Enumerate(it.get()), fixture.oracle());
+}
+
+// Parallel builds must be byte-identical to serial builds.
+TEST(CsrTrieBuildTest, ParallelBuildMatchesSerial) {
+  Rng rng(321);
+  Dictionary dict;
+  Relation rel = xjoin::testing::RandomRelation(
+      &rng, &dict, {"a0", "a1", "a2"}, 2000, 40);
+  auto serial = RelationTrie::Build(rel, {"a2", "a0", "a1"});
+  ASSERT_TRUE(serial.ok());
+  TrieBuildOptions options;
+  options.num_threads = 4;
+  auto parallel = RelationTrie::Build(rel, {"a2", "a0", "a1"}, options);
+  ASSERT_TRUE(parallel.ok());
+  for (size_t d = 0; d < 3; ++d) {
+    EXPECT_EQ(serial->level_keys(d), parallel->level_keys(d));
+    if (d + 1 < 3) {
+      EXPECT_EQ(serial->child_begin(d), parallel->child_begin(d));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xjoin

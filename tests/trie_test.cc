@@ -46,8 +46,11 @@ TEST(RelationTrieTest, BuildSortsAndDedups) {
   auto trie = RelationTrie::Build(SmallRelation(), {"A", "B"});
   ASSERT_TRUE(trie.ok());
   EXPECT_EQ(trie->num_rows(), 4u);
-  EXPECT_EQ(trie->column(0), (std::vector<int64_t>{1, 1, 2, 5}));
-  EXPECT_EQ(trie->column(1), (std::vector<int64_t>{10, 20, 10, 7}));
+  // CSR layout: level 0 holds the distinct A keys, level 1 the distinct
+  // B keys per A parent, child_begin the offsets between them.
+  EXPECT_EQ(trie->level_keys(0), (std::vector<int64_t>{1, 2, 5}));
+  EXPECT_EQ(trie->level_keys(1), (std::vector<int64_t>{10, 20, 10, 7}));
+  EXPECT_EQ(trie->child_begin(0), (std::vector<size_t>{0, 2, 3, 4}));
 }
 
 TEST(RelationTrieTest, BuildWithPermutedOrder) {
@@ -55,7 +58,9 @@ TEST(RelationTrieTest, BuildWithPermutedOrder) {
   ASSERT_TRUE(trie.ok());
   EXPECT_EQ(trie->attribute_order(),
             (std::vector<std::string>{"B", "A"}));
-  EXPECT_EQ(trie->column(0), (std::vector<int64_t>{7, 10, 10, 20}));
+  EXPECT_EQ(trie->level_keys(0), (std::vector<int64_t>{7, 10, 20}));
+  EXPECT_EQ(trie->level_keys(1), (std::vector<int64_t>{5, 1, 2, 1}));
+  EXPECT_EQ(trie->child_begin(0), (std::vector<size_t>{0, 1, 3, 4}));
 }
 
 TEST(RelationTrieTest, BuildRejectsBadOrders) {
