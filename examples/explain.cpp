@@ -1,0 +1,86 @@
+// EXPLAIN: render a query's prepared execution plan without (and then
+// with) running it.
+//
+// Registers the paper's Figure-1 bookstore data in a MultiModelDatabase,
+// prints ExplainXJoin for the multi-model query — inputs with
+// trie-cache provenance, transform(Sx), the expansion order with
+// per-level lead rationale, the shard plan, and the worst-case size
+// bound — then runs the query twice to show the plan cache taking over
+// (the second EXPLAIN reports the hit and the pinned tries).
+//
+//   ./build/examples/explain
+#include <cstdio>
+
+#include "core/database.h"
+
+int main() {
+  using namespace xjoin;
+
+  MultiModelDatabase db;
+  Status status = db.RegisterRelationCsv("R",
+                                         "orderID,userID\n"
+                                         "10963,jack\n"
+                                         "20134,tom\n"
+                                         "35768,bob\n");
+  if (!status.ok()) {
+    std::fprintf(stderr, "register error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  status = db.RegisterDocumentXml("invoices", R"(
+      <invoices>
+        <invoice><orderID>10963</orderID>
+          <orderLine><ISBN>978-3-16-1</ISBN><price>30</price></orderLine>
+        </invoice>
+        <invoice><orderID>20134</orderID>
+          <orderLine><ISBN>634-3-12-2</ISBN><price>20</price></orderLine>
+        </invoice>
+      </invoices>)");
+  if (!status.ok()) {
+    std::fprintf(stderr, "register error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const std::string query =
+      "Q(userID, ISBN, price) := R, "
+      "invoices : invoice[orderID]/orderLine[ISBN]/price";
+
+  auto explained = db.ExplainXJoin(query);
+  if (!explained.ok()) {
+    std::fprintf(stderr, "explain error: %s\n",
+                 explained.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== EXPLAIN (cold: the plan was just prepared) ===\n\n%s\n",
+              explained->c_str());
+
+  // Run the query twice: the first execution reuses the plan EXPLAIN
+  // just prepared, the second is a pure plan-cache hit.
+  for (int run = 1; run <= 2; ++run) {
+    Metrics metrics;
+    XJoinOptions options;
+    options.metrics = &metrics;
+    auto result = db.QueryXJoin(query, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "run %d: %lld rows, plan cache %lld hit(s) %lld miss(es), "
+        "tries built %lld\n",
+        run, static_cast<long long>(result->num_rows()),
+        static_cast<long long>(metrics.Get("db.plan_cache.hits")),
+        static_cast<long long>(metrics.Get("db.plan_cache.misses")),
+        static_cast<long long>(metrics.Get("trie.builds")));
+  }
+
+  auto warm = db.ExplainXJoin(query);
+  if (!warm.ok()) {
+    std::fprintf(stderr, "explain error: %s\n",
+                 warm.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n=== EXPLAIN (warm: served from the plan cache) ===\n\n%s",
+              warm->c_str());
+  return 0;
+}

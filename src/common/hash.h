@@ -1,9 +1,13 @@
-// Hash combinators shared by hash-join keys and memo tables.
+// Hash combinators shared by hash-join keys, memo tables, and the
+// database's cache-key fingerprints.
 #ifndef XJOIN_COMMON_HASH_H_
 #define XJOIN_COMMON_HASH_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
 
 namespace xjoin {
 
@@ -14,6 +18,27 @@ inline size_t HashCombine(size_t seed, size_t value) {
   value ^= value >> 33;
   seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
   return seed;
+}
+
+/// Mixes a byte string into `seed`: FNV-1a over the bytes, then one
+/// HashCombine so the string's position in a combinator chain matters.
+inline size_t HashBytes(size_t seed, std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return HashCombine(seed, static_cast<size_t>(h));
+}
+
+/// Fixed-width (16-digit) lowercase-hex rendering of a hash, for
+/// embedding fingerprints in string cache keys. Widened to 64 bits so
+/// the rendering is identical on 32-bit size_t platforms.
+inline std::string HashToHex(size_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
 }
 
 }  // namespace xjoin

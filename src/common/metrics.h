@@ -33,6 +33,14 @@ class Metrics {
   /// All counters in name order (stable output for tests and benches).
   const std::map<std::string, int64_t>& counters() const { return counters_; }
 
+  /// Adds every counter of `other` into this bag. This is an addition
+  /// merge: exact for Add-style counters, which is all the per-shard /
+  /// per-worker scratch Metrics of the parallel engines ever record —
+  /// high-watermark (RecordMax) counters must not be merged this way.
+  void MergeFrom(const Metrics& other) {
+    for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  }
+
   void Clear() { counters_.clear(); }
 
   /// One "name=value" pair per line.

@@ -15,31 +15,36 @@ int ParallelWorkerCount(int num_threads, size_t n, size_t grain) {
   return static_cast<int>(std::max<size_t>(workers, 1));
 }
 
-void ParallelFor(int num_threads, size_t n, size_t grain,
-                 const std::function<void(size_t)>& fn) {
+void ParallelForWorker(int num_threads, size_t n, size_t grain,
+                       const std::function<void(int, size_t)>& fn) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
   const int workers = ParallelWorkerCount(num_threads, n, grain);
   if (workers <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
 
   std::atomic<size_t> cursor{0};
-  auto worker = [&]() {
+  auto worker = [&](int w) {
     for (;;) {
       size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) return;
       size_t end = std::min(begin + grain, n);
-      for (size_t i = begin; i < end; ++i) fn(i);
+      for (size_t i = begin; i < end; ++i) fn(w, i);
     }
   };
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(workers) - 1);
-  for (int t = 1; t < workers; ++t) threads.emplace_back(worker);
-  worker();  // the calling thread is worker 0
+  for (int t = 1; t < workers; ++t) threads.emplace_back(worker, t);
+  worker(0);  // the calling thread is worker 0
   for (std::thread& t : threads) t.join();
+}
+
+void ParallelFor(int num_threads, size_t n, size_t grain,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForWorker(num_threads, n, grain, [&fn](int, size_t i) { fn(i); });
 }
 
 }  // namespace xjoin

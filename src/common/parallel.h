@@ -27,6 +27,14 @@ namespace xjoin {
 void ParallelFor(int num_threads, size_t n, size_t grain,
                  const std::function<void(size_t)>& fn);
 
+/// Like ParallelFor, but `fn` also receives the worker index in
+/// [0, ParallelWorkerCount(num_threads, n, grain)). Callers size
+/// per-worker scratch state (e.g. Metrics bags) by that count, index it
+/// race-free inside `fn`, and merge after the call returns — the
+/// pattern the engines use to keep counters exact in parallel runs.
+void ParallelForWorker(int num_threads, size_t n, size_t grain,
+                       const std::function<void(int, size_t)>& fn);
+
 /// The number of worker threads ParallelFor would actually use for the
 /// given request: min(num_threads, blocks of `grain` covering n), at
 /// least 1. Exposed so callers can size per-worker scratch state.

@@ -82,4 +82,32 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+std::string CanonicalizeQueryText(std::string_view text) {
+  auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  auto is_punct = [](char c) {
+    return c == ',' || c == '(' || c == ')' || c == ':' || c == '=' ||
+           c == '[' || c == ']' || c == '/';
+  };
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (!is_space(text[i])) {
+      out += text[i++];
+      continue;
+    }
+    while (i < text.size() && is_space(text[i])) ++i;
+    // A whitespace run survives (as one space) only between two
+    // identifier characters; next to punctuation or at the ends the
+    // parser ignores it.
+    if (!out.empty() && !is_punct(out.back()) && i < text.size() &&
+        !is_punct(text[i])) {
+      out += ' ';
+    }
+  }
+  return out;
+}
+
 }  // namespace xjoin

@@ -36,6 +36,14 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// Renders a double compactly ("3.5", not "3.500000").
 std::string FormatDouble(double v);
 
+/// Canonical spelling of a multi-model query text, used as a cache key
+/// component: whitespace runs collapse to one space, the ends are
+/// trimmed, and spaces adjacent to the query grammar's punctuation
+/// (",():=[]/") are dropped — so "Q(*) := R , S" and "Q(*):=R,S" map to
+/// the same key. Spaces inside identifiers are preserved (collapsed to
+/// one), so distinct registered names cannot collide.
+std::string CanonicalizeQueryText(std::string_view text);
+
 }  // namespace xjoin
 
 #endif  // XJOIN_COMMON_STRING_UTIL_H_

@@ -1,17 +1,42 @@
 #include "core/database.h"
 
 #include <algorithm>
-#include <cmath>
-#include <sstream>
+#include <utility>
 
+#include "common/hash.h"
 #include "common/string_util.h"
-#include "core/bound.h"
-#include "core/decompose.h"
-#include "core/order.h"
 #include "xml/parser.h"
 #include "xml/twig.h"
 
 namespace xjoin {
+
+namespace {
+
+// Cache keys for the shared trie LRU. Relation tries key on
+// (name, version, induced attribute order); materialized path tries on
+// (document, version, path signature). The '\x1F' separators cannot
+// occur in registered names or attribute names that come from parsing.
+std::string RelationTrieKey(const std::string& name, uint64_t version,
+                            const std::vector<std::string>& order) {
+  return "rel\x1F" + name + "\x1F" + std::to_string(version) + "\x1F" +
+         JoinStrings(order, ",");
+}
+
+std::string PathTrieKey(const std::string& doc_name, uint64_t version,
+                        const std::string& signature) {
+  return "path\x1F" + doc_name + "\x1F" + std::to_string(version) + "\x1F" +
+         signature;
+}
+
+// Plan-cache key: canonical query spelling + options fingerprint, so
+// "Q(*) := R,S" and "Q(*):=R, S" share a plan while num_threads or
+// structural_pruning variants get distinct ones.
+std::string PlanCacheKey(const std::string& text, const XJoinOptions& options) {
+  return CanonicalizeQueryText(text) + "\x1F" +
+         HashToHex(PlanFingerprint(options));
+}
+
+}  // namespace
 
 Status MultiModelDatabase::RegisterRelationCsv(const std::string& name,
                                                std::string_view csv,
@@ -37,14 +62,48 @@ Status MultiModelDatabase::UpdateRelation(const std::string& name,
   it->second.relation = std::move(relation);
   ++it->second.version;
   InvalidateTrieCache(name);
+  InvalidatePlans(name);
   return Status::OK();
+}
+
+std::shared_ptr<const RelationTrie> MultiModelDatabase::TrieCacheLookupLocked(
+    const std::string& key) const {
+  auto it = trie_index_.find(key);
+  if (it == trie_index_.end()) return nullptr;
+  trie_lru_.splice(trie_lru_.begin(), trie_lru_, it->second);  // touch
+  return it->second->trie;
+}
+
+void MultiModelDatabase::TrieCacheInsertLocked(
+    std::string key, std::string owner,
+    std::shared_ptr<const RelationTrie> trie) const {
+  if (trie_index_.count(key) != 0) return;  // lost a build race; keep first
+  size_t bytes = trie->ByteSizeEstimate();
+  if (bytes > trie_cache_budget_) return;  // oversize: serve uncached
+  TrieCacheEntry entry;
+  entry.key = key;
+  entry.owner = std::move(owner);
+  entry.bytes = bytes;
+  entry.trie = std::move(trie);
+  trie_lru_.push_front(std::move(entry));
+  trie_index_[std::move(key)] = trie_lru_.begin();
+  trie_cache_bytes_ += bytes;
+  while (trie_cache_bytes_ > trie_cache_budget_ && trie_lru_.size() > 1) {
+    const TrieCacheEntry& victim = trie_lru_.back();
+    trie_cache_bytes_ -= victim.bytes;
+    trie_index_.erase(victim.key);
+    trie_lru_.pop_back();
+    ++trie_cache_evictions_;
+  }
 }
 
 void MultiModelDatabase::InvalidateTrieCache(const std::string& name) {
   std::lock_guard<std::mutex> lock(trie_cache_mu_);
-  for (auto it = trie_cache_.begin(); it != trie_cache_.end();) {
-    if (std::get<0>(it->first) == name) {
-      it = trie_cache_.erase(it);
+  for (auto it = trie_lru_.begin(); it != trie_lru_.end();) {
+    if (it->owner == name) {
+      trie_cache_bytes_ -= it->bytes;
+      trie_index_.erase(it->key);
+      it = trie_lru_.erase(it);
     } else {
       ++it;
     }
@@ -53,12 +112,36 @@ void MultiModelDatabase::InvalidateTrieCache(const std::string& name) {
 
 void MultiModelDatabase::ClearTrieCache() {
   std::lock_guard<std::mutex> lock(trie_cache_mu_);
-  trie_cache_.clear();
+  trie_lru_.clear();
+  trie_index_.clear();
+  trie_cache_bytes_ = 0;
+}
+
+void MultiModelDatabase::SetTrieCacheBudget(size_t bytes) {
+  std::lock_guard<std::mutex> lock(trie_cache_mu_);
+  trie_cache_budget_ = bytes;
+  while (trie_cache_bytes_ > trie_cache_budget_ && !trie_lru_.empty()) {
+    const TrieCacheEntry& victim = trie_lru_.back();
+    trie_cache_bytes_ -= victim.bytes;
+    trie_index_.erase(victim.key);
+    trie_lru_.pop_back();
+    ++trie_cache_evictions_;
+  }
+}
+
+size_t MultiModelDatabase::trie_cache_budget() const {
+  std::lock_guard<std::mutex> lock(trie_cache_mu_);
+  return trie_cache_budget_;
 }
 
 size_t MultiModelDatabase::TrieCacheSize() const {
   std::lock_guard<std::mutex> lock(trie_cache_mu_);
-  return trie_cache_.size();
+  return trie_lru_.size();
+}
+
+size_t MultiModelDatabase::trie_cache_bytes() const {
+  std::lock_guard<std::mutex> lock(trie_cache_mu_);
+  return trie_cache_bytes_;
 }
 
 int64_t MultiModelDatabase::trie_cache_hits() const {
@@ -71,6 +154,74 @@ int64_t MultiModelDatabase::trie_cache_misses() const {
   return trie_cache_misses_;
 }
 
+int64_t MultiModelDatabase::trie_cache_evictions() const {
+  std::lock_guard<std::mutex> lock(trie_cache_mu_);
+  return trie_cache_evictions_;
+}
+
+void MultiModelDatabase::ClearPlanCache() {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  plan_cache_.clear();
+  plan_lru_.clear();
+}
+
+void MultiModelDatabase::SetPlanCacheCapacity(size_t max_plans) {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  plan_cache_capacity_ = max_plans;
+  while (plan_cache_.size() > plan_cache_capacity_) {
+    plan_cache_.erase(plan_lru_.back());
+    plan_lru_.pop_back();
+    ++plan_cache_evictions_;
+  }
+}
+
+size_t MultiModelDatabase::plan_cache_capacity() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  return plan_cache_capacity_;
+}
+
+size_t MultiModelDatabase::PlanCacheSize() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  return plan_cache_.size();
+}
+
+int64_t MultiModelDatabase::plan_cache_hits() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  return plan_cache_hits_;
+}
+
+int64_t MultiModelDatabase::plan_cache_misses() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  return plan_cache_misses_;
+}
+
+int64_t MultiModelDatabase::plan_cache_invalidations() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  return plan_cache_invalidations_;
+}
+
+int64_t MultiModelDatabase::plan_cache_evictions() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  return plan_cache_evictions_;
+}
+
+void MultiModelDatabase::InvalidatePlans(const std::string& name) {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
+    const auto& sources = it->second.plan->sources;
+    bool depends = std::any_of(
+        sources.begin(), sources.end(),
+        [&name](const XJoinPlan::SourceVersion& s) { return s.name == name; });
+    if (depends) {
+      plan_lru_.erase(it->second.lru);
+      it = plan_cache_.erase(it);
+      ++plan_cache_invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
 Result<uint64_t> MultiModelDatabase::relation_version(
     const std::string& name) const {
   auto it = relations_.find(name);
@@ -78,30 +229,39 @@ Result<uint64_t> MultiModelDatabase::relation_version(
   return it->second.version;
 }
 
+Result<uint64_t> MultiModelDatabase::document_version(
+    const std::string& name) const {
+  auto it = documents_.find(name);
+  if (it == documents_.end()) return Status::NotFound("no document " + name);
+  return it->second.version;
+}
+
 TrieProvider MultiModelDatabase::CacheTrieProvider(Metrics* metrics,
                                                    int num_threads) const {
-  return [this, metrics, num_threads](
+  const MultiModelDatabase* self = this;
+  return [self, metrics, num_threads](
              const std::string& name, const Relation& relation,
              const std::vector<std::string>& order)
              -> Result<std::shared_ptr<const RelationTrie>> {
-    auto entry = relations_.find(name);
-    if (entry == relations_.end() || &entry->second.relation != &relation) {
+    auto entry = self->relations_.find(name);
+    if (entry == self->relations_.end() ||
+        &entry->second.relation != &relation) {
       // Not one of our registered relations (defensive: a provider is
       // only as good as its key) — let the engine build privately.
       return std::shared_ptr<const RelationTrie>();
     }
-    TrieCacheKey key(name, entry->second.version, JoinStrings(order, ","));
+    std::string key = RelationTrieKey(name, entry->second.version, order);
     {
-      std::lock_guard<std::mutex> lock(trie_cache_mu_);
-      auto hit = trie_cache_.find(key);
-      if (hit != trie_cache_.end()) {
-        ++trie_cache_hits_;
+      std::lock_guard<std::mutex> lock(self->trie_cache_mu_);
+      auto hit = self->TrieCacheLookupLocked(key);
+      if (hit != nullptr) {
+        ++self->trie_cache_hits_;
         MetricsAdd(metrics, "db.trie_cache.hits", 1);
-        return hit->second;
+        return hit;
       }
     }
     // Build outside the lock (concurrent queries may race to build the
-    // same trie; the emplace below keeps the first and the extra build
+    // same trie; the insert below keeps the first and the extra build
     // is discarded — correctness over double-build avoidance).
     TrieBuildOptions build_options;
     build_options.num_threads = num_threads;
@@ -109,12 +269,63 @@ TrieProvider MultiModelDatabase::CacheTrieProvider(Metrics* metrics,
     XJ_ASSIGN_OR_RETURN(RelationTrie trie,
                         RelationTrie::Build(relation, order, build_options));
     auto shared = std::make_shared<const RelationTrie>(std::move(trie));
-    std::lock_guard<std::mutex> lock(trie_cache_mu_);
-    ++trie_cache_misses_;
+    std::lock_guard<std::mutex> lock(self->trie_cache_mu_);
+    ++self->trie_cache_misses_;
     MetricsAdd(metrics, "db.trie_cache.misses", 1);
-    auto inserted = trie_cache_.emplace(std::move(key), std::move(shared));
-    return inserted.first->second;
+    int64_t before = self->trie_cache_evictions_;
+    self->TrieCacheInsertLocked(std::move(key), name, shared);
+    MetricsAdd(metrics, "db.trie_cache.evictions",
+               self->trie_cache_evictions_ - before);
+    return shared;
   };
+}
+
+PathTrieProvider MultiModelDatabase::CachePathTrieProvider(
+    Metrics* metrics, int num_threads) const {
+  const MultiModelDatabase* self = this;
+  return [self, metrics, num_threads](const PathRelation& relation,
+                                      const std::string& signature)
+             -> Result<std::shared_ptr<const RelationTrie>> {
+    std::string doc_name = self->DocumentNameOf(&relation.index());
+    if (doc_name.empty()) {
+      // A foreign document — no identity, no caching.
+      return std::shared_ptr<const RelationTrie>();
+    }
+    uint64_t version = self->documents_.find(doc_name)->second.version;
+    std::string key = PathTrieKey(doc_name, version, signature);
+    {
+      std::lock_guard<std::mutex> lock(self->trie_cache_mu_);
+      auto hit = self->TrieCacheLookupLocked(key);
+      if (hit != nullptr) {
+        ++self->trie_cache_hits_;
+        MetricsAdd(metrics, "db.trie_cache.hits", 1);
+        return hit;
+      }
+    }
+    TrieBuildOptions build_options;
+    build_options.num_threads = num_threads;
+    build_options.metrics = metrics;
+    XJ_ASSIGN_OR_RETURN(Relation materialized, relation.Materialize());
+    XJ_ASSIGN_OR_RETURN(RelationTrie trie,
+                        RelationTrie::Build(materialized, relation.attributes(),
+                                            build_options));
+    auto shared = std::make_shared<const RelationTrie>(std::move(trie));
+    std::lock_guard<std::mutex> lock(self->trie_cache_mu_);
+    ++self->trie_cache_misses_;
+    MetricsAdd(metrics, "db.trie_cache.misses", 1);
+    int64_t before = self->trie_cache_evictions_;
+    self->TrieCacheInsertLocked(std::move(key), doc_name, shared);
+    MetricsAdd(metrics, "db.trie_cache.evictions",
+               self->trie_cache_evictions_ - before);
+    return shared;
+  };
+}
+
+std::string MultiModelDatabase::DocumentNameOf(const NodeIndex* index) const {
+  for (const auto& [name, doc] : documents_) {
+    if (doc.index.get() == index) return name;
+  }
+  return std::string();
 }
 
 Status MultiModelDatabase::RegisterDocumentXml(const std::string& name,
@@ -136,6 +347,27 @@ Status MultiModelDatabase::RegisterDocument(const std::string& name,
   entry.index = std::make_unique<NodeIndex>(
       NodeIndex::Build(entry.doc.get(), &dict_, policy));
   documents_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Status MultiModelDatabase::UpdateDocumentXml(const std::string& name,
+                                             std::string_view xml,
+                                             ValuePolicy policy) {
+  XJ_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml));
+  return UpdateDocument(name, std::move(doc), policy);
+}
+
+Status MultiModelDatabase::UpdateDocument(const std::string& name,
+                                          XmlDocument doc,
+                                          ValuePolicy policy) {
+  auto it = documents_.find(name);
+  if (it == documents_.end()) return Status::NotFound("no document " + name);
+  it->second.doc = std::make_unique<XmlDocument>(std::move(doc));
+  it->second.index = std::make_unique<NodeIndex>(
+      NodeIndex::Build(it->second.doc.get(), &dict_, policy));
+  ++it->second.version;
+  InvalidateTrieCache(name);
+  InvalidatePlans(name);
   return Status::OK();
 }
 
@@ -243,6 +475,85 @@ Result<PreparedQuery> MultiModelDatabase::Prepare(
   return prepared;
 }
 
+Result<std::shared_ptr<const XJoinPlan>> MultiModelDatabase::PreparePlan(
+    const std::string& text, const XJoinOptions& options) const {
+  std::string key = PlanCacheKey(text, options);
+
+  // Cache lookup + version re-validation. A plan whose recorded input
+  // versions no longer match current storage is stale (e.g. a back-door
+  // mutation that skipped Update*) and gets dropped here.
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      bool valid = true;
+      for (const auto& source : it->second.plan->sources) {
+        auto version = source.is_document ? document_version(source.name)
+                                          : relation_version(source.name);
+        if (!version.ok() || *version != source.version) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) {
+        plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.lru);
+        ++plan_cache_hits_;
+        MetricsAdd(options.metrics, "db.plan_cache.hits", 1);
+        return it->second.plan;
+      }
+      plan_lru_.erase(it->second.lru);
+      plan_cache_.erase(it);
+      ++plan_cache_invalidations_;
+    }
+  }
+
+  // Miss: parse, wire the database caches in (unless the caller brought
+  // providers), prepare, snapshot input versions, publish.
+  XJ_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
+  XJoinOptions prepare_options = options;
+  int num_threads = std::max(1, options.num_threads);
+  if (!prepare_options.trie_provider) {
+    prepare_options.trie_provider =
+        CacheTrieProvider(options.metrics, num_threads);
+  }
+  if (!prepare_options.path_trie_provider) {
+    prepare_options.path_trie_provider =
+        CachePathTrieProvider(options.metrics, num_threads);
+  }
+  XJ_ASSIGN_OR_RETURN(std::shared_ptr<XJoinPlan> plan,
+                      PrepareXJoin(prepared.query, prepare_options));
+  for (const auto& nr : plan->query.relations) {
+    XJ_ASSIGN_OR_RETURN(uint64_t version, relation_version(nr.name));
+    plan->sources.push_back({nr.name, /*is_document=*/false, version});
+  }
+  for (const auto& ti : plan->query.twigs) {
+    std::string doc_name = DocumentNameOf(ti.index);
+    if (doc_name.empty()) continue;  // defensive; Prepare binds our docs
+    XJ_ASSIGN_OR_RETURN(uint64_t version, document_version(doc_name));
+    plan->sources.push_back({doc_name, /*is_document=*/true, version});
+  }
+  plan->cache_key = key;
+  std::shared_ptr<const XJoinPlan> shared = std::move(plan);
+
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  ++plan_cache_misses_;
+  MetricsAdd(options.metrics, "db.plan_cache.misses", 1);
+  if (plan_cache_.count(key) == 0 && plan_cache_capacity_ > 0) {
+    plan_lru_.push_front(key);
+    plan_cache_.emplace(std::move(key),
+                        PlanCacheEntry{shared, plan_lru_.begin()});
+    // LRU capacity bound: evicting a plan also releases its pinned
+    // tries (the trie byte budget bounds the cache, this bounds the
+    // pins).
+    while (plan_cache_.size() > plan_cache_capacity_) {
+      plan_cache_.erase(plan_lru_.back());
+      plan_lru_.pop_back();
+      ++plan_cache_evictions_;
+    }
+  }
+  return shared;
+}
+
 Result<Relation> MultiModelDatabase::Query(const std::string& text,
                                            Engine engine,
                                            Metrics* metrics) const {
@@ -259,53 +570,32 @@ Result<Relation> MultiModelDatabase::Query(const std::string& text,
 
 Result<Relation> MultiModelDatabase::QueryXJoin(const std::string& text,
                                                 XJoinOptions options) const {
-  XJ_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
-  if (!options.trie_provider) {
-    options.trie_provider =
-        CacheTrieProvider(options.metrics, std::max(1, options.num_threads));
-  }
-  return ExecuteXJoin(prepared.query, options);
+  XJ_ASSIGN_OR_RETURN(std::shared_ptr<const XJoinPlan> plan,
+                      PreparePlan(text, options));
+  return ExecutePlan(*plan, options);
+}
+
+Result<std::string> MultiModelDatabase::ExplainXJoin(
+    const std::string& text, const XJoinOptions& options) const {
+  XJ_ASSIGN_OR_RETURN(std::shared_ptr<const XJoinPlan> plan,
+                      PreparePlan(text, options));
+  std::string out = "query: " + CanonicalizeQueryText(text) + "\n";
+  out += ExplainPlan(*plan);
+  out += "plan cache: " + std::to_string(plan_cache_hits()) + " hits, " +
+         std::to_string(plan_cache_misses()) + " misses, " +
+         std::to_string(plan_cache_invalidations()) +
+         " invalidations (key = canonical text + options fingerprint)\n";
+  out += "trie cache: " + std::to_string(TrieCacheSize()) + " tries, " +
+         std::to_string(trie_cache_bytes()) + " bytes (budget " +
+         std::to_string(trie_cache_budget()) + "), " +
+         std::to_string(trie_cache_hits()) + " hits, " +
+         std::to_string(trie_cache_misses()) + " misses, " +
+         std::to_string(trie_cache_evictions()) + " evictions\n";
+  return out;
 }
 
 Result<std::string> MultiModelDatabase::Explain(const std::string& text) const {
-  XJ_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
-  const MultiModelQuery& query = prepared.query;
-  std::ostringstream out;
-
-  out << "inputs:\n";
-  for (const auto& nr : query.relations) {
-    out << "  relation " << nr.relation->schema().ToString(nr.name) << "  ["
-        << nr.relation->num_rows() << " rows]\n";
-  }
-  for (size_t t = 0; t < query.twigs.size(); ++t) {
-    const TwigInput& ti = query.twigs[t];
-    out << "  twig " << ti.twig.ToString() << "  [document: "
-        << ti.index->doc().num_nodes() << " nodes]\n";
-    XJ_ASSIGN_OR_RETURN(TwigDecomposition d, DecomposeTwig(ti.twig));
-    out << "    transform(Sx): " << DecompositionToString(ti.twig, d) << "\n";
-  }
-
-  XJ_ASSIGN_OR_RETURN(std::vector<std::string> order,
-                      ChooseAttributeOrder(query));
-  out << "expansion order (PA): " << JoinStrings(order, " -> ") << "\n";
-
-  auto bound = ComputeBound(query);
-  if (bound.ok()) {
-    out << "worst-case size bound: 2^"
-        << FormatDouble(bound->cover.log2_bound) << " = "
-        << FormatDouble(std::exp2(bound->cover.log2_bound)) << " tuples\n";
-    if (!query.output_attributes.empty()) {
-      out << "bound on output attributes: 2^"
-          << FormatDouble(bound->log2_output_bound) << "\n";
-    }
-  }
-  out << "output: ";
-  if (query.output_attributes.empty()) {
-    out << "all attributes\n";
-  } else {
-    out << JoinStrings(query.output_attributes, ", ") << "\n";
-  }
-  return out.str();
+  return ExplainXJoin(text, XJoinOptions{});
 }
 
 }  // namespace xjoin

@@ -12,20 +12,29 @@
 //     input   := relation-name | document-name ":" twig-pattern
 // Commas inside twig branch brackets do not split inputs. Without a
 // head, the result contains every attribute.
+//
+// The database is a prepared-statement engine: QueryXJoin resolves the
+// text to a cached XJoinPlan (key: canonical query text + options
+// fingerprint, re-validated against input versions on every hit) and
+// replays it with ExecutePlan, so repeated query shapes skip order
+// selection, shard planning, and all trie builds. Relation tries and
+// materialized path tries share one byte-budget LRU cache invalidated
+// by UpdateRelation / UpdateDocument version bumps.
 #ifndef XJOIN_CORE_DATABASE_H_
 #define XJOIN_CORE_DATABASE_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #include "common/dictionary.h"
 #include "common/status.h"
 #include "core/baseline.h"
+#include "core/plan.h"
 #include "core/query.h"
 #include "core/xjoin.h"
 #include "relational/csv.h"
@@ -48,7 +57,7 @@ struct PreparedQuery {
 };
 
 /// The facade. Not thread-safe for concurrent mutation; concurrent
-/// const queries are safe (the internal trie cache is mutex-guarded).
+/// const queries are safe (the internal caches are mutex-guarded).
 class MultiModelDatabase {
  public:
   MultiModelDatabase() = default;
@@ -66,8 +75,9 @@ class MultiModelDatabase {
   Status RegisterRelation(const std::string& name, Relation relation);
 
   /// Replaces an already-registered relation (NotFound otherwise). Bumps
-  /// the relation's version and invalidates its cached tries, so later
-  /// queries rebuild against the new contents.
+  /// the relation's version, invalidates its cached tries, and drops
+  /// cached plans that read it, so later queries re-prepare against the
+  /// new contents.
   Status UpdateRelation(const std::string& name, Relation relation);
 
   /// Parses and registers an XML document under `name`.
@@ -77,6 +87,14 @@ class MultiModelDatabase {
   /// Registers an already-parsed document.
   Status RegisterDocument(const std::string& name, XmlDocument doc,
                           ValuePolicy policy = ValuePolicy::kTextOrNodeId);
+
+  /// Replaces an already-registered document (NotFound otherwise),
+  /// mirroring UpdateRelation: bumps the document's version, drops its
+  /// cached path tries, and invalidates dependent plans.
+  Status UpdateDocumentXml(const std::string& name, std::string_view xml,
+                           ValuePolicy policy = ValuePolicy::kTextOrNodeId);
+  Status UpdateDocument(const std::string& name, XmlDocument doc,
+                        ValuePolicy policy = ValuePolicy::kTextOrNodeId);
 
   /// Lookup; NotFound if missing.
   Result<const Relation*> relation(const std::string& name) const;
@@ -89,47 +107,96 @@ class MultiModelDatabase {
   /// Parses a textual query against the registered objects.
   Result<PreparedQuery> Prepare(const std::string& text) const;
 
+  /// Prepares an execution plan for the query text, through the plan
+  /// cache: the key is CanonicalizeQueryText(text) + the options
+  /// fingerprint (PlanFingerprint), and a hit is re-validated against
+  /// every input's current version — stale plans are dropped and
+  /// re-prepared. Hits/misses/invalidations are recorded on
+  /// options.metrics ("db.plan_cache.*") and the database-wide counters
+  /// below. The plan stays valid while this database owns its inputs.
+  Result<std::shared_ptr<const XJoinPlan>> PreparePlan(
+      const std::string& text, const XJoinOptions& options = {}) const;
+
   /// Prepares and evaluates in one step.
   Result<Relation> Query(const std::string& text,
                          Engine engine = Engine::kXJoin,
                          Metrics* metrics = nullptr) const;
 
-  /// Prepares and evaluates with explicit XJoin options. Unless
-  /// options.trie_provider is already set, the database wires in its
-  /// trie cache: relation tries are built once per (relation, attribute
-  /// order, relation version) and shared across queries, so repeated
-  /// XJoin/bench queries stop rebuilding identical tries. Cache hits and
-  /// misses are recorded on options.metrics ("db.trie_cache.hits" /
+  /// Prepares and evaluates with explicit XJoin options:
+  /// PreparePlan(text, options) + ExecutePlan. Unless the providers are
+  /// already set, the database wires in its trie caches: relation tries
+  /// are built once per (relation, attribute order, relation version),
+  /// materialized path tries once per (document, twig path, document
+  /// version), and shared across queries. Cache hits and misses are
+  /// recorded on options.metrics ("db.trie_cache.hits" /
   /// "db.trie_cache.misses") and on the database-wide counters below.
   Result<Relation> QueryXJoin(const std::string& text,
                               XJoinOptions options) const;
 
-  /// Explicit trie-cache invalidation hook: drops cached tries for
-  /// `name` under every attribute order. UpdateRelation calls this
-  /// automatically; call it yourself after mutating a relation through
-  /// any other back door.
+  /// Renders the (cached) execution plan for the query as text: inputs
+  /// with trie-cache provenance, transform(Sx), the expansion order
+  /// with per-level lead rationale, the shard plan, the worst-case size
+  /// bound, and the database cache counters.
+  Result<std::string> ExplainXJoin(const std::string& text,
+                                   const XJoinOptions& options = {}) const;
+
+  /// Human-readable plan with default options (kept for convenience;
+  /// equivalent to ExplainXJoin(text, {})).
+  Result<std::string> Explain(const std::string& text) const;
+
+  /// Explicit trie-cache invalidation hook: drops cached relation tries
+  /// for relation `name` (every attribute order) or cached path tries
+  /// for document `name`. UpdateRelation / UpdateDocument call this
+  /// automatically; call it yourself after mutating storage through any
+  /// other back door.
   void InvalidateTrieCache(const std::string& name);
 
-  /// Drops every cached trie (all relations).
+  /// Drops every cached trie (all relations and documents).
   void ClearTrieCache();
+
+  /// Caps the total ByteSizeEstimate() of cached tries (relation and
+  /// path tries combined). Least-recently-used entries are evicted on
+  /// insert once the budget is exceeded; a trie larger than the whole
+  /// budget is served uncached. Default 256 MiB. Setting a smaller
+  /// budget evicts immediately.
+  void SetTrieCacheBudget(size_t bytes);
+  size_t trie_cache_budget() const;
 
   /// Trie-cache observability (tests, ops).
   size_t TrieCacheSize() const;
+  size_t trie_cache_bytes() const;
   int64_t trie_cache_hits() const;
   int64_t trie_cache_misses() const;
+  int64_t trie_cache_evictions() const;
 
-  /// Monotonic per-relation version, bumped by UpdateRelation; part of
-  /// the trie-cache key. NotFound for unknown relations.
+  /// Caps the number of cached plans, LRU-evicted on insert (default
+  /// 256). This bounds total pinned-trie memory too: every cached plan
+  /// pins its tries via shared_ptr, past trie-cache eviction — the trie
+  /// byte budget bounds the *cache*, the plan capacity bounds the
+  /// *pins*. Setting a smaller capacity evicts immediately; 0 disables
+  /// plan caching.
+  void SetPlanCacheCapacity(size_t max_plans);
+  size_t plan_cache_capacity() const;
+
+  /// Plan-cache maintenance and observability.
+  void ClearPlanCache();
+  size_t PlanCacheSize() const;
+  int64_t plan_cache_hits() const;
+  int64_t plan_cache_misses() const;
+  int64_t plan_cache_invalidations() const;
+  int64_t plan_cache_evictions() const;
+
+  /// Monotonic per-relation / per-document versions, bumped by
+  /// UpdateRelation / UpdateDocument; part of the trie- and plan-cache
+  /// keys. NotFound for unknown names.
   Result<uint64_t> relation_version(const std::string& name) const;
-
-  /// Human-readable plan: inputs, twig decompositions, chosen attribute
-  /// order, and the worst-case size bound.
-  Result<std::string> Explain(const std::string& text) const;
+  Result<uint64_t> document_version(const std::string& name) const;
 
  private:
   struct Document {
     std::unique_ptr<XmlDocument> doc;
     std::unique_ptr<NodeIndex> index;
+    uint64_t version = 0;
   };
 
   struct RelationEntry {
@@ -139,23 +206,68 @@ class MultiModelDatabase {
     explicit RelationEntry(Relation rel) : relation(std::move(rel)) {}
   };
 
-  // (relation name, relation version, attribute order joined with ',').
-  using TrieCacheKey = std::tuple<std::string, uint64_t, std::string>;
+  /// One cached trie (relation or materialized path), on the shared
+  /// byte-budget LRU list. `owner` is the relation or document name,
+  /// for invalidation.
+  struct TrieCacheEntry {
+    std::string key;
+    std::string owner;
+    size_t bytes = 0;
+    std::shared_ptr<const RelationTrie> trie;
+  };
 
-  /// The TrieProvider XJoin calls: consult the cache, build and insert
-  /// on miss (cache-miss builds use `num_threads` workers). Thread-safe
-  /// against concurrent const queries.
+  /// The TrieProvider XJoin consults for relation tries: cache lookup,
+  /// build and insert on miss (cache-miss builds use `num_threads`
+  /// workers). Thread-safe against concurrent const queries.
   TrieProvider CacheTrieProvider(Metrics* metrics, int num_threads) const;
+
+  /// Likewise for materialized path tries (materialize_paths queries).
+  PathTrieProvider CachePathTrieProvider(Metrics* metrics,
+                                         int num_threads) const;
+
+  /// Shared LRU plumbing (callers hold trie_cache_mu_; const because
+  /// the providers run on the const query path — all touched state is
+  /// mutable).
+  std::shared_ptr<const RelationTrie> TrieCacheLookupLocked(
+      const std::string& key) const;
+  void TrieCacheInsertLocked(std::string key, std::string owner,
+                             std::shared_ptr<const RelationTrie> trie) const;
+
+  /// Document name for one of our NodeIndex pointers; empty if foreign.
+  std::string DocumentNameOf(const NodeIndex* index) const;
+
+  /// Drops cached plans whose sources include `name`; returns how many.
+  void InvalidatePlans(const std::string& name);
 
   Dictionary dict_;
   std::map<std::string, RelationEntry> relations_;
   std::map<std::string, Document> documents_;
 
   mutable std::mutex trie_cache_mu_;
-  mutable std::map<TrieCacheKey, std::shared_ptr<const RelationTrie>>
-      trie_cache_;
+  // Front = most recently used. The index maps cache key -> list node.
+  mutable std::list<TrieCacheEntry> trie_lru_;
+  mutable std::map<std::string, std::list<TrieCacheEntry>::iterator>
+      trie_index_;
+  mutable size_t trie_cache_bytes_ = 0;
+  size_t trie_cache_budget_ = 256u << 20;  // 256 MiB
   mutable int64_t trie_cache_hits_ = 0;
   mutable int64_t trie_cache_misses_ = 0;
+  mutable int64_t trie_cache_evictions_ = 0;
+
+  struct PlanCacheEntry {
+    std::shared_ptr<const XJoinPlan> plan;
+    std::list<std::string>::iterator lru;  // position in plan_lru_
+  };
+
+  mutable std::mutex plan_cache_mu_;
+  // Front = most recently used key.
+  mutable std::list<std::string> plan_lru_;
+  mutable std::map<std::string, PlanCacheEntry> plan_cache_;
+  size_t plan_cache_capacity_ = 256;
+  mutable int64_t plan_cache_hits_ = 0;
+  mutable int64_t plan_cache_misses_ = 0;
+  mutable int64_t plan_cache_invalidations_ = 0;
+  mutable int64_t plan_cache_evictions_ = 0;
 };
 
 }  // namespace xjoin

@@ -74,8 +74,9 @@ class Engine {
  public:
   Engine(const std::vector<JoinInput>& inputs,
          const std::vector<LevelPlan>& plan, const PrefixFilter& filter,
-         Relation* out)
+         Metrics* filter_metrics, Relation* out)
       : filter_(filter),
+        filter_metrics_(filter_metrics),
         out_(out),
         prefix_(plan.size(), 0),
         level_totals_(plan.size(), 0) {
@@ -149,7 +150,7 @@ class Engine {
         prefix_[depth] = iters[0]->Key();
         ++level_totals_[depth];
         ++total_intermediate_;
-        bool keep = !filter_ || filter_(depth, prefix_);
+        bool keep = !filter_ || filter_(depth, prefix_, filter_metrics_);
         if (keep) {
           if (depth + 1 == num_levels) {
             out_->AppendRow(prefix_);
@@ -177,6 +178,7 @@ class Engine {
 
  private:
   const PrefixFilter& filter_;
+  Metrics* filter_metrics_;
   Relation* out_;
   Tuple prefix_;
   std::vector<int64_t> level_totals_;
@@ -232,7 +234,7 @@ std::vector<std::array<int64_t, 2>> Level01PrefixPairs(
   auto schema = Schema::Make({plan[0].attribute, plan[1].attribute});
   Relation pairs_rel(*schema);
   PrefixFilter no_filter;
-  Engine engine(inputs, plan2, no_filter, &pairs_rel);
+  Engine engine(inputs, plan2, no_filter, nullptr, &pairs_rel);
   engine.Run(PrefixRange{});
   *seeks += engine.seeks();
   std::vector<std::array<int64_t, 2>> pairs;
@@ -301,7 +303,7 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
       options.num_shards > 0 ? options.num_shards : num_threads;
 
   if (requested_shards <= 1) {
-    Engine engine(inputs, plan, options.prefix_filter, &out);
+    Engine engine(inputs, plan, options.prefix_filter, options.metrics, &out);
     engine.Run(PrefixRange{});
     PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
                    engine.total_intermediate(),
@@ -321,13 +323,22 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
   for (size_t i : plan[0].participants) level0.push_back(inputs[i].iterator);
   std::vector<int64_t> keys = Level0IntersectionKeys(level0, &plan_seeks);
 
-  // Composite planning runs a serial two-level leapfrog, so only pay
-  // for it when level-0 sharding would fall well short of the request
-  // (under half the shards) — a near-miss level-0 split is cheaper than
-  // enumerating the pair domain up front.
+  // Composite planning runs a serial two-level leapfrog, so by default
+  // (shard_depth == 0) only pay for it when level-0 sharding would fall
+  // well short of the request (under half the shards) — a near-miss
+  // level-0 split is cheaper than enumerating the pair domain up front.
+  // A prepared plan that already knows the domain sizes overrides the
+  // decision through shard_depth.
   std::vector<std::array<int64_t, 2>> pairs;
-  bool composite = keys.size() * 2 <= static_cast<size_t>(requested_shards) &&
-                   plan.size() >= 2 && !keys.empty();
+  bool composite;
+  if (options.shard_depth == 2) {
+    composite = plan.size() >= 2 && !keys.empty();
+  } else if (options.shard_depth == 1) {
+    composite = false;
+  } else {
+    composite = keys.size() * 2 <= static_cast<size_t>(requested_shards) &&
+                plan.size() >= 2 && !keys.empty();
+  }
   if (composite) {
     pairs = Level01PrefixPairs(inputs, plan, &plan_seeks);
     composite = pairs.size() > 1;
@@ -341,7 +352,7 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     // The prefix domain is too small to shard (0 or 1 distinct
     // prefixes): fall back to the serial engine instead of paying
     // clone + merge overhead.
-    Engine engine(inputs, plan, options.prefix_filter, &out);
+    Engine engine(inputs, plan, options.prefix_filter, options.metrics, &out);
     engine.Run(PrefixRange{});
     PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
                    engine.total_intermediate(),
@@ -362,6 +373,9 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     std::vector<int64_t> level_totals;
     int64_t seeks = 0;
     int64_t total_intermediate = 0;
+    // Shard-local bag handed to the prefix filter; merged into
+    // options.metrics at the barrier so filter counters stay exact.
+    Metrics metrics;
 
     explicit Shard(Schema s) : out(std::move(s)) {}
   };
@@ -404,7 +418,10 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
 
   ParallelFor(num_threads, shards.size(), /*grain=*/1, [&](size_t s) {
     Shard& shard = shards[s];
-    Engine engine(shard.inputs, plan, options.prefix_filter, &shard.out);
+    Metrics* filter_metrics =
+        options.metrics != nullptr ? &shard.metrics : nullptr;
+    Engine engine(shard.inputs, plan, options.prefix_filter, filter_metrics,
+                  &shard.out);
     engine.Run(shard.range);
     shard.level_totals = engine.level_totals();
     shard.seeks = engine.seeks();
@@ -423,6 +440,7 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     }
     seeks += shard.seeks;
     total_intermediate += shard.total_intermediate;
+    if (options.metrics != nullptr) options.metrics->MergeFrom(shard.metrics);
   }
   PublishMetrics(options.metrics, level_totals, seeks, total_intermediate,
                  static_cast<int64_t>(out.num_rows()));

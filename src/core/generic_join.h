@@ -42,11 +42,17 @@ struct JoinInput {
 /// ignored. Returning false prunes the subtree — used by XJoin's partial
 /// structural validation.
 ///
+/// `metrics` is the engine's shard-local counter bag (options.metrics in
+/// a serial run, a private per-shard bag in a sharded one, merged into
+/// options.metrics at the join barrier; nullptr when the caller passed
+/// no metrics). Filters record their own counters through it, which
+/// keeps them exact — not silently dropped — in parallel runs.
+///
 /// When the join runs sharded (num_threads/num_shards > 1), the filter is
 /// invoked concurrently from multiple shard threads (each with its own
-/// prefix buffer) and must be thread-safe.
-using PrefixFilter =
-    std::function<bool(size_t depth, const std::vector<int64_t>& prefix)>;
+/// prefix buffer and metrics bag) and must otherwise be thread-safe.
+using PrefixFilter = std::function<bool(
+    size_t depth, const std::vector<int64_t>& prefix, Metrics* metrics)>;
 
 /// Engine options.
 struct GenericJoinOptions {
@@ -69,6 +75,14 @@ struct GenericJoinOptions {
   /// domains no longer degenerate to ~1 shard. The effective shard
   /// count is capped by the size of the chosen prefix domain.
   int num_shards = 0;
+  /// Shard partitioning depth hint, normally set from an XJoinPlan's
+  /// shard plan. 0 = decide at run time from the actual level-0
+  /// intersection (the rule above); 1 = always shard on level-0 key
+  /// ranges; 2 = shard on the level-0 x level-1 composite prefix (falls
+  /// back to level-0 / serial when the order has < 2 attributes or the
+  /// pair domain has <= 1 element). Results are byte-identical for
+  /// every setting.
+  int shard_depth = 0;
   /// Optional counters (nullable): per level "gj.level<i>.bindings" plus
   /// "gj.max_intermediate", "gj.total_intermediate", "gj.seeks",
   /// "gj.output". Sharded runs additionally record "gj.shards" (effective

@@ -1,0 +1,356 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "core/bound.h"
+
+namespace xjoin {
+
+namespace {
+
+// Static key-count estimate for one input at one of its local trie
+// levels: exact level sizes for materialized tries, per-tag candidate
+// populations for lazy path relations. O(1) either way.
+int64_t LevelEstimate(const std::shared_ptr<const RelationTrie>& trie,
+                      const PathRelation* path, size_t local_level) {
+  if (trie != nullptr) {
+    return static_cast<int64_t>(trie->level_keys(local_level).size());
+  }
+  return static_cast<int64_t>(
+      path->index().NodesByTag(path->tags()[local_level]).size());
+}
+
+// One resolved join participant, as the planner sees it.
+struct PlannedInput {
+  const std::string* name;
+  const std::vector<std::string>* attrs;
+  const std::shared_ptr<const RelationTrie>* trie;  // null entry = lazy
+  const PathRelation* path;                         // set for path inputs
+};
+
+std::vector<PlannedInput> CollectInputs(const XJoinPlan& plan) {
+  std::vector<PlannedInput> inputs;
+  inputs.reserve(plan.rel_inputs.size() + plan.path_inputs.size());
+  for (const auto& r : plan.rel_inputs) {
+    inputs.push_back({&r.name, &r.attrs, &r.trie, nullptr});
+  }
+  for (const auto& p : plan.path_inputs) {
+    inputs.push_back({&p.name, &p.attrs, &p.trie,
+                      &plan.twigs[p.twig_index].paths[p.path_index]});
+  }
+  return inputs;
+}
+
+// Fills plan.levels: participants, coverage, and the planned leapfrog
+// lead (smallest static key-count estimate at the input's local level).
+void PlanLevels(XJoinPlan* plan) {
+  std::vector<PlannedInput> inputs = CollectInputs(*plan);
+  plan->levels.reserve(plan->order.size());
+  for (const auto& attribute : plan->order) {
+    PlanLevel level;
+    level.attribute = attribute;
+    int64_t best = std::numeric_limits<int64_t>::max();
+    for (const auto& in : inputs) {
+      auto it = std::find(in.attrs->begin(), in.attrs->end(), attribute);
+      if (it == in.attrs->end()) continue;
+      size_t local = static_cast<size_t>(it - in.attrs->begin());
+      level.participants.push_back(*in.name);
+      int64_t estimate = LevelEstimate(*in.trie, in.path, local);
+      if (estimate < best) {
+        best = estimate;
+        level.lead = *in.name;
+        level.lead_estimate = estimate;
+      }
+    }
+    level.coverage = static_cast<int>(level.participants.size());
+    plan->levels.push_back(std::move(level));
+  }
+}
+
+// Chooses the shard partitioning from the level-0 / level-1 domain-size
+// estimates: depth 2 (composite prefixes) when level 0 alone cannot
+// feed the requested shard count but one level deeper can, shard count
+// capped by the chosen domain's estimate.
+void PlanShards(XJoinPlan* plan) {
+  ShardPlan& sp = plan->shard_plan;
+  sp.requested = plan->num_shards > 0 ? plan->num_shards : plan->num_threads;
+  sp.requested = std::max(1, sp.requested);
+  if (plan->order.empty()) {
+    sp.depth = 1;
+    sp.count = 1;
+    return;
+  }
+
+  std::vector<PlannedInput> inputs = CollectInputs(*plan);
+  const std::string& attr0 = plan->order[0];
+  // An input covering the first global attribute holds it at local
+  // level 0 (induced orders are subsequences of the global order).
+  int64_t level0 = std::numeric_limits<int64_t>::max();
+  for (const auto& in : inputs) {
+    if (!in.attrs->empty() && (*in.attrs)[0] == attr0) {
+      level0 = std::min(level0, LevelEstimate(*in.trie, in.path, 0));
+    }
+  }
+  if (level0 == std::numeric_limits<int64_t>::max()) level0 = 0;
+  sp.level0_keys = level0;
+
+  if (sp.requested <= 1) {
+    sp.depth = 1;
+    sp.count = 1;
+    return;
+  }
+
+  if (level0 >= sp.requested) {
+    sp.depth = 1;
+    sp.count = sp.requested;
+    return;
+  }
+
+  // Level-0 shortfall: estimate the composite (level-0 x level-1)
+  // domain. Inputs covering both leading attributes bound it by their
+  // level-1 key count; inputs covering only the second bound it by
+  // level0 x their root key count.
+  int64_t level01 = std::numeric_limits<int64_t>::max();
+  if (plan->order.size() >= 2) {
+    const std::string& attr1 = plan->order[1];
+    for (const auto& in : inputs) {
+      const auto& attrs = *in.attrs;
+      if (attrs.size() >= 2 && attrs[0] == attr0 && attrs[1] == attr1) {
+        level01 = std::min(level01, LevelEstimate(*in.trie, in.path, 1));
+      } else if (!attrs.empty() && attrs[0] == attr1) {
+        int64_t roots = LevelEstimate(*in.trie, in.path, 0);
+        if (level0 > 0 &&
+            roots < std::numeric_limits<int64_t>::max() / level0) {
+          level01 = std::min(level01, level0 * roots);
+        }
+      }
+    }
+  }
+  if (level01 == std::numeric_limits<int64_t>::max()) level01 = 0;
+  sp.level01_keys = level01;
+
+  if (level01 > level0) {
+    sp.depth = 2;
+    sp.count = static_cast<int>(
+        std::min<int64_t>(sp.requested, std::max<int64_t>(level01, 1)));
+  } else {
+    sp.depth = 1;
+    sp.count = static_cast<int>(
+        std::min<int64_t>(sp.requested, std::max<int64_t>(level0, 1)));
+  }
+}
+
+}  // namespace
+
+std::string PathSignature(const Twig& twig, const TwigPath& path) {
+  std::string sig;
+  for (size_t i = 0; i < path.nodes.size(); ++i) {
+    if (i) sig += '/';
+    sig += twig.node(path.nodes[i]).tag;
+    sig += ':';
+    sig += path.attributes[i];
+  }
+  return sig;
+}
+
+size_t PlanFingerprint(const XJoinOptions& options) {
+  size_t fp = 0;
+  fp = HashBytes(fp, JoinStrings(options.attribute_order, ","));
+  fp = HashCombine(fp, static_cast<size_t>(options.order_heuristic));
+  fp = HashCombine(fp, (options.materialize_paths ? 1u : 0u) |
+                           (options.structural_pruning ? 2u : 0u));
+  fp = HashCombine(fp, static_cast<size_t>(std::max(1, options.num_threads)));
+  fp = HashCombine(fp, static_cast<size_t>(std::max(0, options.num_shards)));
+  return fp;
+}
+
+Result<std::shared_ptr<XJoinPlan>> PrepareXJoin(const MultiModelQuery& query,
+                                                const XJoinOptions& options) {
+  Timer timer;
+  XJ_RETURN_NOT_OK(ValidateQuery(query));
+
+  auto plan = std::make_shared<XJoinPlan>();
+  plan->query = query;
+  plan->order_heuristic = options.order_heuristic;
+  plan->materialize_paths = options.materialize_paths;
+  plan->structural_pruning = options.structural_pruning;
+  plan->num_threads = std::max(1, options.num_threads);
+  plan->num_shards = options.num_shards;
+
+  // 1. Expansion order (PA).
+  if (options.attribute_order.empty()) {
+    XJ_ASSIGN_OR_RETURN(
+        plan->order,
+        ChooseAttributeOrder(plan->query, options.order_heuristic));
+  } else {
+    XJ_RETURN_NOT_OK(CheckAttributeOrder(plan->query, options.attribute_order));
+    plan->order = options.attribute_order;
+  }
+  std::map<std::string, size_t> order_pos;
+  for (size_t i = 0; i < plan->order.size(); ++i) order_pos[plan->order[i]] = i;
+
+  // 2. Transform(Sx): decompose twigs into path relations and build the
+  // structural validators. The validators point into plan->query's twig
+  // storage, which is why XJoinPlan is pinned to the heap.
+  for (size_t t = 0; t < plan->query.twigs.size(); ++t) {
+    const TwigInput& ti = plan->query.twigs[t];
+    XJoinPlan::TwigExec exec(TwigStructureValidator(&ti.twig, ti.index));
+    XJ_ASSIGN_OR_RETURN(exec.decomposition, DecomposeTwig(ti.twig));
+    exec.order_pos_of_node.resize(ti.twig.num_nodes());
+    for (size_t q = 0; q < ti.twig.num_nodes(); ++q) {
+      exec.order_pos_of_node[q] =
+          order_pos.at(ti.twig.node(static_cast<TwigNodeId>(q)).attribute);
+    }
+    for (size_t p = 0; p < exec.decomposition.paths.size(); ++p) {
+      XJ_ASSIGN_OR_RETURN(
+          PathRelation rel,
+          PathRelation::Make(ti.twig, exec.decomposition.paths[p], ti.index));
+      exec.paths.push_back(std::move(rel));
+      XJoinPlan::PathInput input;
+      input.name =
+          "twig" + std::to_string(t + 1) + ".P" + std::to_string(p + 1);
+      input.twig_index = t;
+      input.path_index = p;
+      input.attrs = exec.decomposition.paths[p].attributes;
+      input.signature = PathSignature(ti.twig, exec.decomposition.paths[p]);
+      plan->path_inputs.push_back(std::move(input));
+    }
+    plan->twigs.push_back(std::move(exec));
+  }
+
+  // 3. Pin relation tries: provider (the database cache) first, private
+  // build otherwise. Builds use the plan's thread budget.
+  TrieBuildOptions build_options;
+  build_options.num_threads = plan->num_threads;
+  build_options.metrics = options.metrics;
+  for (const auto& nr : plan->query.relations) {
+    XJoinPlan::RelInput input;
+    input.name = nr.name;
+    input.relation = nr.relation;
+    for (const auto& a : plan->order) {
+      if (nr.relation->schema().Contains(a)) input.attrs.push_back(a);
+    }
+    if (options.trie_provider) {
+      XJ_ASSIGN_OR_RETURN(input.trie, options.trie_provider(
+                                          nr.name, *nr.relation, input.attrs));
+      input.from_provider = input.trie != nullptr;
+    }
+    if (input.trie == nullptr) {
+      XJ_ASSIGN_OR_RETURN(
+          RelationTrie built,
+          RelationTrie::Build(*nr.relation, input.attrs, build_options));
+      input.trie = std::make_shared<const RelationTrie>(std::move(built));
+    }
+    (input.from_provider ? plan->tries_provider : plan->tries_built) += 1;
+    plan->rel_inputs.push_back(std::move(input));
+  }
+
+  // 4. Pin path tries (ablation only; the default is lazy navigation).
+  if (plan->materialize_paths) {
+    for (auto& input : plan->path_inputs) {
+      const PathRelation& rel =
+          plan->twigs[input.twig_index].paths[input.path_index];
+      if (options.path_trie_provider) {
+        XJ_ASSIGN_OR_RETURN(input.trie,
+                            options.path_trie_provider(rel, input.signature));
+        input.from_provider = input.trie != nullptr;
+      }
+      if (input.trie == nullptr) {
+        XJ_ASSIGN_OR_RETURN(Relation mat, rel.Materialize());
+        XJ_ASSIGN_OR_RETURN(
+            RelationTrie built,
+            RelationTrie::Build(mat, input.attrs, build_options));
+        input.trie = std::make_shared<const RelationTrie>(std::move(built));
+      }
+      (input.from_provider ? plan->tries_provider : plan->tries_built) += 1;
+    }
+  }
+
+  // 5. Per-level rationale and the shard plan, from the pinned tries'
+  // O(1) level statistics.
+  PlanLevels(plan.get());
+  PlanShards(plan.get());
+
+  MetricsAdd(options.metrics, "plan.prepared", 1);
+  MetricsAdd(options.metrics, "plan.prepare_micros", timer.ElapsedMicros());
+  return plan;
+}
+
+std::string ExplainPlan(const XJoinPlan& plan) {
+  std::string out;
+  out += "inputs:\n";
+  for (const auto& r : plan.rel_inputs) {
+    out += "  relation " + r.relation->schema().ToString(r.name) + "  [" +
+           std::to_string(r.relation->num_rows()) + " rows]  trie: " +
+           (r.from_provider ? "pinned via db cache" : "built privately") +
+           "\n";
+  }
+  for (size_t t = 0; t < plan.query.twigs.size(); ++t) {
+    const TwigInput& ti = plan.query.twigs[t];
+    out += "  twig " + ti.twig.ToString() + "  [document: " +
+           std::to_string(ti.index->doc().num_nodes()) + " nodes]\n";
+    out += "    transform(Sx): " +
+           DecompositionToString(ti.twig, plan.twigs[t].decomposition) + "\n";
+  }
+  for (const auto& p : plan.path_inputs) {
+    out += "  path " + p.name + " = " + p.signature + "  [" +
+           (p.trie != nullptr
+                ? std::string(p.from_provider ? "materialized, db cache"
+                                              : "materialized, private")
+                : std::string("lazy")) +
+           "]\n";
+  }
+
+  out += "expansion order (PA): " + JoinStrings(plan.order, " -> ") + "\n";
+  for (size_t d = 0; d < plan.levels.size(); ++d) {
+    const PlanLevel& level = plan.levels[d];
+    out += "  level " + std::to_string(d) + ": " + level.attribute +
+           "  inputs {" + JoinStrings(level.participants, ", ") + "}  lead " +
+           level.lead + " (~" + std::to_string(level.lead_estimate) +
+           " keys)\n";
+  }
+
+  const ShardPlan& sp = plan.shard_plan;
+  out += "shard plan: depth=" + std::to_string(sp.depth) +
+         ", shards=" + std::to_string(sp.count) + " (requested " +
+         std::to_string(sp.requested) + "; level-0 domain ~" +
+         std::to_string(sp.level0_keys);
+  if (sp.depth == 2) {
+    out += ", composite domain ~" + std::to_string(sp.level01_keys);
+  }
+  out += ")\n";
+  out += "pinned tries: " + std::to_string(plan.tries_provider) +
+         " via db cache, " + std::to_string(plan.tries_built) +
+         " private builds\n";
+  if (plan.structural_pruning) out += "structural pruning: on\n";
+
+  BoundOptions bound_options;
+  bound_options.path_size_mode = PathSizeMode::kChainCount;
+  auto bound = ComputeBound(plan.query, bound_options);
+  if (bound.ok()) {
+    out += "worst-case size bound: 2^" +
+           FormatDouble(bound->cover.log2_bound) + " = " +
+           FormatDouble(std::exp2(bound->cover.log2_bound)) +
+           " tuples (chain-count path sizes)\n";
+    if (!plan.query.output_attributes.empty()) {
+      out += "bound on output attributes: 2^" +
+             FormatDouble(bound->log2_output_bound) + "\n";
+    }
+  }
+
+  out += "output: ";
+  if (plan.query.output_attributes.empty()) {
+    out += "all attributes\n";
+  } else {
+    out += JoinStrings(plan.query.output_attributes, ", ") + "\n";
+  }
+  return out;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,242 @@
+// The prepared-statement layer of the engine: everything Algorithm 1
+// derives from the *shape* of a query — expansion order, twig
+// decompositions, shard plan — plus pinned trie handles, computed once
+// by PrepareXJoin and replayed by ExecutePlan (core/xjoin.h). The
+// lifecycle is Prepare -> Pin -> Execute:
+//
+//   Prepare  resolve inputs, transform(Sx) path relations, choose PA
+//            with its per-level rationale, plan the shard partitioning
+//   Pin      obtain shared_ptr<const RelationTrie> handles through the
+//            providers below (the database's caches) or build privately
+//   Execute  ExecutePlan walks the pinned tries; no planning work left
+//
+// MultiModelDatabase caches XJoinPlans keyed by canonical query text +
+// options fingerprint and re-validates input versions on every hit, so
+// repeated query shapes skip order selection, shard planning, and all
+// trie builds.
+#ifndef XJOIN_CORE_PLAN_H_
+#define XJOIN_CORE_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/decompose.h"
+#include "core/order.h"
+#include "core/query.h"
+#include "core/validate.h"
+#include "core/virtual_relation.h"
+#include "relational/relation.h"
+#include "relational/trie.h"
+
+namespace xjoin {
+
+/// Optional supplier of materialized relation tries, consulted for every
+/// named relational input before the engine builds one privately — this
+/// is how MultiModelDatabase's trie cache plugs into XJoin. Returning a
+/// null shared_ptr (inside an OK result) means "no cached trie, build
+/// locally". A returned trie must match (relation, order) exactly and
+/// must stay immutable and alive for the duration of the query; the
+/// plan keeps the shared_ptr pinned until it is destroyed.
+using TrieProvider = std::function<Result<std::shared_ptr<const RelationTrie>>(
+    const std::string& name, const Relation& relation,
+    const std::vector<std::string>& order)>;
+
+/// Optional supplier of materialized *path* tries (consulted only when
+/// materialize_paths is set). `signature` identifies the twig path
+/// within its document — PathSignature() below — and, combined with the
+/// document (reachable as &relation.index()) and its version, is the
+/// database's cache key. Same null-means-build-locally contract as
+/// TrieProvider.
+using PathTrieProvider =
+    std::function<Result<std::shared_ptr<const RelationTrie>>(
+        const PathRelation& relation, const std::string& signature)>;
+
+/// Execution options for XJoin. The plan-shaping fields (attribute
+/// order, heuristic, materialize_paths, structural_pruning, num_threads,
+/// num_shards) are snapshotted into the XJoinPlan at prepare time and
+/// are part of the database's plan-cache fingerprint; metrics and the
+/// providers are per-call services.
+struct XJoinOptions {
+  /// The paper's PA: explicit expansion order. Empty = choose
+  /// automatically (core/order.h). Must respect twig path precedence.
+  std::vector<std::string> attribute_order;
+  /// Greedy rule used when attribute_order is empty.
+  OrderHeuristic order_heuristic = OrderHeuristic::kCoverage;
+  /// Ablation: flatten path relations to materialized tries first.
+  bool materialize_paths = false;
+  /// §4 extension: prune prefixes whose partial twig structure is
+  /// already infeasible.
+  bool structural_pruning = false;
+  /// Worker threads for the expansion loop and the final structural
+  /// validation. <= 1 (default) runs fully serial, bit-identical to the
+  /// pre-sharding engine; > 1 shards the first attribute's key domain
+  /// across a thread pool (see GenericJoinOptions::num_threads). The
+  /// result relation is byte-identical either way.
+  int num_threads = 1;
+  /// Prefix shard count forwarded to the shard plan (0 = one shard per
+  /// thread). num_shards > 1 with num_threads == 1 exercises the shard
+  /// partitioning deterministically on one thread.
+  int num_shards = 0;
+  /// Optional trie cache hook (see TrieProvider above). Empty = every
+  /// prepare builds its own relation tries.
+  TrieProvider trie_provider;
+  /// Optional materialized-path-trie cache hook (used only with
+  /// materialize_paths). Empty = materialize and build locally.
+  PathTrieProvider path_trie_provider;
+  /// Nullable counters. Records the generic-join "gj.*" counters plus
+  /// "plan.prepared" / "plan.prepare_micros" (prepare side),
+  /// "xjoin.expanded" (tuples before validation), "xjoin.validated"
+  /// (tuples after), "xjoin.pruned" (prefixes cut by partial
+  /// validation), "xjoin.max_intermediate", and the per-twig
+  /// "validate.*" sub-counters — exact at every thread count (per-shard
+  /// bags merged at the barriers).
+  Metrics* metrics = nullptr;
+};
+
+/// Rationale for one expansion level, recorded at prepare time: who
+/// participates, who the planned leapfrog lead is, and why (smallest
+/// static key-count estimate). The executor still re-picks the lead
+/// dynamically per prefix (estimates sharpen as prefixes bind); the
+/// planned lead is the level's a-priori choice shown by EXPLAIN.
+struct PlanLevel {
+  std::string attribute;
+  std::vector<std::string> participants;  ///< input names covering it
+  std::string lead;                       ///< planned leapfrog lead input
+  int64_t lead_estimate = 0;              ///< its static key-count estimate
+  int coverage = 0;                       ///< #inputs covering the attribute
+};
+
+/// The shard partitioning decision, chosen at prepare time from the
+/// level-0 / level-1 domain-size estimates (instead of the engine's
+/// run-time half-shortfall rule).
+struct ShardPlan {
+  int requested = 1;  ///< num_shards, defaulted to num_threads
+  /// 1 = contiguous level-0 key ranges; 2 = level-0 x level-1 composite
+  /// prefixes (chosen when the level-0 domain estimate falls short of
+  /// the request and going one level deeper widens the domain).
+  int depth = 1;
+  int count = 1;             ///< planned shard count (capped by domain)
+  int64_t level0_keys = 0;   ///< level-0 domain estimate
+  int64_t level01_keys = 0;  ///< composite domain estimate (0 = unknown)
+};
+
+/// A fully prepared query: the immutable output of PrepareXJoin.
+/// Holds pointers into the caller's storage (Relations, NodeIndexes) —
+/// valid as long as that storage outlives the plan and is not mutated.
+/// Safe to share across concurrent ExecutePlan calls (everything is
+/// const after prepare); not copyable or movable (twig validators point
+/// into the embedded query).
+struct XJoinPlan {
+  XJoinPlan() = default;
+  XJoinPlan(const XJoinPlan&) = delete;
+  XJoinPlan& operator=(const XJoinPlan&) = delete;
+
+  /// The resolved query (relations + twigs + output attributes).
+  MultiModelQuery query;
+
+  // --- plan-shaping option snapshot (part of the cache fingerprint) ---
+  OrderHeuristic order_heuristic = OrderHeuristic::kCoverage;
+  bool materialize_paths = false;
+  bool structural_pruning = false;
+  int num_threads = 1;
+  int num_shards = 0;
+
+  /// The chosen expansion order (PA) with its per-level rationale.
+  std::vector<std::string> order;
+  std::vector<PlanLevel> levels;
+
+  /// One pinned relational input: trie levels follow the global order
+  /// restricted to the relation's attributes.
+  struct RelInput {
+    std::string name;
+    const Relation* relation = nullptr;
+    std::vector<std::string> attrs;
+    std::shared_ptr<const RelationTrie> trie;  ///< always set
+    /// Pinned through the provider (the database cache — hit or
+    /// freshly inserted) vs built privately for this plan.
+    bool from_provider = false;
+  };
+  std::vector<RelInput> rel_inputs;
+
+  /// Everything one twig contributes to execution.
+  struct TwigExec {
+    TwigDecomposition decomposition;
+    std::vector<PathRelation> paths;
+    TwigStructureValidator validator;
+    /// Twig node id -> position of its attribute in the global order.
+    std::vector<size_t> order_pos_of_node;
+
+    explicit TwigExec(TwigStructureValidator v) : validator(std::move(v)) {}
+  };
+  std::vector<TwigExec> twigs;
+
+  /// One twig path input ("twig<i>.P<j>"): lazy by default (trie left
+  /// null, ExecutePlan navigates the document in place), materialized
+  /// and pinned when materialize_paths is set.
+  struct PathInput {
+    std::string name;
+    size_t twig_index = 0;
+    size_t path_index = 0;
+    std::vector<std::string> attrs;
+    std::string signature;  ///< PathSignature(), the cache identity
+    std::shared_ptr<const RelationTrie> trie;  ///< null = lazy
+    bool from_provider = false;
+  };
+  std::vector<PathInput> path_inputs;
+
+  ShardPlan shard_plan;
+
+  /// Pin statistics (EXPLAIN): tries obtained through the providers
+  /// (cache hits or fresh inserts — the db counters split those) vs
+  /// built privately for this plan.
+  int64_t tries_provider = 0;
+  int64_t tries_built = 0;
+
+  // --- filled by the caching layer (MultiModelDatabase), unused by the
+  //     free-standing pipeline ---
+  struct SourceVersion {
+    std::string name;
+    bool is_document = false;
+    uint64_t version = 0;
+  };
+  std::vector<SourceVersion> sources;  ///< input versions at prepare time
+  std::string cache_key;               ///< canonical text + fingerprint
+};
+
+/// Stable identity of one decomposed twig path inside its document:
+/// "tag:attr" per level, '/'-joined (tags disambiguate same-named
+/// attributes across twigs; attributes capture aliasing). Part of the
+/// database's path-trie cache key.
+std::string PathSignature(const Twig& twig, const TwigPath& path);
+
+/// Fingerprint of the plan-shaping option fields (attribute_order,
+/// order_heuristic, materialize_paths, structural_pruning, num_threads,
+/// num_shards) — the second half of the database's plan-cache key, so
+/// e.g. num_threads and structural_pruning variants get distinct plans.
+size_t PlanFingerprint(const XJoinOptions& options);
+
+/// Prepares `query`: validates it, chooses the expansion order (with
+/// per-level lead rationale), decomposes twigs into path relations,
+/// pins relation tries (and path tries under materialize_paths) through
+/// the providers or private builds, and plans the shard partitioning
+/// from the level-0/level-1 domain estimates. O(planning) only — no
+/// expansion runs. Records "plan.prepared" and "plan.prepare_micros" on
+/// options.metrics. The returned plan is mutable only so the caching
+/// layer can attach versions; treat it as const afterwards.
+Result<std::shared_ptr<XJoinPlan>> PrepareXJoin(const MultiModelQuery& query,
+                                                const XJoinOptions& options);
+
+/// Renders the plan for EXPLAIN: inputs and their transform(Sx)
+/// decompositions, the expansion order with per-level bound rationale,
+/// pinned-trie cache provenance, the shard plan, and the Equation-1
+/// worst-case size bound (chain-count path sizes, enumeration-free).
+std::string ExplainPlan(const XJoinPlan& plan);
+
+}  // namespace xjoin
+
+#endif  // XJOIN_CORE_PLAN_H_

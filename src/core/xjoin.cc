@@ -1,198 +1,71 @@
 #include "core/xjoin.h"
 
 #include <algorithm>
-#include <atomic>
-#include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/parallel.h"
-#include "core/decompose.h"
 #include "core/generic_join.h"
-#include "core/order.h"
-#include "core/validate.h"
-#include "core/virtual_relation.h"
 #include "relational/operators.h"
 #include "relational/trie.h"
 
 namespace xjoin {
 
-namespace {
+Result<Relation> ExecutePlan(const XJoinPlan& plan,
+                             const XJoinOptions& options) {
+  const int num_threads = plan.num_threads;
 
-// Everything one twig contributes to the join.
-struct TwigPlan {
-  const TwigInput* input;
-  TwigDecomposition decomposition;
-  std::vector<PathRelation> paths;
-  TwigStructureValidator validator;
-  // Maps: twig node id -> position of its attribute in the global order.
-  std::vector<size_t> order_pos_of_node;
-
-  TwigPlan(const TwigInput* in, TwigStructureValidator v)
-      : input(in), validator(std::move(v)) {}
-};
-
-}  // namespace
-
-Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
-                              const XJoinOptions& options) {
-  XJ_RETURN_NOT_OK(ValidateQuery(query));
-
-  // 1. Expansion order (PA).
-  std::vector<std::string> order;
-  if (options.attribute_order.empty()) {
-    XJ_ASSIGN_OR_RETURN(order,
-                        ChooseAttributeOrder(query, options.order_heuristic));
-  } else {
-    XJ_RETURN_NOT_OK(CheckAttributeOrder(query, options.attribute_order));
-    order = options.attribute_order;
-  }
-  std::map<std::string, size_t> order_pos;
-  for (size_t i = 0; i < order.size(); ++i) order_pos[order[i]] = i;
-
-  // 2. S <- Sr ∪ transform(Sx).
+  // 1. Instantiate cursors over the pinned tries: relations first, then
+  // twig paths, mirroring the plan's input order.
   std::vector<JoinInput> inputs;
   std::vector<std::unique_ptr<TrieIterator>> iterators;
-  std::vector<RelationTrie> tries;           // owns materialized tries
-  std::vector<std::unique_ptr<TwigPlan>> twig_plans;
-
-  // Relational tables: materialized tries in induced order.
-  // (Build after collecting specs so `tries` never reallocates under
-  // live iterators.)
-  struct RelSpec {
-    std::string name;
-    const Relation* relation;
-    std::vector<std::string> attrs;
-  };
-  std::vector<RelSpec> rel_specs;
-  for (const auto& nr : query.relations) {
-    RelSpec spec;
-    spec.name = nr.name;
-    spec.relation = nr.relation;
-    for (const auto& a : order) {
-      if (nr.relation->schema().Contains(a)) spec.attrs.push_back(a);
-    }
-    rel_specs.push_back(std::move(spec));
+  inputs.reserve(plan.rel_inputs.size() + plan.path_inputs.size());
+  iterators.reserve(plan.rel_inputs.size() + plan.path_inputs.size());
+  for (const auto& rel : plan.rel_inputs) {
+    iterators.push_back(rel.trie->NewIterator());
+    inputs.push_back(JoinInput{rel.name, rel.attrs, iterators.back().get()});
   }
-
-  // Twigs: decomposition + path relations (+ materialized tries for the
-  // ablation).
-  struct PathSpec {
-    std::string name;
-    std::vector<std::string> attrs;
-    const PathRelation* path;  // filled after twig_plans stabilizes
-    size_t twig_index;
-    size_t path_index;
-  };
-  std::vector<PathSpec> path_specs;
-  for (size_t t = 0; t < query.twigs.size(); ++t) {
-    const TwigInput& ti = query.twigs[t];
-    auto plan = std::make_unique<TwigPlan>(
-        &ti, TwigStructureValidator(&ti.twig, ti.index));
-    XJ_ASSIGN_OR_RETURN(plan->decomposition, DecomposeTwig(ti.twig));
-    plan->order_pos_of_node.resize(ti.twig.num_nodes());
-    for (size_t q = 0; q < ti.twig.num_nodes(); ++q) {
-      plan->order_pos_of_node[q] =
-          order_pos.at(ti.twig.node(static_cast<TwigNodeId>(q)).attribute);
-    }
-    for (size_t p = 0; p < plan->decomposition.paths.size(); ++p) {
-      XJ_ASSIGN_OR_RETURN(
-          PathRelation rel,
-          PathRelation::Make(ti.twig, plan->decomposition.paths[p], ti.index));
-      plan->paths.push_back(std::move(rel));
-      PathSpec spec;
-      spec.name = "twig" + std::to_string(t + 1) + ".P" + std::to_string(p + 1);
-      spec.attrs = plan->decomposition.paths[p].attributes;
-      spec.twig_index = t;
-      spec.path_index = p;
-      path_specs.push_back(std::move(spec));
-    }
-    twig_plans.push_back(std::move(plan));
-  }
-
-  // Materialize relation tries (and path tries if requested). Named
-  // relations go through the trie provider first (the database-level
-  // trie cache); a null provider result means "build locally". Local
-  // builds use the query's thread budget for the parallel CSR pass.
-  const int num_threads = std::max(1, options.num_threads);
-  TrieBuildOptions build_options;
-  build_options.num_threads = num_threads;
-  build_options.metrics = options.metrics;
-  std::vector<Relation> materialized_paths;  // keeps Relations alive
-  std::vector<std::shared_ptr<const RelationTrie>> shared_tries;
-  shared_tries.reserve(rel_specs.size());
-  size_t num_tries = rel_specs.size() +
-                     (options.materialize_paths ? path_specs.size() : 0);
-  tries.reserve(num_tries);
-  for (const auto& spec : rel_specs) {
-    const RelationTrie* trie = nullptr;
-    if (options.trie_provider) {
-      XJ_ASSIGN_OR_RETURN(
-          std::shared_ptr<const RelationTrie> shared,
-          options.trie_provider(spec.name, *spec.relation, spec.attrs));
-      if (shared != nullptr) {
-        shared_tries.push_back(std::move(shared));
-        trie = shared_tries.back().get();
-      }
-    }
-    if (trie == nullptr) {
-      XJ_ASSIGN_OR_RETURN(
-          RelationTrie built,
-          RelationTrie::Build(*spec.relation, spec.attrs, build_options));
-      tries.push_back(std::move(built));
-      trie = &tries.back();
-    }
-    iterators.push_back(trie->NewIterator());
-    inputs.push_back(JoinInput{spec.name, spec.attrs, iterators.back().get()});
-  }
-  if (options.materialize_paths) {
-    materialized_paths.reserve(path_specs.size());
-  }
-  for (const auto& spec : path_specs) {
-    const PathRelation& rel =
-        twig_plans[spec.twig_index]->paths[spec.path_index];
-    if (options.materialize_paths) {
-      XJ_ASSIGN_OR_RETURN(Relation mat, rel.Materialize());
-      materialized_paths.push_back(std::move(mat));
-      XJ_ASSIGN_OR_RETURN(RelationTrie trie,
-                          RelationTrie::Build(materialized_paths.back(),
-                                              spec.attrs, build_options));
-      tries.push_back(std::move(trie));
-      iterators.push_back(tries.back().NewIterator());
+  for (const auto& path : plan.path_inputs) {
+    if (path.trie != nullptr) {
+      iterators.push_back(path.trie->NewIterator());
     } else {
-      iterators.push_back(rel.NewLazyIterator());
+      iterators.push_back(plan.twigs[path.twig_index]
+                              .paths[path.path_index]
+                              .NewLazyIterator());
     }
-    inputs.push_back(JoinInput{spec.name, spec.attrs, iterators.back().get()});
+    inputs.push_back(JoinInput{path.name, path.attrs, iterators.back().get()});
   }
 
-  // 3. Optional partial structural validation during expansion.
-  // Validator metrics would race across worker threads; the validators
-  // themselves are stateless-const and safe to share. num_shards > 1 with
-  // a single thread stays inline, so metrics are safe there.
-  Metrics* validator_metrics = num_threads > 1 ? nullptr : options.metrics;
+  // 2. Optional partial structural validation during expansion. The
+  // validators are stateless-const and shared across shard threads;
+  // each invocation records into the engine's shard-local metrics bag,
+  // merged at the join barrier — counters stay exact in parallel runs.
   GenericJoinOptions gj_options;
-  gj_options.attribute_order = order;
+  gj_options.attribute_order = plan.order;
   gj_options.metrics = options.metrics;
   gj_options.num_threads = num_threads;
-  gj_options.num_shards = options.num_shards;
-  std::atomic<int64_t> pruned{0};
-  if (options.structural_pruning) {
-    gj_options.prefix_filter = [&](size_t depth,
-                                   const std::vector<int64_t>& prefix) {
-      for (const auto& plan : twig_plans) {
-        const Twig& twig = plan->input->twig;
+  gj_options.num_shards = plan.shard_plan.count;
+  gj_options.shard_depth = plan.shard_plan.depth;
+  if (plan.structural_pruning) {
+    gj_options.prefix_filter = [&plan](size_t depth,
+                                       const std::vector<int64_t>& prefix,
+                                       Metrics* metrics) {
+      for (size_t t = 0; t < plan.twigs.size(); ++t) {
+        const XJoinPlan::TwigExec& exec = plan.twigs[t];
+        const Twig& twig = plan.query.twigs[t].twig;
         // Only re-check when the newly bound attribute belongs to this
         // twig.
         bool relevant = false;
         std::vector<std::optional<int64_t>> values(twig.num_nodes());
         for (size_t q = 0; q < twig.num_nodes(); ++q) {
-          size_t pos = plan->order_pos_of_node[q];
+          size_t pos = exec.order_pos_of_node[q];
           if (pos <= depth) values[q] = prefix[pos];
           if (pos == depth) relevant = true;
         }
         if (!relevant) continue;
-        if (!plan->validator.ExistsEmbedding(values, validator_metrics)) {
-          pruned.fetch_add(1, std::memory_order_relaxed);
+        if (!exec.validator.ExistsEmbedding(values, metrics)) {
+          MetricsAdd(metrics, "xjoin.pruned", 1);
           return false;
         }
       }
@@ -200,38 +73,49 @@ Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
     };
   }
 
-  // 4. Expansion (Algorithm 1's loop).
+  // 3. Expansion (Algorithm 1's loop).
   XJ_ASSIGN_OR_RETURN(Relation expanded, GenericJoin(inputs, gj_options));
   MetricsAdd(options.metrics, "xjoin.expanded",
              static_cast<int64_t>(expanded.num_rows()));
-  MetricsAdd(options.metrics, "xjoin.pruned",
-             pruned.load(std::memory_order_relaxed));
 
-  // 5. Final structural validation. Row checks are independent, so they
-  // run chunked across the thread pool; the keep-mask is filled at
-  // disjoint indices and the surviving rows are appended serially in row
-  // order, keeping the output deterministic.
+  // 4. Final structural validation. Row checks are independent, so they
+  // run chunked across the thread pool with one scratch Metrics per
+  // worker (merged after the barrier — sub-counters stay exact); the
+  // keep-mask is filled at disjoint indices and the surviving rows are
+  // appended serially in row order, keeping the output deterministic.
   Relation validated(expanded.schema());
-  if (twig_plans.empty()) {
+  if (plan.twigs.empty()) {
     validated = std::move(expanded);
   } else {
     const size_t num_rows = expanded.num_rows();
+    constexpr size_t kGrain = 64;
     std::vector<uint8_t> keep(num_rows, 0);
-    ParallelFor(num_threads, num_rows, /*grain=*/64, [&](size_t r) {
-      bool ok = true;
-      for (const auto& plan : twig_plans) {
-        const Twig& twig = plan->input->twig;
-        std::vector<std::optional<int64_t>> values(twig.num_nodes());
-        for (size_t q = 0; q < twig.num_nodes(); ++q) {
-          values[q] = expanded.at(r, plan->order_pos_of_node[q]);
-        }
-        if (!plan->validator.ExistsEmbedding(values, validator_metrics)) {
-          ok = false;
-          break;
-        }
-      }
-      keep[r] = ok ? 1 : 0;
-    });
+    std::vector<Metrics> worker_metrics(
+        options.metrics != nullptr
+            ? static_cast<size_t>(
+                  ParallelWorkerCount(num_threads, num_rows, kGrain))
+            : 0);
+    ParallelForWorker(
+        num_threads, num_rows, kGrain, [&](int worker, size_t r) {
+          Metrics* metrics = worker_metrics.empty()
+                                 ? nullptr
+                                 : &worker_metrics[static_cast<size_t>(worker)];
+          bool ok = true;
+          for (size_t t = 0; t < plan.twigs.size(); ++t) {
+            const XJoinPlan::TwigExec& exec = plan.twigs[t];
+            const Twig& twig = plan.query.twigs[t].twig;
+            std::vector<std::optional<int64_t>> values(twig.num_nodes());
+            for (size_t q = 0; q < twig.num_nodes(); ++q) {
+              values[q] = expanded.at(r, exec.order_pos_of_node[q]);
+            }
+            if (!exec.validator.ExistsEmbedding(values, metrics)) {
+              ok = false;
+              break;
+            }
+          }
+          keep[r] = ok ? 1 : 0;
+        });
+    for (const Metrics& m : worker_metrics) options.metrics->MergeFrom(m);
     for (size_t r = 0; r < num_rows; ++r) {
       if (keep[r] != 0) validated.AppendRow(expanded.GetRow(r));
     }
@@ -243,9 +127,16 @@ Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
                                options.metrics->Get("gj.max_intermediate"));
   }
 
-  // 6. Projection.
-  if (query.output_attributes.empty()) return validated;
-  return Project(validated, query.output_attributes);
+  // 5. Projection.
+  if (plan.query.output_attributes.empty()) return validated;
+  return Project(validated, plan.query.output_attributes);
+}
+
+Result<Relation> ExecuteXJoin(const MultiModelQuery& query,
+                              const XJoinOptions& options) {
+  XJ_ASSIGN_OR_RETURN(std::shared_ptr<XJoinPlan> plan,
+                      PrepareXJoin(query, options));
+  return ExecutePlan(*plan, options);
 }
 
 }  // namespace xjoin

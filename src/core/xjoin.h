@@ -5,76 +5,38 @@
 //     expand by common values of p across all of S (leapfrog)
 //   filter R by validating the structure of Sx
 //
-// The path relations are navigated lazily by default ("we do not
-// physically transform them into relational tables"); set
-// materialize_paths for the ablation. structural_pruning enables the
-// paper's on-going-work extension: partially validating the twig during
-// the join.
+// The one-shot procedure is split into a prepared pipeline
+// (core/plan.h): PrepareXJoin derives everything shape-dependent once
+// (order, decompositions, shard plan, pinned tries) and ExecutePlan
+// replays it — ExecuteXJoin below is exactly Prepare + Execute. The
+// path relations are navigated lazily by default ("we do not physically
+// transform them into relational tables"); set materialize_paths for
+// the ablation. structural_pruning enables the paper's on-going-work
+// extension: partially validating the twig during the join.
 #ifndef XJOIN_CORE_XJOIN_H_
 #define XJOIN_CORE_XJOIN_H_
 
-#include <functional>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "common/metrics.h"
 #include "common/status.h"
-#include "core/order.h"
+#include "core/plan.h"
 #include "core/query.h"
 #include "relational/relation.h"
-#include "relational/trie.h"
 
 namespace xjoin {
 
-/// Optional supplier of materialized relation tries, consulted for every
-/// named relational input before the engine builds one privately — this
-/// is how MultiModelDatabase's trie cache plugs into XJoin. Returning a
-/// null shared_ptr (inside an OK result) means "no cached trie, build
-/// locally". A returned trie must match (relation, order) exactly and
-/// must stay immutable and alive for the duration of the query; the
-/// engine keeps the shared_ptr until execution finishes.
-using TrieProvider = std::function<Result<std::shared_ptr<const RelationTrie>>(
-    const std::string& name, const Relation& relation,
-    const std::vector<std::string>& order)>;
-
-/// Execution options for XJoin.
-struct XJoinOptions {
-  /// The paper's PA: explicit expansion order. Empty = choose
-  /// automatically (core/order.h). Must respect twig path precedence.
-  std::vector<std::string> attribute_order;
-  /// Greedy rule used when attribute_order is empty.
-  OrderHeuristic order_heuristic = OrderHeuristic::kCoverage;
-  /// Ablation: flatten path relations to materialized tries first.
-  bool materialize_paths = false;
-  /// §4 extension: prune prefixes whose partial twig structure is
-  /// already infeasible.
-  bool structural_pruning = false;
-  /// Worker threads for the expansion loop and the final structural
-  /// validation. <= 1 (default) runs fully serial, bit-identical to the
-  /// pre-sharding engine; > 1 shards the first attribute's key domain
-  /// across a thread pool (see GenericJoinOptions::num_threads). The
-  /// result relation is byte-identical either way.
-  int num_threads = 1;
-  /// Prefix shard count forwarded to GenericJoinOptions::num_shards
-  /// (0 = one shard per thread). num_shards > 1 with num_threads == 1
-  /// exercises the shard partitioning deterministically on one thread.
-  int num_shards = 0;
-  /// Optional trie cache hook (see TrieProvider above). Empty = every
-  /// query builds its own tries.
-  TrieProvider trie_provider;
-  /// Nullable counters. Records the generic-join "gj.*" counters plus
-  /// "xjoin.expanded" (tuples before validation), "xjoin.validated"
-  /// (tuples after), "xjoin.pruned" (prefixes cut by partial validation),
-  /// and "xjoin.max_intermediate". With num_threads > 1 the per-twig
-  /// validation sub-counters are skipped (they would race); the "gj.*"
-  /// binding counters remain exact.
-  Metrics* metrics = nullptr;
-};
+/// Executes a prepared plan: instantiates cursors over the pinned tries
+/// (lazy document cursors for unmaterialized paths), runs the expansion
+/// loop under the plan's shard plan, validates twig structure, and
+/// projects. Only options.metrics is consulted — every engine knob
+/// (threads, shards, pruning, order) was frozen into the plan at
+/// prepare time, which is what makes a cached plan deterministic. Safe
+/// to call concurrently on the same plan.
+Result<Relation> ExecutePlan(const XJoinPlan& plan,
+                             const XJoinOptions& options = {});
 
 /// Runs XJoin (paper Algorithm 1) and returns the distinct result tuples
 /// over the query's output attributes (all attributes when
-/// output_attributes is empty).
+/// output_attributes is empty). Implemented as
+/// PrepareXJoin(query, options) + ExecutePlan(plan, options).
 ///
 /// Worst-case optimality (paper Theorem 4.1 via Lemma 3.5): with a
 /// bound-respecting expansion order, every per-attribute expansion stage

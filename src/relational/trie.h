@@ -58,6 +58,17 @@ class RelationTrie {
   /// Creates a cursor positioned at the virtual root.
   std::unique_ptr<TrieIterator> NewIterator() const;
 
+  /// Heap bytes held by the CSR arrays (keys + child offsets). Used by
+  /// the database's byte-budget trie cache for eviction accounting.
+  size_t ByteSizeEstimate() const {
+    size_t bytes = 0;
+    for (const auto& level : keys_) bytes += level.capacity() * sizeof(int64_t);
+    for (const auto& level : child_begin_) {
+      bytes += level.capacity() * sizeof(size_t);
+    }
+    return bytes;
+  }
+
   /// Direct read access to the CSR arrays (tests, debugging).
   const std::vector<int64_t>& level_keys(size_t d) const { return keys_[d]; }
   const std::vector<size_t>& child_begin(size_t d) const {

@@ -223,7 +223,7 @@ TEST(GenericJoinTest, PrefixFilterPrunes) {
   auto it = trie->NewIterator();
   GenericJoinOptions opts;
   opts.attribute_order = {"A"};
-  opts.prefix_filter = [](size_t, const std::vector<int64_t>& p) {
+  opts.prefix_filter = [](size_t, const std::vector<int64_t>& p, Metrics*) {
     return p[0] % 2 == 0;
   };
   auto result = GenericJoin({{"R", {"A"}, it.get()}}, opts);

@@ -1,0 +1,320 @@
+// Plan lifecycle (Prepare -> Pin -> Execute): cached-plan reuse is
+// byte-identical to cold execution and skips order selection, shard
+// planning, and all trie builds; UpdateRelation / document mutation
+// invalidate dependent plans and path tries; the options fingerprint
+// separates num_threads / structural_pruning variants; the byte-budget
+// LRU bounds the trie cache; and the per-twig validation sub-counters
+// stay exact in parallel runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "core/database.h"
+#include "core/xjoin.h"
+
+namespace xjoin {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.RegisterRelationCsv("R",
+                                        "A,B\n"
+                                        "1,x\n"
+                                        "1,y\n"
+                                        "2,x\n")
+                    .ok());
+    ASSERT_TRUE(db_.RegisterRelationCsv("S",
+                                        "B,C\n"
+                                        "x,7\n"
+                                        "y,8\n")
+                    .ok());
+    ASSERT_TRUE(db_.RegisterDocumentXml("doc", R"(
+        <items><item><B>x</B><D>5</D></item>
+               <item><B>y</B><D>6</D></item></items>)")
+                    .ok());
+  }
+
+  MultiModelDatabase db_;
+  const std::string q_ = "Q(*) := R, S, doc : item[B]/D";
+};
+
+TEST(CanonicalizeQueryTextTest, NormalizesSpellingSafely) {
+  EXPECT_EQ(CanonicalizeQueryText("Q(*) := R , S"),
+            CanonicalizeQueryText("Q(*):=R,S"));
+  EXPECT_EQ(CanonicalizeQueryText("  Q(a, b) := R,\n d : x[y]/z  "),
+            CanonicalizeQueryText("Q(a,b):=R,d:x[y]/z"));
+  // Whitespace inside identifiers is collapsed, not deleted: distinct
+  // names cannot alias.
+  EXPECT_NE(CanonicalizeQueryText("a b"), CanonicalizeQueryText("ab"));
+  EXPECT_EQ(CanonicalizeQueryText("a  \t b"), "a b");
+}
+
+TEST_F(PlanTest, CachedPlanReuseIsByteIdenticalToColdExecution) {
+  Metrics cold_metrics;
+  XJoinOptions cold;
+  cold.metrics = &cold_metrics;
+  auto first = db_.QueryXJoin(q_, cold);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(cold_metrics.Get("db.plan_cache.misses"), 1);
+  EXPECT_EQ(cold_metrics.Get("plan.prepared"), 1);
+
+  auto second = db_.QueryXJoin(q_, XJoinOptions{});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->ToTuples(), second->ToTuples());
+
+  // A plan-free execution over the same parsed query agrees byte for
+  // byte (no database caches involved at all).
+  auto prepared = db_.Prepare(q_);
+  ASSERT_TRUE(prepared.ok());
+  auto bare = ExecuteXJoin(prepared->query, XJoinOptions{});
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(first->ToTuples(), bare->ToTuples());
+}
+
+TEST_F(PlanTest, PlanCacheHitSkipsPlanningAndTrieWork) {
+  ASSERT_TRUE(db_.QueryXJoin(q_, XJoinOptions{}).ok());
+  ASSERT_EQ(db_.PlanCacheSize(), 1u);
+
+  Metrics warm;
+  XJoinOptions options;
+  options.metrics = &warm;
+  ASSERT_TRUE(db_.QueryXJoin(q_, options).ok());
+  // The hit skips order selection + shard planning (no prepare ran),
+  // every trie build, and does not even consult the trie cache — the
+  // plan replays its pinned handles.
+  EXPECT_EQ(warm.Get("db.plan_cache.hits"), 1);
+  EXPECT_EQ(warm.Get("db.plan_cache.misses"), 0);
+  EXPECT_EQ(warm.Get("plan.prepared"), 0);
+  EXPECT_EQ(warm.Get("trie.builds"), 0);
+  EXPECT_EQ(warm.Get("db.trie_cache.hits"), 0);
+  EXPECT_EQ(warm.Get("db.trie_cache.misses"), 0);
+  // The join itself still ran.
+  EXPECT_GT(warm.Get("gj.total_intermediate"), 0);
+}
+
+TEST_F(PlanTest, SpellingVariantsShareOnePlan) {
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := R, S", XJoinOptions{}).ok());
+  ASSERT_TRUE(db_.QueryXJoin("Q(*):=R,  S", XJoinOptions{}).ok());
+  EXPECT_EQ(db_.PlanCacheSize(), 1u);
+  EXPECT_EQ(db_.plan_cache_hits(), 1);
+}
+
+TEST_F(PlanTest, OptionsFingerprintSeparatesVariants) {
+  XJoinOptions serial;
+  ASSERT_TRUE(db_.QueryXJoin(q_, serial).ok());
+  XJoinOptions threaded;
+  threaded.num_threads = 2;
+  ASSERT_TRUE(db_.QueryXJoin(q_, threaded).ok());
+  XJoinOptions pruning;
+  pruning.structural_pruning = true;
+  ASSERT_TRUE(db_.QueryXJoin(q_, pruning).ok());
+  EXPECT_EQ(db_.PlanCacheSize(), 3u);
+  EXPECT_EQ(db_.plan_cache_hits(), 0);
+  EXPECT_EQ(db_.plan_cache_misses(), 3);
+  // Re-running each variant hits its own entry.
+  ASSERT_TRUE(db_.QueryXJoin(q_, threaded).ok());
+  EXPECT_EQ(db_.plan_cache_hits(), 1);
+  EXPECT_EQ(db_.PlanCacheSize(), 3u);
+}
+
+TEST_F(PlanTest, UpdateRelationInvalidatesDependentPlans) {
+  ASSERT_TRUE(db_.QueryXJoin(q_, XJoinOptions{}).ok());
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := S", XJoinOptions{}).ok());
+  EXPECT_EQ(db_.PlanCacheSize(), 2u);
+  EXPECT_EQ(*db_.relation_version("R"), 0u);
+
+  Relation replacement = **db_.relation("R");
+  Tuple extra = {db_.mutable_dictionary()->Intern("2"),
+                 db_.mutable_dictionary()->Intern("y")};
+  replacement.AppendRow(extra);
+  ASSERT_TRUE(db_.UpdateRelation("R", std::move(replacement)).ok());
+
+  // Version bump observed; only the plan reading R was dropped.
+  EXPECT_EQ(*db_.relation_version("R"), 1u);
+  EXPECT_EQ(db_.PlanCacheSize(), 1u);
+  EXPECT_EQ(db_.plan_cache_invalidations(), 1);
+
+  // The re-prepared plan sees the new contents.
+  auto result = db_.QueryXJoin("Q(A, B, C) := R, S", XJoinOptions{});
+  ASSERT_TRUE(result.ok());
+  const Dictionary& dict = db_.dictionary();
+  EXPECT_TRUE(result->ContainsRow(
+      {dict.Lookup("2"), dict.Lookup("y"), dict.Lookup("8")}));
+}
+
+TEST_F(PlanTest, DocumentMutationInvalidatesPlansAndPathTries) {
+  XJoinOptions mat;
+  mat.materialize_paths = true;
+  ASSERT_TRUE(db_.QueryXJoin(q_, mat).ok());
+  // 2 relation tries + 2 materialized path tries (item/B, item/D).
+  EXPECT_EQ(db_.TrieCacheSize(), 4u);
+  EXPECT_EQ(*db_.document_version("doc"), 0u);
+  EXPECT_EQ(db_.PlanCacheSize(), 1u);
+
+  ASSERT_TRUE(db_.UpdateDocumentXml("doc", R"(
+      <items><item><B>x</B><D>5</D></item>
+             <item><B>y</B><D>6</D></item>
+             <item><B>y</B><D>7</D></item></items>)")
+                  .ok());
+  // Version bump observed; the document's path tries and the dependent
+  // plan are gone, the relation tries stay.
+  EXPECT_EQ(*db_.document_version("doc"), 1u);
+  EXPECT_EQ(db_.TrieCacheSize(), 2u);
+  EXPECT_EQ(db_.PlanCacheSize(), 0u);
+  EXPECT_GE(db_.plan_cache_invalidations(), 1);
+
+  auto result = db_.QueryXJoin("Q(D) := R, S, doc : item[B]/D", mat);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ContainsRow({db_.dictionary().Lookup("7")}));
+  // The new document's path tries were cached under the new version.
+  EXPECT_EQ(db_.TrieCacheSize(), 4u);
+
+  // Updating an unregistered document fails.
+  EXPECT_FALSE(db_.UpdateDocumentXml("nope", "<a/>").ok());
+}
+
+TEST_F(PlanTest, RepeatedMaterializedPathQueriesHitThePathTrieCache) {
+  XJoinOptions mat;
+  mat.materialize_paths = true;
+  ASSERT_TRUE(db_.QueryXJoin(q_, mat).ok());
+  int64_t misses = db_.trie_cache_misses();
+  EXPECT_EQ(misses, 4);  // 2 relations + 2 paths
+
+  // Re-planning the same text pins all four tries from the cache.
+  db_.ClearPlanCache();
+  Metrics metrics;
+  mat.metrics = &metrics;
+  ASSERT_TRUE(db_.QueryXJoin(q_, mat).ok());
+  EXPECT_EQ(db_.trie_cache_misses(), misses);
+  EXPECT_EQ(metrics.Get("db.trie_cache.hits"), 4);
+}
+
+TEST_F(PlanTest, ByteBudgetLruEvictsLeastRecentlyUsed) {
+  EXPECT_EQ(db_.trie_cache_budget(), size_t{256} << 20);  // default 256 MiB
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := R, S", XJoinOptions{}).ok());
+  EXPECT_EQ(db_.TrieCacheSize(), 2u);
+  EXPECT_GT(db_.trie_cache_bytes(), 0u);
+
+  // Shrinking the budget below the current footprint evicts from the
+  // LRU tail immediately.
+  db_.SetTrieCacheBudget(1);
+  EXPECT_EQ(db_.TrieCacheSize(), 0u);
+  EXPECT_EQ(db_.trie_cache_bytes(), 0u);
+  EXPECT_EQ(db_.trie_cache_evictions(), 2);
+
+  // Oversize tries are served uncached; queries still work.
+  db_.ClearPlanCache();
+  Metrics metrics;
+  XJoinOptions options;
+  options.metrics = &metrics;
+  auto result = db_.QueryXJoin("Q(*) := R, S", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(db_.TrieCacheSize(), 0u);
+  EXPECT_EQ(metrics.Get("db.trie_cache.misses"), 2);
+}
+
+TEST_F(PlanTest, PlanCacheCapacityBoundsThePins) {
+  // Each cached plan pins its tries past trie-cache eviction, so the
+  // plan cache itself is LRU-capped.
+  EXPECT_EQ(db_.plan_cache_capacity(), 256u);
+  db_.SetPlanCacheCapacity(1);
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := R, S", XJoinOptions{}).ok());
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := R", XJoinOptions{}).ok());
+  EXPECT_EQ(db_.PlanCacheSize(), 1u);
+  EXPECT_EQ(db_.plan_cache_evictions(), 1);
+
+  // The resident plan hits; the evicted text re-prepares.
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := R", XJoinOptions{}).ok());
+  EXPECT_EQ(db_.plan_cache_hits(), 1);
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := R, S", XJoinOptions{}).ok());
+  EXPECT_EQ(db_.plan_cache_misses(), 3);
+
+  // Capacity 0 disables plan caching entirely.
+  db_.SetPlanCacheCapacity(0);
+  EXPECT_EQ(db_.PlanCacheSize(), 0u);
+  ASSERT_TRUE(db_.QueryXJoin("Q(*) := R", XJoinOptions{}).ok());
+  EXPECT_EQ(db_.PlanCacheSize(), 0u);
+}
+
+TEST_F(PlanTest, ParallelValidationCountersAreExact) {
+  // Wide level-0 domain (30 items) so the shard plan stays at depth 1,
+  // where binding and filter counts match the serial run exactly.
+  std::string xml = "<items>";
+  std::string csv = "B,E\n";
+  for (int i = 0; i < 30; ++i) {
+    xml += "<item><B>b" + std::to_string(i) + "</B><D>d" + std::to_string(i) +
+           "</D></item>";
+    if (i % 2 == 0) csv += "b" + std::to_string(i) + ",e\n";
+  }
+  xml += "</items>";
+  ASSERT_TRUE(db_.RegisterDocumentXml("wide", xml).ok());
+  ASSERT_TRUE(db_.RegisterRelationCsv("T", csv).ok());
+  const std::string query = "Q(*) := T, wide : item[B]/D";
+
+  Metrics serial;
+  XJoinOptions serial_options;
+  serial_options.structural_pruning = true;
+  serial_options.metrics = &serial;
+  auto serial_result = db_.QueryXJoin(query, serial_options);
+  ASSERT_TRUE(serial_result.ok());
+
+  Metrics parallel;
+  XJoinOptions parallel_options;
+  parallel_options.structural_pruning = true;
+  parallel_options.num_threads = 4;
+  parallel_options.metrics = &parallel;
+  auto parallel_result = db_.QueryXJoin(query, parallel_options);
+  ASSERT_TRUE(parallel_result.ok());
+
+  EXPECT_EQ(serial_result->ToTuples(), parallel_result->ToTuples());
+  // Before the per-shard Metrics merge these were silently skipped with
+  // num_threads > 1; now they must match the serial run exactly.
+  EXPECT_GT(serial.Get("validate.candidates"), 0);
+  EXPECT_EQ(serial.Get("validate.candidates"),
+            parallel.Get("validate.candidates"));
+  EXPECT_EQ(serial.Get("xjoin.pruned"), parallel.Get("xjoin.pruned"));
+  EXPECT_EQ(serial.Get("xjoin.expanded"), parallel.Get("xjoin.expanded"));
+  EXPECT_EQ(serial.Get("xjoin.validated"), parallel.Get("xjoin.validated"));
+}
+
+TEST_F(PlanTest, AdaptiveShardPlanGoesCompositeOnSmallLevel0Domains) {
+  // R has 2 distinct A values but 3 (A, B) pairs; requesting 4 shards
+  // must shard on the composite prefix (depth 2), decided at prepare
+  // time from the domain estimates.
+  Metrics metrics;
+  XJoinOptions sharded;
+  sharded.num_shards = 4;
+  sharded.metrics = &metrics;
+  sharded.attribute_order = {"A", "B", "C"};
+  auto sharded_result = db_.QueryXJoin("Q(*) := R, S", sharded);
+  ASSERT_TRUE(sharded_result.ok());
+  EXPECT_EQ(metrics.Get("gj.shard_depth"), 2);
+  EXPECT_GE(metrics.Get("gj.shards"), 2);
+
+  XJoinOptions serial;
+  serial.attribute_order = {"A", "B", "C"};
+  auto serial_result = db_.QueryXJoin("Q(*) := R, S", serial);
+  ASSERT_TRUE(serial_result.ok());
+  EXPECT_EQ(serial_result->ToTuples(), sharded_result->ToTuples());
+}
+
+TEST_F(PlanTest, ExplainXJoinRendersThePlanAndCacheCounters) {
+  auto text = db_.ExplainXJoin(q_);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("query:"), std::string::npos);
+  EXPECT_NE(text->find("relation R(A, B)"), std::string::npos);
+  EXPECT_NE(text->find("transform(Sx)"), std::string::npos);
+  EXPECT_NE(text->find("expansion order"), std::string::npos);
+  EXPECT_NE(text->find("lead"), std::string::npos);
+  EXPECT_NE(text->find("shard plan:"), std::string::npos);
+  EXPECT_NE(text->find("worst-case size bound"), std::string::npos);
+  EXPECT_NE(text->find("plan cache:"), std::string::npos);
+  EXPECT_NE(text->find("trie cache:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xjoin

@@ -1,7 +1,10 @@
-// Database-level trie cache: hits on repeated queries, keying by
+// Database-level trie cache: hits on re-planned queries, keying by
 // (relation, attribute order, relation version), invalidation on
 // UpdateRelation and via the explicit hook, and byte-identical results
-// with the cache on or off.
+// with the cache on or off. A repeated *identical* query is served by
+// the plan cache without consulting the trie cache at all (its tries
+// are pinned in the plan — see plan_test.cc), so the tests below clear
+// the plan cache wherever they mean to exercise trie-cache hits.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -41,6 +44,9 @@ TEST_F(TrieCacheTest, RepeatedQueriesHitTheCache) {
   EXPECT_EQ(db_.TrieCacheSize(), 2u);
   EXPECT_EQ(first_metrics.Get("db.trie_cache.misses"), 2);
 
+  // Re-plan the same text: the fresh plan pins its tries through the
+  // cache and hits both entries.
+  db_.ClearPlanCache();
   Metrics second_metrics;
   auto second = db_.Query("Q(*) := R, S", Engine::kXJoin, &second_metrics);
   ASSERT_TRUE(second.ok());
@@ -110,7 +116,9 @@ TEST_F(TrieCacheTest, ExplicitInvalidationHooks) {
   db_.ClearTrieCache();
   EXPECT_EQ(db_.TrieCacheSize(), 0u);
 
-  // Queries after a flush rebuild and re-populate.
+  // Re-planned queries after a flush rebuild and re-populate. (Without
+  // the plan flush the cached plan would just replay its pinned tries.)
+  db_.ClearPlanCache();
   ASSERT_TRUE(db_.Query("Q(*) := R, S").ok());
   EXPECT_EQ(db_.TrieCacheSize(), 2u);
 }
@@ -147,6 +155,7 @@ TEST_F(TrieCacheTest, ShardedQueriesShareTheCache) {
   ASSERT_TRUE(db_.QueryXJoin("Q(*) := R, S", sharded).ok());
   int64_t misses = db_.trie_cache_misses();
   EXPECT_EQ(misses, 2);
+  db_.ClearPlanCache();
   ASSERT_TRUE(db_.QueryXJoin("Q(*) := R, S", sharded).ok());
   EXPECT_EQ(db_.trie_cache_misses(), misses);
   EXPECT_GE(db_.trie_cache_hits(), 2);
