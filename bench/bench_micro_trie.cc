@@ -17,11 +17,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <cstring>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/dictionary.h"
 #include "common/random.h"
 #include "core/generic_join.h"
@@ -218,23 +218,10 @@ BENCHMARK(BM_TriangleHashJoin)->Arg(1000)->Arg(5000);
 }  // namespace xjoin
 
 // Custom main: translate `--json=PATH` into google-benchmark's
-// --benchmark_out flags before initialization; everything else passes
-// through untouched.
+// --benchmark_out flags before initialization (shared helper in
+// bench_util.h); everything else passes through untouched.
 int main(int argc, char** argv) {
-  std::vector<std::string> args;
-  std::string json_path;
-  for (int i = 0; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--json=", 7) == 0) {
-      json_path = arg + 7;
-    } else {
-      args.push_back(arg);
-    }
-  }
-  if (!json_path.empty()) {
-    args.push_back("--benchmark_out=" + json_path);
-    args.push_back("--benchmark_out_format=json");
-  }
+  std::vector<std::string> args = xjoin::bench::TranslateJsonFlag(argc, argv);
   std::vector<char*> argv2;
   argv2.reserve(args.size());
   for (auto& a : args) argv2.push_back(a.data());

@@ -30,15 +30,6 @@ struct Record {
   int64_t rows = 0;
 };
 
-std::string ToJson(const Record& r) {
-  return std::string("{\"workload\": \"") + r.workload +
-         "\", \"cold_s\": " + FmtF(r.cold_s, 6) +
-         ", \"prepare_s\": " + FmtF(r.prepare_s, 6) +
-         ", \"warm_s\": " + FmtF(r.warm_s, 6) +
-         ", \"speedup\": " + FmtF(r.warm_s > 0 ? r.cold_s / r.warm_s : 0, 2) +
-         ", \"rows\": " + FmtInt(r.rows) + "}";
-}
-
 // Cold = ExecuteXJoin (prepare + pin + execute, private trie builds
 // each time); warm = ExecutePlan over one prepared plan.
 Record BenchQuery(const std::string& label, const MultiModelQuery& query,
@@ -164,19 +155,17 @@ void Run(int argc, char** argv) {
   }
   table.Print();
 
-  std::string json = "[";
-  for (size_t i = 0; i < records.size(); ++i) {
-    json += (i ? ",\n  " : "\n  ") + ToJson(records[i]);
+  JsonArrayWriter json;
+  for (const Record& r : records) {
+    json.BeginObject()
+        .Field("workload", r.workload)
+        .Field("cold_s", r.cold_s, 6)
+        .Field("prepare_s", r.prepare_s, 6)
+        .Field("warm_s", r.warm_s, 6)
+        .Field("speedup", r.warm_s > 0 ? r.cold_s / r.warm_s : 0, 2)
+        .Field("rows", r.rows);
   }
-  json += "\n]\n";
-  std::printf("\nJSON:\n%s", json.c_str());
-  if (json_path != nullptr) {
-    std::FILE* f = std::fopen(json_path, "w");
-    XJ_CHECK(f != nullptr) << "cannot open " << json_path;
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    std::printf("(written to %s)\n", json_path);
-  }
+  json.Emit(json_path);
 }
 
 }  // namespace

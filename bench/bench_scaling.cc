@@ -75,8 +75,7 @@ void ThreadSweep(const std::vector<int>& threads_list, int64_t xmark_scale,
   const std::vector<Tuple> expected = serial_result.ToTuples();
 
   Table table({"threads", "shards", "time", "speedup", "|Q|"});
-  std::string json = "[";
-  bool first = true;
+  JsonArrayWriter json;
   for (int threads : threads_list) {
     double best = 0.0;
     int64_t shards = 1;
@@ -96,34 +95,20 @@ void ThreadSweep(const std::vector<int>& threads_list, int64_t xmark_scale,
     table.AddRow({FmtInt(threads), FmtInt(shards), FmtSeconds(best),
                   FmtF(speedup, 2) + "x",
                   FmtInt(static_cast<int64_t>(serial_result.num_rows()))});
-    char record[512];
-    std::snprintf(record, sizeof(record),
-                  "%s\n  {\"bench\": \"bench_scaling\", "
-                  "\"section\": \"thread_sweep\", "
-                  "\"workload\": \"xmark.closed_auction\", "
-                  "\"xmark_scale\": %lld, \"doc_nodes\": %lld, "
-                  "\"threads\": %d, \"shards\": %lld, "
-                  "\"seconds\": %.6f, \"speedup\": %.3f, "
-                  "\"output_rows\": %lld}",
-                  first ? "" : ",",
-                  static_cast<long long>(xmark_scale),
-                  static_cast<long long>(inst.doc->num_nodes()), threads,
-                  static_cast<long long>(shards), best, speedup,
-                  static_cast<long long>(serial_result.num_rows()));
-    json += record;
-    first = false;
+    json.BeginObject()
+        .Field("bench", "bench_scaling")
+        .Field("section", "thread_sweep")
+        .Field("workload", "xmark.closed_auction")
+        .Field("xmark_scale", xmark_scale)
+        .Field("doc_nodes", static_cast<int64_t>(inst.doc->num_nodes()))
+        .Field("threads", threads)
+        .Field("shards", shards)
+        .Field("seconds", best, 6)
+        .Field("speedup", speedup, 3)
+        .Field("output_rows", static_cast<int64_t>(serial_result.num_rows()));
   }
-  json += "\n]\n";
   table.Print();
-
-  std::printf("\nJSON:\n%s", json.c_str());
-  if (json_path != nullptr) {
-    std::FILE* f = std::fopen(json_path, "w");
-    XJ_CHECK(f != nullptr) << "cannot open " << json_path;
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    std::printf("(written to %s)\n", json_path);
-  }
+  json.Emit(json_path);
 }
 
 }  // namespace

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "relational/result_batch.h"
 #include "relational/schema.h"
 
 namespace xjoin {
@@ -65,16 +68,83 @@ struct PrefixRange {
   int64_t hi[2] = {0, 0};  // exclusive lexicographic upper bound
 };
 
+// Devirtualized cursor over one CSR level: the raw sorted-key array and
+// the cursor's remaining half-open range within it, as exposed by
+// TrieIterator::RawLevelSpan. The batched last-level kernel below runs
+// the leapfrog directly over these — plain loads, inlinable gallops, no
+// virtual dispatch per key.
+struct RawCursor {
+  const int64_t* keys;
+  size_t pos, hi;
+};
+
+// Mirror of RelationTrieIterator::Seek over a raw cursor: gallop to
+// bracket the target, binary-search inside the bracket.
+inline void RawSeek(RawCursor* c, int64_t key) {
+  size_t base = c->pos;
+  size_t step = 1;
+  while (base + step < c->hi && c->keys[base + step] < key) {
+    base += step;
+    step <<= 1;
+  }
+  size_t search_hi = std::min(base + step, c->hi);
+  c->pos = static_cast<size_t>(
+      std::lower_bound(c->keys + base, c->keys + search_hi, key) - c->keys);
+}
+
+// Exact mirrors of LeapfrogAlign / LeapfrogAdvance over raw cursors —
+// same control flow, same Seek/Next accounting, so the batched kernel's
+// "gj.seeks" matches the scalar engine count for count.
+bool RawAlign(std::vector<RawCursor>* cursors, int64_t* seeks) {
+  for (const RawCursor& c : *cursors) {
+    if (c.pos >= c.hi) return false;
+  }
+  for (;;) {
+    int64_t max_key = (*cursors)[0].keys[(*cursors)[0].pos];
+    for (const RawCursor& c : *cursors) {
+      max_key = std::max(max_key, c.keys[c.pos]);
+    }
+    bool all_equal = true;
+    for (RawCursor& c : *cursors) {
+      if (c.keys[c.pos] < max_key) {
+        RawSeek(&c, max_key);
+        ++*seeks;
+        if (c.pos >= c.hi) return false;
+        if (c.keys[c.pos] > max_key) {
+          all_equal = false;  // overshoot: new max, restart
+          break;
+        }
+      }
+    }
+    if (all_equal) return true;
+  }
+}
+
+bool RawAdvance(std::vector<RawCursor>* cursors, int64_t* seeks) {
+  RawCursor& lead = (*cursors)[0];
+  ++lead.pos;
+  ++*seeks;
+  if (lead.pos >= lead.hi) return false;
+  return RawAlign(cursors, seeks);
+}
+
 // The iterative (explicit-stack) expansion loop of Algorithm 1 over one
 // key range. All mutable state lives in this object, so one Engine per
 // shard over Clone()d iterators is data-race-free by construction. The
 // engine only accumulates raw counters; the driver merges and publishes
 // them, which keeps serial and sharded metric output consistent.
+//
+// batch_size > 0 switches the deepest level to block-at-a-time
+// execution (see GenericJoinOptions::batch_size): every binding is
+// staged in a columnar ResultBatch and flushed in blocks, and the
+// intersection itself runs through NextBlock bulk drains or the
+// raw-cursor kernel above whenever the participants allow it. All
+// counters are maintained exactly as in the scalar path.
 class Engine {
  public:
   Engine(const std::vector<JoinInput>& inputs,
          const std::vector<LevelPlan>& plan, const PrefixFilter& filter,
-         Metrics* filter_metrics, Relation* out)
+         Metrics* filter_metrics, Relation* out, int batch_size = 0)
       : filter_(filter),
         filter_metrics_(filter_metrics),
         out_(out),
@@ -87,6 +157,10 @@ class Engine {
         level_iters_[d].push_back(inputs[i].iterator);
       }
     }
+    if (batch_size > 0 && !plan.empty()) {
+      batch_.emplace(plan.size(), static_cast<size_t>(batch_size));
+      block_.emplace(static_cast<size_t>(batch_size));
+    }
   }
 
   void Run(const PrefixRange& range) {
@@ -97,34 +171,24 @@ class Engine {
       std::vector<TrieIterator*>& iters = level_iters_[depth];
       bool have;
       if (entering) {
-        for (TrieIterator* it : iters) it->Open();
-        // Lead with the iterator reporting the fewest remaining keys:
-        // LeapfrogAdvance steps iters[0], so the smallest level drives
-        // the intersection (fewest advance rounds). EstimateKeys is O(1)
-        // on the CSR trie, so this costs one probe per participant.
-        if (iters.size() > 1) {
-          size_t lead = 0;
-          int64_t best = iters[0]->EstimateKeys();
-          for (size_t i = 1; i < iters.size(); ++i) {
-            int64_t estimate = iters[i]->EstimateKeys();
-            if (estimate < best) {
-              best = estimate;
-              lead = i;
-            }
-          }
-          if (lead != 0) std::swap(iters[0], iters[lead]);
+        OpenLevel(iters, depth, range);
+        if (depth == 0) {
+          // Pre-size the output columns from the level-0 key estimate —
+          // a free O(1) scale signal — capped so selective joins don't
+          // over-allocate (growth past the reserve stays geometric).
+          constexpr int64_t kMaxReserveRows = int64_t{1} << 16;
+          out_->Reserve(static_cast<size_t>(std::clamp<int64_t>(
+              iters[0]->EstimateKeys(), 0, kMaxReserveRows)));
         }
-        if (range.has_lo && !iters[0]->AtEnd()) {
-          // Skip straight to the shard's lexicographic lower bound.
-          if (depth == 0 && iters[0]->Key() < range.lo[0]) {
-            iters[0]->Seek(range.lo[0]);
-            ++seeks_;
-          } else if (depth == 1 && range.depth == 2 &&
-                     prefix_[0] == range.lo[0] &&
-                     iters[0]->Key() < range.lo[1]) {
-            iters[0]->Seek(range.lo[1]);
-            ++seeks_;
-          }
+        if (batch_.has_value() && depth + 1 == num_levels) {
+          // Batched mode: one kernel call drains the whole deepest
+          // level for this prefix, then backtracks.
+          RunDeepestLevel(iters, depth, range);
+          for (TrieIterator* it : iters) it->Up();
+          if (depth == 0) break;
+          --depth;
+          entering = false;
+          continue;
         }
         have = LeapfrogAlign(iters, &seeks_);
       } else {
@@ -166,10 +230,11 @@ class Engine {
       }
       // Level exhausted: close it and backtrack.
       for (TrieIterator* it : iters) it->Up();
-      if (depth == 0) return;
+      if (depth == 0) break;
       --depth;
       entering = false;
     }
+    if (batch_.has_value()) batch_->Flush(out_);
   }
 
   const std::vector<int64_t>& level_totals() const { return level_totals_; }
@@ -177,12 +242,179 @@ class Engine {
   int64_t total_intermediate() const { return total_intermediate_; }
 
  private:
+  // The entering protocol shared by the scalar and batched paths: open
+  // every participant, lead with the iterator reporting the fewest
+  // remaining keys (LeapfrogAdvance steps iters[0], so the smallest
+  // level drives the intersection; EstimateKeys is O(1) on the CSR
+  // trie), and skip straight to the shard's lexicographic lower bound.
+  void OpenLevel(std::vector<TrieIterator*>& iters, size_t depth,
+                 const PrefixRange& range) {
+    for (TrieIterator* it : iters) it->Open();
+    if (iters.size() > 1) {
+      size_t lead = 0;
+      int64_t best = iters[0]->EstimateKeys();
+      for (size_t i = 1; i < iters.size(); ++i) {
+        int64_t estimate = iters[i]->EstimateKeys();
+        if (estimate < best) {
+          best = estimate;
+          lead = i;
+        }
+      }
+      if (lead != 0) std::swap(iters[0], iters[lead]);
+    }
+    if (range.has_lo && !iters[0]->AtEnd()) {
+      if (depth == 0 && iters[0]->Key() < range.lo[0]) {
+        iters[0]->Seek(range.lo[0]);
+        ++seeks_;
+      } else if (depth == 1 && range.depth == 2 &&
+                 prefix_[0] == range.lo[0] && iters[0]->Key() < range.lo[1]) {
+        iters[0]->Seek(range.lo[1]);
+        ++seeks_;
+      }
+    }
+  }
+
+  // Stages one result row (prefix_[0..arity-1]) and flushes on a full
+  // batch. Only the batched paths emit through here.
+  void EmitRow() {
+    batch_->PushRow(prefix_);
+    if (batch_->full()) batch_->Flush(out_);
+  }
+
+  // Counts one binding at the deepest level and applies the prefix
+  // filter; returns whether the binding survives.
+  bool BindDeepest(size_t depth, int64_t key) {
+    prefix_[depth] = key;
+    ++level_totals_[depth];
+    ++total_intermediate_;
+    return !filter_ || filter_(depth, prefix_, filter_metrics_);
+  }
+
+  // Drains the entire deepest level for the current prefix. Called with
+  // freshly opened, lead-swapped, lo-bounded iterators (OpenLevel);
+  // afterwards the caller closes the level. Dispatch: bulk NextBlock
+  // drain when a single input covers the level, the devirtualized
+  // raw-cursor kernel when every participant exposes a CSR span, the
+  // scalar leapfrog otherwise — identical bindings, seeks, and output
+  // in all three.
+  void RunDeepestLevel(std::vector<TrieIterator*>& iters, size_t depth,
+                       const PrefixRange& range) {
+    // Shard upper bounds can constrain levels 0 and 1 only; fold the
+    // applicable one into a single exclusive key bound. A deepest level
+    // at depth 0 means a one-attribute plan, and composite (depth-2)
+    // ranges only arise on plans with >= 2 levels — so the bound at
+    // depth 0 is always a plain exclusive level-0 cut.
+    bool has_hi = false;
+    int64_t hi = 0;
+    if (range.has_hi) {
+      if (depth == 0) {
+        XJ_DCHECK(range.depth == 1);
+        has_hi = true;
+        hi = range.hi[0];
+      } else if (depth == 1 && range.depth == 2 &&
+                 prefix_[0] == range.hi[0]) {
+        has_hi = true;
+        hi = range.hi[1];
+      }
+    }
+
+    if (iters.size() == 1) {
+      DrainSingle(iters[0], depth, has_hi, hi);
+      return;
+    }
+
+    raw_cursors_.clear();
+    RawKeySpan span;
+    for (TrieIterator* it : iters) {
+      if (!it->RawLevelSpan(&span)) break;
+      raw_cursors_.push_back(RawCursor{span.keys, span.pos, span.hi});
+    }
+    if (raw_cursors_.size() == iters.size()) {
+      RunDeepestRaw(depth, has_hi, hi);
+    } else {
+      RunDeepestScalar(iters, depth, has_hi, hi);
+    }
+  }
+
+  // Single participant: the intersection is the level itself, so the
+  // kernel degenerates to bulk block copies — NextBlock drains straight
+  // out of the CSR level array (or via the scalar default for lazy
+  // tries), and filter-free runs land in the batch column-at-a-time.
+  // Each drained key corresponds to exactly one scalar Next, hence
+  // seeks_ += n.
+  void DrainSingle(TrieIterator* it, size_t depth, bool has_hi, int64_t hi) {
+    const int64_t bound = has_hi ? hi : std::numeric_limits<int64_t>::max();
+    for (;;) {
+      size_t n = it->NextBlock(bound, &*block_);
+      seeks_ += static_cast<int64_t>(n);
+      if (n > 0) {
+        if (!filter_) {
+          level_totals_[depth] += static_cast<int64_t>(n);
+          total_intermediate_ += static_cast<int64_t>(n);
+          const int64_t* keys = block_->keys.data();
+          size_t count = n;
+          while (count > 0) {
+            size_t take = std::min(count, batch_->capacity() - batch_->size());
+            batch_->PushRun(prefix_, keys, take);
+            if (batch_->full()) batch_->Flush(out_);
+            keys += take;
+            count -= take;
+          }
+        } else {
+          for (int64_t key : block_->keys) {
+            if (BindDeepest(depth, key)) EmitRow();
+          }
+        }
+      }
+      if (n < block_->capacity) break;
+    }
+    if (!has_hi) {
+      // NextBlock's exclusive bound cannot express "no bound" for keys
+      // equal to INT64_MAX; bind any such stragglers scalar-wise.
+      while (!it->AtEnd()) {
+        if (BindDeepest(depth, it->Key())) EmitRow();
+        it->Next();
+        ++seeks_;
+      }
+    }
+  }
+
+  // All participants are CSR-backed: leapfrog over the raw key arrays —
+  // galloping merges on plain int64_t loads, zero virtual dispatch per
+  // key — emitting into the columnar batch.
+  void RunDeepestRaw(size_t depth, bool has_hi, int64_t hi) {
+    if (!RawAlign(&raw_cursors_, &seeks_)) return;
+    for (;;) {
+      int64_t key = raw_cursors_[0].keys[raw_cursors_[0].pos];
+      if (has_hi && key >= hi) return;
+      if (BindDeepest(depth, key)) EmitRow();
+      if (!RawAdvance(&raw_cursors_, &seeks_)) return;
+    }
+  }
+
+  // Mixed participants (a lazy path trie in the intersection): the
+  // existing scalar leapfrog drives the level, but results still flow
+  // through the columnar batch.
+  void RunDeepestScalar(std::vector<TrieIterator*>& iters, size_t depth,
+                        bool has_hi, int64_t hi) {
+    bool have = LeapfrogAlign(iters, &seeks_);
+    while (have) {
+      int64_t key = iters[0]->Key();
+      if (has_hi && key >= hi) return;
+      if (BindDeepest(depth, key)) EmitRow();
+      have = LeapfrogAdvance(iters, &seeks_);
+    }
+  }
+
   const PrefixFilter& filter_;
   Metrics* filter_metrics_;
   Relation* out_;
   Tuple prefix_;
   std::vector<int64_t> level_totals_;
   std::vector<std::vector<TrieIterator*>> level_iters_;
+  std::optional<ResultBatch> batch_;  // engaged iff batch_size > 0
+  std::optional<KeyBlock> block_;     // NextBlock scratch, same capacity
+  std::vector<RawCursor> raw_cursors_;
   int64_t seeks_ = 0;
   int64_t total_intermediate_ = 0;
 };
@@ -303,7 +535,8 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
       options.num_shards > 0 ? options.num_shards : num_threads;
 
   if (requested_shards <= 1) {
-    Engine engine(inputs, plan, options.prefix_filter, options.metrics, &out);
+    Engine engine(inputs, plan, options.prefix_filter, options.metrics, &out,
+                  options.batch_size);
     engine.Run(PrefixRange{});
     PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
                    engine.total_intermediate(),
@@ -352,7 +585,8 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     // The prefix domain is too small to shard (0 or 1 distinct
     // prefixes): fall back to the serial engine instead of paying
     // clone + merge overhead.
-    Engine engine(inputs, plan, options.prefix_filter, options.metrics, &out);
+    Engine engine(inputs, plan, options.prefix_filter, options.metrics, &out,
+                  options.batch_size);
     engine.Run(PrefixRange{});
     PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
                    engine.total_intermediate(),
@@ -421,7 +655,7 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     Metrics* filter_metrics =
         options.metrics != nullptr ? &shard.metrics : nullptr;
     Engine engine(shard.inputs, plan, options.prefix_filter, filter_metrics,
-                  &shard.out);
+                  &shard.out, options.batch_size);
     engine.Run(shard.range);
     shard.level_totals = engine.level_totals();
     shard.seeks = engine.seeks();

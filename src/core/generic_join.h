@@ -83,6 +83,18 @@ struct GenericJoinOptions {
   /// pair domain has <= 1 element). Results are byte-identical for
   /// every setting.
   int shard_depth = 0;
+  /// Result-batch capacity in rows. 0 (default) runs the legacy scalar
+  /// path: one virtual Key/Next/Seek round per binding and one
+  /// Relation::AppendRow per result row. > 0 runs block-at-a-time at the
+  /// deepest level — bulk TrieIterator::NextBlock drains when one input
+  /// covers the level, a devirtualized galloping-merge kernel over the
+  /// raw CSR arrays when every participant is a RelationTrie, the scalar
+  /// leapfrog otherwise — and stages results in a columnar ResultBatch
+  /// of this many rows, flushed via Relation::AppendColumnBlock. Results
+  /// are byte-identical and every "gj.*" counter (bindings, seeks,
+  /// total_intermediate, output) is identical to the scalar path at any
+  /// batch size, serial or sharded.
+  int batch_size = 0;
   /// Optional counters (nullable): per level "gj.level<i>.bindings" plus
   /// "gj.max_intermediate", "gj.total_intermediate", "gj.seeks",
   /// "gj.output". Sharded runs additionally record "gj.shards" (effective

@@ -167,6 +167,7 @@ size_t PlanFingerprint(const XJoinOptions& options) {
                            (options.structural_pruning ? 2u : 0u));
   fp = HashCombine(fp, static_cast<size_t>(std::max(1, options.num_threads)));
   fp = HashCombine(fp, static_cast<size_t>(std::max(0, options.num_shards)));
+  fp = HashCombine(fp, static_cast<size_t>(std::max(0, options.batch_size)));
   return fp;
 }
 
@@ -182,6 +183,7 @@ Result<std::shared_ptr<XJoinPlan>> PrepareXJoin(const MultiModelQuery& query,
   plan->structural_pruning = options.structural_pruning;
   plan->num_threads = std::max(1, options.num_threads);
   plan->num_shards = options.num_shards;
+  plan->batch_size = std::max(0, options.batch_size);
 
   // 1. Expansion order (PA).
   if (options.attribute_order.empty()) {
@@ -325,6 +327,13 @@ std::string ExplainPlan(const XJoinPlan& plan) {
     out += ", composite domain ~" + std::to_string(sp.level01_keys);
   }
   out += ")\n";
+  out += "execution: ";
+  if (plan.batch_size > 0) {
+    out += "batched (columnar, block=" + std::to_string(plan.batch_size) +
+           "; CSR levels devirtualized)\n";
+  } else {
+    out += "scalar (row-at-a-time; batch_size=0)\n";
+  }
   out += "pinned tries: " + std::to_string(plan.tries_provider) +
          " via db cache, " + std::to_string(plan.tries_built) +
          " private builds\n";

@@ -82,6 +82,12 @@ struct XJoinOptions {
   /// thread). num_shards > 1 with num_threads == 1 exercises the shard
   /// partitioning deterministically on one thread.
   int num_shards = 0;
+  /// Result-batch capacity for the expansion loop, snapshotted into the
+  /// plan and part of the cache fingerprint. 0 (default) = legacy
+  /// scalar execution; > 0 = block-at-a-time deepest level with
+  /// columnar materialization (see GenericJoinOptions::batch_size).
+  /// Results and "gj.*"/"validate.*" counters are identical either way.
+  int batch_size = 0;
   /// Optional trie cache hook (see TrieProvider above). Empty = every
   /// prepare builds its own relation tries.
   TrieProvider trie_provider;
@@ -145,6 +151,7 @@ struct XJoinPlan {
   bool structural_pruning = false;
   int num_threads = 1;
   int num_shards = 0;
+  int batch_size = 0;
 
   /// The chosen expansion order (PA) with its per-level rationale.
   std::vector<std::string> order;
@@ -216,8 +223,9 @@ std::string PathSignature(const Twig& twig, const TwigPath& path);
 
 /// Fingerprint of the plan-shaping option fields (attribute_order,
 /// order_heuristic, materialize_paths, structural_pruning, num_threads,
-/// num_shards) — the second half of the database's plan-cache key, so
-/// e.g. num_threads and structural_pruning variants get distinct plans.
+/// num_shards, batch_size) — the second half of the database's
+/// plan-cache key, so e.g. num_threads and structural_pruning variants
+/// get distinct plans.
 size_t PlanFingerprint(const XJoinOptions& options);
 
 /// Prepares `query`: validates it, chooses the expansion order (with

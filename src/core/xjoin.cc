@@ -47,6 +47,7 @@ Result<Relation> ExecutePlan(const XJoinPlan& plan,
   gj_options.num_threads = num_threads;
   gj_options.num_shards = plan.shard_plan.count;
   gj_options.shard_depth = plan.shard_plan.depth;
+  gj_options.batch_size = plan.batch_size;
   if (plan.structural_pruning) {
     gj_options.prefix_filter = [&plan](size_t depth,
                                        const std::vector<int64_t>& prefix,

@@ -12,9 +12,28 @@ Relation::Relation(Schema schema) : schema_(std::move(schema)) {
   columns_.resize(schema_.size());
 }
 
+void Relation::Reserve(size_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+}
+
 void Relation::AppendRow(const Tuple& row) {
   XJ_DCHECK(row.size() == columns_.size());
   for (size_t c = 0; c < columns_.size(); ++c) columns_[c].push_back(row[c]);
+}
+
+void Relation::AppendColumnBlock(const int64_t* const* columns,
+                                 size_t num_rows) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::vector<int64_t>& col = columns_[c];
+    // Grow geometrically: vector::insert is only required to fit, so an
+    // unlucky sequence of block flushes could otherwise reallocate on
+    // every flush.
+    size_t need = col.size() + num_rows;
+    if (need > col.capacity()) {
+      col.reserve(std::max(need, col.capacity() * 2));
+    }
+    col.insert(col.end(), columns[c], columns[c] + num_rows);
+  }
 }
 
 void Relation::AppendRows(const Relation& other) {

@@ -26,8 +26,20 @@ class Relation {
   size_t num_columns() const { return columns_.size(); }
   size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
 
+  /// Pre-reserves capacity for `rows` total rows in every column, so a
+  /// producer with a size estimate (the join engine uses its level-0
+  /// key-count estimate) avoids incremental growth entirely.
+  void Reserve(size_t rows);
+
   /// Appends a row given in schema order. Precondition: row.size() == arity.
   void AppendRow(const Tuple& row);
+
+  /// Appends `num_rows` rows given columnar (SoA): columns[c] points at
+  /// `num_rows` values of attribute c, in schema order. One geometric
+  /// reserve + contiguous copy per column — the batched engine's flush
+  /// path, with no per-row temporaries. Precondition: columns has
+  /// num_columns() entries.
+  void AppendColumnBlock(const int64_t* const* columns, size_t num_rows);
 
   /// Appends every row of `other`, in order, by bulk column splice —
   /// O(columns) vector inserts, no per-row temporaries. Precondition:

@@ -255,6 +255,36 @@ void RelationTrieIterator::Seek(int64_t key) {
       col.begin());
 }
 
+size_t RelationTrieIterator::NextBlock(int64_t hi_exclusive, KeyBlock* out) {
+  XJ_DCHECK(depth_ >= 0);
+  out->keys.clear();
+  Frame& f = frames_[static_cast<size_t>(depth_)];
+  const std::vector<int64_t>& col = trie_->keys_[static_cast<size_t>(depth_)];
+  size_t end = std::min(f.pos + out->capacity, f.hi);
+  // Keys are sorted: if the last candidate clears hi_exclusive the whole
+  // run does; otherwise binary-search the cut inside the candidate run.
+  if (end > f.pos && col[end - 1] >= hi_exclusive) {
+    end = static_cast<size_t>(
+        std::lower_bound(col.begin() + static_cast<ptrdiff_t>(f.pos),
+                         col.begin() + static_cast<ptrdiff_t>(end),
+                         hi_exclusive) -
+        col.begin());
+  }
+  out->keys.assign(col.begin() + static_cast<ptrdiff_t>(f.pos),
+                   col.begin() + static_cast<ptrdiff_t>(end));
+  f.pos = end;
+  return out->keys.size();
+}
+
+bool RelationTrieIterator::RawLevelSpan(RawKeySpan* out) const {
+  XJ_DCHECK(depth_ >= 0);
+  const Frame& f = frames_[static_cast<size_t>(depth_)];
+  out->keys = trie_->keys_[static_cast<size_t>(depth_)].data();
+  out->pos = f.pos;
+  out->hi = f.hi;
+  return true;
+}
+
 int64_t RelationTrieIterator::EstimateKeys() const {
   XJ_DCHECK(depth_ >= 0);
   const Frame& f = frames_[static_cast<size_t>(depth_)];

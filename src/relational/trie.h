@@ -103,6 +103,11 @@ class RelationTrieIterator final : public TrieIterator {
   void Next() override;
   void Seek(int64_t key) override;
   int64_t EstimateKeys() const override;
+  /// O(1)-per-key bulk drain: one bounds computation + a contiguous copy
+  /// straight out of the CSR level array.
+  size_t NextBlock(int64_t hi_exclusive, KeyBlock* out) override;
+  /// CSR levels are sorted arrays, so the raw span is always available.
+  bool RawLevelSpan(RawKeySpan* out) const override;
   std::unique_ptr<TrieIterator> Clone() const override;
 
  private:

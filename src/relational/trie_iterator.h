@@ -18,6 +18,27 @@
 
 namespace xjoin {
 
+/// Fixed-capacity destination buffer for bulk key drains (NextBlock
+/// below). `keys` holds the drained keys; `capacity` bounds how many one
+/// call may produce. Reused across calls — NextBlock clears it first.
+struct KeyBlock {
+  explicit KeyBlock(size_t cap) : capacity(cap) { keys.reserve(cap); }
+
+  std::vector<int64_t> keys;
+  size_t capacity;
+};
+
+/// Borrowed view of a CSR level: the backing sorted-key array plus the
+/// cursor's remaining half-open range [pos, hi) within it. Only
+/// iterators whose level really is a contiguous sorted array expose one
+/// (see TrieIterator::RawLevelSpan) — it is the devirtualization hook
+/// the batched last-level intersection kernel builds on.
+struct RawKeySpan {
+  const int64_t* keys = nullptr;
+  size_t pos = 0;
+  size_t hi = 0;
+};
+
 /// Cursor over a sorted trie of tuples.
 ///
 /// Protocol (all positions are per-level, keys are sorted ascending):
@@ -66,6 +87,39 @@ class TrieIterator {
   /// planners to pick the smallest iterator to lead a leapfrog). A rough
   /// upper bound is fine.
   virtual int64_t EstimateKeys() const = 0;
+
+  /// Bulk drain: moves the cursor forward over up to `out->capacity`
+  /// distinct keys strictly below `hi_exclusive`, appending them to
+  /// `out->keys` (cleared first) in ascending order. Equivalent to the
+  /// scalar loop { emit Key(); Next(); } stopped at capacity,
+  /// hi_exclusive, or AtEnd() — afterwards the cursor rests on the first
+  /// key not emitted (>= hi_exclusive), or AtEnd(). Returns the number
+  /// of keys drained. Precondition: depth() >= 0 (AtEnd() is fine and
+  /// yields 0). This default is the scalar loop itself, so every
+  /// implementation conforms for free; CSR-backed tries override it with
+  /// an O(1)-per-key copy out of the level array.
+  virtual size_t NextBlock(int64_t hi_exclusive, KeyBlock* out) {
+    out->keys.clear();
+    while (out->keys.size() < out->capacity && !AtEnd()) {
+      int64_t key = Key();
+      if (key >= hi_exclusive) break;
+      out->keys.push_back(key);
+      Next();
+    }
+    return out->keys.size();
+  }
+
+  /// Exposes the current level as a raw sorted-array span when the
+  /// backing storage allows it (CSR tries do; document-navigating tries
+  /// return false). The span aliases iterator-internal state: it is
+  /// invalidated by any subsequent cursor movement, and a caller that
+  /// consumes keys through the span without moving the cursor must
+  /// ascend (Up()) out of the level before using the iterator again.
+  /// Precondition: depth() >= 0.
+  virtual bool RawLevelSpan(RawKeySpan* out) const {
+    (void)out;
+    return false;
+  }
 
   /// Creates a fresh, independent iterator over the same underlying trie,
   /// positioned at the virtual root (depth() == -1) regardless of this

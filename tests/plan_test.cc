@@ -112,13 +112,31 @@ TEST_F(PlanTest, OptionsFingerprintSeparatesVariants) {
   XJoinOptions pruning;
   pruning.structural_pruning = true;
   ASSERT_TRUE(db_.QueryXJoin(q_, pruning).ok());
-  EXPECT_EQ(db_.PlanCacheSize(), 3u);
+  XJoinOptions batched;
+  batched.batch_size = 1024;
+  ASSERT_TRUE(db_.QueryXJoin(q_, batched).ok());
+  EXPECT_EQ(db_.PlanCacheSize(), 4u);
   EXPECT_EQ(db_.plan_cache_hits(), 0);
-  EXPECT_EQ(db_.plan_cache_misses(), 3);
+  EXPECT_EQ(db_.plan_cache_misses(), 4);
   // Re-running each variant hits its own entry.
   ASSERT_TRUE(db_.QueryXJoin(q_, threaded).ok());
-  EXPECT_EQ(db_.plan_cache_hits(), 1);
-  EXPECT_EQ(db_.PlanCacheSize(), 3u);
+  ASSERT_TRUE(db_.QueryXJoin(q_, batched).ok());
+  EXPECT_EQ(db_.plan_cache_hits(), 2);
+  EXPECT_EQ(db_.PlanCacheSize(), 4u);
+}
+
+TEST_F(PlanTest, ExplainShowsExecutionMode) {
+  // Default plans render the legacy scalar mode; batched plans show the
+  // block size.
+  auto scalar_text = db_.ExplainXJoin(q_);
+  ASSERT_TRUE(scalar_text.ok());
+  EXPECT_NE(scalar_text->find("execution: scalar"), std::string::npos);
+  XJoinOptions batched;
+  batched.batch_size = 512;
+  auto batched_text = db_.ExplainXJoin(q_, batched);
+  ASSERT_TRUE(batched_text.ok());
+  EXPECT_NE(batched_text->find("execution: batched (columnar, block=512"),
+            std::string::npos);
 }
 
 TEST_F(PlanTest, UpdateRelationInvalidatesDependentPlans) {

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -478,6 +479,89 @@ TEST_P(TrieConformanceTest, CloneIsRootPositionedAndIndependent) {
   EXPECT_EQ(Enumerate(original.get()), reference);
 }
 
+// NextBlock against the scalar protocol: a drained block must equal
+// what { Key(); Next(); } produces under the same capacity and bound,
+// and the cursor must land exactly where the scalar loop leaves it.
+// The oracle iterator deliberately keeps the base-class default
+// implementation, so this also pits each override (the CSR bulk copy)
+// against the documented scalar semantics.
+TEST_P(TrieConformanceTest, NextBlockMatchesScalarDrain) {
+  std::vector<int64_t> keys;
+  for (const Tuple& t : fixture_->oracle()) {
+    if (keys.empty() || keys.back() != t[0]) keys.push_back(t[0]);
+  }
+  std::vector<int64_t> bounds = keys;
+  for (int64_t k : keys) bounds.push_back(k + 1);
+  bounds.push_back(std::numeric_limits<int64_t>::max());
+  for (size_t capacity : {size_t{1}, size_t{2}, size_t{3}, size_t{1000}}) {
+    for (int64_t bound : bounds) {
+      auto it = fixture_->NewIterator();
+      auto oracle = fixture_->NewOracleIterator();
+      it->Open();
+      oracle->Open();
+      KeyBlock impl_block(capacity);
+      KeyBlock oracle_block(capacity);
+      // Drain the whole level block by block; the oracle uses the
+      // default scalar NextBlock.
+      for (;;) {
+        size_t n = it->NextBlock(bound, &impl_block);
+        size_t m = oracle->NextBlock(bound, &oracle_block);
+        SCOPED_TRACE("capacity=" + std::to_string(capacity) +
+                     " bound=" + std::to_string(bound));
+        ASSERT_EQ(n, m);
+        ASSERT_EQ(impl_block.keys, oracle_block.keys);
+        ASSERT_EQ(it->AtEnd(), oracle->AtEnd());
+        if (!it->AtEnd()) {
+          ASSERT_EQ(it->Key(), oracle->Key());
+        }
+        if (n < capacity) break;
+      }
+      // The cursor rests on the first key not drained (>= bound), so a
+      // subsequent scalar walk continues seamlessly.
+      while (!it->AtEnd()) {
+        ASSERT_FALSE(oracle->AtEnd());
+        EXPECT_EQ(it->Key(), oracle->Key());
+        it->Next();
+        oracle->Next();
+      }
+      EXPECT_TRUE(oracle->AtEnd());
+    }
+  }
+}
+
+// A partial block drain is abandoned by Up(); re-opening the level must
+// restart it from the first key, at every level of the trie.
+TEST_P(TrieConformanceTest, NextBlockMidBlockUpAndReopen) {
+  if (fixture_->oracle().empty()) return;
+  auto it = fixture_->NewIterator();
+  const int64_t no_bound = std::numeric_limits<int64_t>::max();
+  for (int d = 0; d < it->arity(); ++d) {
+    it->Open();
+    // Full reference drain via the scalar protocol on a clone.
+    std::vector<int64_t> expected;
+    {
+      auto ref = fixture_->NewIterator();
+      for (int l = 0; l <= d; ++l) ref->Open();
+      while (!ref->AtEnd()) {
+        expected.push_back(ref->Key());
+        ref->Next();
+      }
+    }
+    // Drain one short block, abandon it, re-open, drain everything.
+    KeyBlock partial(1);
+    it->NextBlock(no_bound, &partial);
+    it->Up();
+    it->Open();
+    KeyBlock all(expected.size() + 1);
+    it->NextBlock(no_bound, &all);
+    EXPECT_EQ(all.keys, expected) << "level " << d;
+    EXPECT_TRUE(it->AtEnd());
+    // Park the cursor back on the first key so the next level can open.
+    it->Up();
+    it->Open();
+  }
+}
+
 // Randomized equivalence: drive the implementation and the sorted-
 // vector oracle with one random-but-legal op sequence and compare all
 // observable state after every step.
@@ -490,12 +574,13 @@ TEST_P(TrieConformanceTest, RandomWalkMatchesOracle) {
     if (arity == 0) return;
     for (int step = 0; step < 400; ++step) {
       // Legal moves given the current state.
-      enum class Op { kOpen, kUp, kNext, kSeek };
+      enum class Op { kOpen, kUp, kNext, kSeek, kBlock };
       std::vector<Op> moves;
       if (it->depth() == -1) {
         moves.push_back(Op::kOpen);
       } else {
         moves.push_back(Op::kUp);
+        moves.push_back(Op::kBlock);  // legal even AtEnd (drains nothing)
         if (!it->AtEnd()) {
           moves.push_back(Op::kNext);
           moves.push_back(Op::kSeek);
@@ -521,6 +606,21 @@ TEST_P(TrieConformanceTest, RandomWalkMatchesOracle) {
           target += static_cast<int64_t>(rng.NextBounded(4));
           it->Seek(target);
           oracle->Seek(target);
+          break;
+        }
+        case Op::kBlock: {
+          // Random capacity and a randomized hi bound (sometimes
+          // unbounded, sometimes cutting mid-level).
+          KeyBlock impl_block(1 + rng.NextBounded(4));
+          KeyBlock oracle_block(impl_block.capacity);
+          int64_t bound = std::numeric_limits<int64_t>::max();
+          if (!it->AtEnd() && rng.NextBernoulli(0.5)) {
+            bound = it->Key() + static_cast<int64_t>(rng.NextBounded(5));
+          }
+          size_t n = it->NextBlock(bound, &impl_block);
+          size_t m = oracle->NextBlock(bound, &oracle_block);
+          ASSERT_EQ(n, m) << "step " << step;
+          ASSERT_EQ(impl_block.keys, oracle_block.keys) << "step " << step;
           break;
         }
       }
