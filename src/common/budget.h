@@ -1,0 +1,124 @@
+// Per-query admission budgets for the serving core: row, byte, and
+// wall-clock ceilings a caller attaches through QueryOptions. The
+// engines charge materialized work against a shared BudgetTracker and
+// abort every shard as soon as any ceiling is crossed; the query then
+// fails with a typed Status (kResourceExhausted for rows/bytes,
+// kDeadlineExceeded for time) and NO partial result is returned —
+// budgets are guardrails against runaway queries, not LIMIT clauses.
+//
+// Semantics (also documented on QueryOptions):
+//   max_rows / max_bytes  meter rows materialized at any stage — the
+//       expansion output counts, not just the final projection — so a
+//       query whose intermediate result explodes is stopped even if its
+//       final answer would have been small. This is the resource guard.
+//   deadline              an elapsed-wall-clock ceiling, checked at
+//       query admission and then periodically (every few thousand
+//       bindings) inside the expansion loop. This is the work guard.
+#ifndef XJOIN_COMMON_BUDGET_H_
+#define XJOIN_COMMON_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace xjoin {
+
+/// Thread-safe budget accounting shared by every shard of one query.
+/// Default-constructed trackers have no limits and every charge is a
+/// cheap relaxed no-op check.
+class BudgetTracker {
+ public:
+  BudgetTracker() = default;
+
+  /// Installs limits; 0 means unlimited for each. `deadline_micros` is
+  /// relative to now.
+  BudgetTracker(int64_t max_rows, int64_t max_bytes, int64_t deadline_micros)
+      : max_rows_(max_rows), max_bytes_(max_bytes) {
+    if (deadline_micros > 0) {
+      has_deadline_ = true;
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(deadline_micros);
+    }
+  }
+
+  bool limited() const {
+    return max_rows_ > 0 || max_bytes_ > 0 || has_deadline_;
+  }
+
+  /// Charges `rows` newly materialized rows of `bytes` total size.
+  /// Returns false once any budget is exceeded (sticky).
+  bool ChargeRows(int64_t rows, int64_t bytes) {
+    if (max_rows_ > 0 &&
+        rows_.fetch_add(rows, std::memory_order_relaxed) + rows > max_rows_) {
+      MarkViolation(kRowsExceeded);
+    }
+    if (max_bytes_ > 0 &&
+        bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes >
+            max_bytes_) {
+      MarkViolation(kRowsExceeded);
+    }
+    return !violated();
+  }
+
+  /// Samples the clock against the deadline. Returns false once
+  /// exceeded (sticky). Call sparingly (it reads steady_clock).
+  bool CheckDeadline() {
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      MarkViolation(kDeadlineExceeded);
+    }
+    return !violated();
+  }
+
+  /// Whether any budget has been exceeded. Relaxed load — shards poll
+  /// this every binding to abort early.
+  bool violated() const {
+    return violation_.load(std::memory_order_relaxed) != kNone;
+  }
+
+  /// OK, or the typed failure for the first budget crossed.
+  Status status() const {
+    switch (violation_.load(std::memory_order_relaxed)) {
+      case kRowsExceeded:
+        return Status::ResourceExhausted(
+            "query exceeded its row/byte budget (max_rows=" +
+            std::to_string(max_rows_) +
+            ", max_bytes=" + std::to_string(max_bytes_) +
+            "); partial results are discarded");
+      case kDeadlineExceeded:
+        return Status::DeadlineExceeded(
+            "query exceeded its deadline; partial results are discarded");
+      default:
+        return Status::OK();
+    }
+  }
+
+  int64_t rows_charged() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_charged() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum Violation : int { kNone = 0, kRowsExceeded = 1, kDeadlineExceeded = 2 };
+
+  void MarkViolation(Violation v) {
+    int expected = kNone;
+    violation_.compare_exchange_strong(expected, v,
+                                       std::memory_order_relaxed);
+  }
+
+  int64_t max_rows_ = 0;
+  int64_t max_bytes_ = 0;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::atomic<int64_t> rows_{0};
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<int> violation_{kNone};
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_COMMON_BUDGET_H_

@@ -1,11 +1,19 @@
 #include "common/dictionary.h"
 
+#include <mutex>
+
 #include "common/logging.h"
 
 namespace xjoin {
 
 int64_t Dictionary::Intern(std::string_view s) {
-  auto it = index_.find(std::string(s));
+  {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    auto it = index_.find(std::string(s));
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  auto it = index_.find(std::string(s));  // re-check: lost the race?
   if (it != index_.end()) return it->second;
   int64_t code = static_cast<int64_t>(strings_.size());
   strings_.emplace_back(s);
@@ -14,14 +22,27 @@ int64_t Dictionary::Intern(std::string_view s) {
 }
 
 int64_t Dictionary::Lookup(std::string_view s) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   auto it = index_.find(std::string(s));
   if (it == index_.end()) return -1;
   return it->second;
 }
 
 const std::string& Dictionary::Decode(int64_t code) const {
-  XJ_CHECK(Contains(code)) << "dictionary code out of range: " << code;
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  XJ_CHECK(code >= 0 && static_cast<size_t>(code) < strings_.size())
+      << "dictionary code out of range: " << code;
   return strings_[static_cast<size_t>(code)];
+}
+
+bool Dictionary::Contains(int64_t code) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return code >= 0 && static_cast<size_t>(code) < strings_.size();
+}
+
+int64_t Dictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return static_cast<int64_t>(strings_.size());
 }
 
 }  // namespace xjoin

@@ -5,10 +5,12 @@
 #define XJOIN_COMMON_DICTIONARY_H_
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace xjoin {
 
@@ -16,9 +18,22 @@ namespace xjoin {
 /// Codes only guarantee equality semantics across sources; their numeric
 /// order is insertion order, which is a valid (arbitrary) total order for
 /// trie-based joins.
+///
+/// Thread-safe: Intern takes a writer lock, the read paths share a
+/// reader lock, so serving-core sessions can decode results while a
+/// writer registers new data. Strings live in a deque — push_back never
+/// relocates existing elements — so the reference Decode returns stays
+/// valid for the dictionary's lifetime even across concurrent Interns.
 class Dictionary {
  public:
   Dictionary() = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  /// Movable (the lock lives behind a pointer) so Result<Dictionary>
+  /// and the storage layer keep working; a moved-from dictionary must
+  /// not be used.
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
 
   /// Returns the code for `s`, inserting it if new.
   int64_t Intern(std::string_view s);
@@ -27,18 +42,19 @@ class Dictionary {
   int64_t Lookup(std::string_view s) const;
 
   /// Returns the string for a code. Precondition: 0 <= code < size().
+  /// The reference stays valid for the dictionary's lifetime.
   const std::string& Decode(int64_t code) const;
 
   /// Whether `code` is a valid interned code.
-  bool Contains(int64_t code) const {
-    return code >= 0 && static_cast<size_t>(code) < strings_.size();
-  }
+  bool Contains(int64_t code) const;
 
-  int64_t size() const { return static_cast<int64_t>(strings_.size()); }
+  int64_t size() const;
 
  private:
+  mutable std::unique_ptr<std::shared_mutex> mu_ =
+      std::make_unique<std::shared_mutex>();
   std::unordered_map<std::string, int64_t> index_;
-  std::vector<std::string> strings_;
+  std::deque<std::string> strings_;
 };
 
 }  // namespace xjoin

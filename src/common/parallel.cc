@@ -1,50 +1,17 @@
 #include "common/parallel.h"
 
-#include <algorithm>
-#include <atomic>
-#include <thread>
-#include <vector>
+#include "common/executor.h"
 
 namespace xjoin {
 
-int ParallelWorkerCount(int num_threads, size_t n, size_t grain) {
-  if (num_threads <= 1 || n <= 1) return 1;
-  if (grain == 0) grain = 1;
-  size_t blocks = (n + grain - 1) / grain;
-  size_t workers = std::min<size_t>(static_cast<size_t>(num_threads), blocks);
-  return static_cast<int>(std::max<size_t>(workers, 1));
-}
-
 void ParallelForWorker(int num_threads, size_t n, size_t grain,
                        const std::function<void(int, size_t)>& fn) {
-  if (n == 0) return;
-  if (grain == 0) grain = 1;
-  const int workers = ParallelWorkerCount(num_threads, n, grain);
-  if (workers <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(0, i);
-    return;
-  }
-
-  std::atomic<size_t> cursor{0};
-  auto worker = [&](int w) {
-    for (;;) {
-      size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
-      if (begin >= n) return;
-      size_t end = std::min(begin + grain, n);
-      for (size_t i = begin; i < end; ++i) fn(w, i);
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(workers) - 1);
-  for (int t = 1; t < workers; ++t) threads.emplace_back(worker, t);
-  worker(0);  // the calling thread is worker 0
-  for (std::thread& t : threads) t.join();
+  Executor::Default()->ParallelForWorker(num_threads, n, grain, fn);
 }
 
 void ParallelFor(int num_threads, size_t n, size_t grain,
                  const std::function<void(size_t)>& fn) {
-  ParallelForWorker(num_threads, n, grain, [&fn](int, size_t i) { fn(i); });
+  Executor::Default()->ParallelFor(num_threads, n, grain, fn);
 }
 
 }  // namespace xjoin

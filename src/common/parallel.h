@@ -1,44 +1,47 @@
 // Minimal data-parallel driver for the sharded join paths. No task
-// graph, no futures: callers hand over an index space and a thread
-// budget, workers pull contiguous blocks off an atomic cursor. This is
-// deliberately the whole API — shards own their state, so the engines
-// never need locks, only a way to run K independent jobs on N threads.
+// graph, no futures: callers hand over an index space and a parallelism
+// budget, workers pull contiguous morsels off an atomic cursor. Since
+// the serving-core refactor these free functions are thin wrappers over
+// the process-wide Executor pool (common/executor.h): no call spawns
+// threads of its own anymore, so concurrent queries share one fixed set
+// of workers instead of oversubscribing the machine.
 #ifndef XJOIN_COMMON_PARALLEL_H_
 #define XJOIN_COMMON_PARALLEL_H_
 
 #include <cstddef>
 #include <functional>
 
+#include "common/executor.h"
+
 namespace xjoin {
 
-/// Runs `fn(i)` for every i in [0, n), using at most `num_threads` OS
-/// threads. Work is handed out in contiguous blocks of `grain` indices
-/// via an atomic cursor, so uneven per-index costs still balance.
+/// Runs `fn(i)` for every i in [0, n), using at most `num_threads`
+/// concurrent participants drawn from the shared Executor pool (the
+/// calling thread always participates). Work is handed out in
+/// contiguous blocks of `grain` indices via an atomic cursor, so uneven
+/// per-index costs still balance.
 ///
-/// Degenerates to a plain inline loop (no threads spawned, no locking)
-/// when `num_threads <= 1`, when `n` fits in a single block, or when the
-/// platform reports a single hardware thread — so serial callers pay
-/// nothing and behave deterministically.
+/// Degenerates to a plain inline loop (no pool interaction, no locking)
+/// when `num_threads <= 1` or when `n` fits in a single block — serial
+/// callers pay nothing and behave deterministically.
 ///
 /// `fn` must be safe to call concurrently from multiple threads whenever
-/// more than one worker may be spawned; indices are disjoint, so per-index
+/// more than one participant may run; indices are disjoint, so per-index
 /// state needs no synchronization. Exceptions thrown by `fn` must not
 /// escape it (the engines report failure through Status, not throw).
 void ParallelFor(int num_threads, size_t n, size_t grain,
                  const std::function<void(size_t)>& fn);
 
-/// Like ParallelFor, but `fn` also receives the worker index in
-/// [0, ParallelWorkerCount(num_threads, n, grain)). Callers size
-/// per-worker scratch state (e.g. Metrics bags) by that count, index it
+/// Like ParallelFor, but `fn` also receives the participant slot index
+/// in [0, ParallelWorkerCount(num_threads, n, grain)). Callers size
+/// per-slot scratch state (e.g. Metrics bags) by that count, index it
 /// race-free inside `fn`, and merge after the call returns — the
 /// pattern the engines use to keep counters exact in parallel runs.
 void ParallelForWorker(int num_threads, size_t n, size_t grain,
                        const std::function<void(int, size_t)>& fn);
 
-/// The number of worker threads ParallelFor would actually use for the
-/// given request: min(num_threads, blocks of `grain` covering n), at
-/// least 1. Exposed so callers can size per-worker scratch state.
-int ParallelWorkerCount(int num_threads, size_t n, size_t grain);
+// ParallelWorkerCount is declared in common/executor.h (included above):
+// min(num_threads, blocks of `grain` covering n), at least 1.
 
 }  // namespace xjoin
 

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

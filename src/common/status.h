@@ -23,6 +23,7 @@ enum class StatusCode : uint8_t {
   kInternal,
   kIOError,
   kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name for a StatusCode (e.g. "InvalidArgument").
@@ -66,6 +67,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

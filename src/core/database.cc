@@ -30,13 +30,68 @@ std::string PathTrieKey(const std::string& doc_name, uint64_t version,
 
 // Plan-cache key: canonical query spelling + options fingerprint, so
 // "Q(*) := R,S" and "Q(*):=R, S" share a plan while num_threads or
-// structural_pruning variants get distinct ones.
+// structural_pruning variants get distinct ones. Per-call services
+// (metrics, providers, budget, executor) are not in the fingerprint.
 std::string PlanCacheKey(const std::string& text, const XJoinOptions& options) {
   return CanonicalizeQueryText(text) + "\x1F" +
          HashToHex(PlanFingerprint(options));
 }
 
+// Whether every source the plan read exists in the snapshot at the
+// same version (the hit condition for a session).
+bool PlanMatchesSnapshot(const XJoinPlan& plan,
+                         const internal::DatabaseSnapshot& snap) {
+  for (const auto& source : plan.sources) {
+    if (source.is_document) {
+      auto it = snap.documents.find(source.name);
+      if (it == snap.documents.end() || it->second.version != source.version) {
+        return false;
+      }
+    } else {
+      auto it = snap.relations.find(source.name);
+      if (it == snap.relations.end() || it->second.version != source.version) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Document name for a NodeIndex pointer within a snapshot; empty if the
+// index is foreign (not part of this snapshot).
+std::string SnapshotDocumentNameOf(const internal::DatabaseSnapshot& snap,
+                                   const NodeIndex* index) {
+  for (const auto& [name, doc] : snap.documents) {
+    if (doc.index.get() == index) return name;
+  }
+  return std::string();
+}
+
+// Splits on commas at bracket depth zero (twig branches keep their
+// commas).
+std::vector<std::string> SplitTopLevel(std::string_view text) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Registration and the copy-on-swap registry
+// ---------------------------------------------------------------------------
 
 Status MultiModelDatabase::RegisterRelationCsv(const std::string& name,
                                                std::string_view csv,
@@ -48,23 +103,302 @@ Status MultiModelDatabase::RegisterRelationCsv(const std::string& name,
 Status MultiModelDatabase::RegisterRelation(const std::string& name,
                                             Relation relation) {
   if (name.empty()) return Status::InvalidArgument("empty relation name");
+  auto shared = std::make_shared<const Relation>(std::move(relation));
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
   if (relations_.count(name) || documents_.count(name)) {
     return Status::AlreadyExists(name + " is already registered");
   }
-  relations_.emplace(name, RelationEntry(std::move(relation)));
+  relations_.emplace(name, RelationEntry{std::move(shared), 0});
   return Status::OK();
 }
 
 Status MultiModelDatabase::UpdateRelation(const std::string& name,
                                           Relation relation) {
-  auto it = relations_.find(name);
-  if (it == relations_.end()) return Status::NotFound("no relation " + name);
-  it->second.relation = std::move(relation);
-  ++it->second.version;
+  auto shared = std::make_shared<const Relation>(std::move(relation));
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    auto it = relations_.find(name);
+    if (it == relations_.end()) return Status::NotFound("no relation " + name);
+    // Copy-on-swap: the old shared_ptr stays alive while any session,
+    // plan, or in-flight query pins it; new snapshots see the new one.
+    it->second.relation = std::move(shared);
+    ++it->second.version;
+  }
+  // Cache invalidation after releasing the registry lock (lock order:
+  // never hold registry_mu_ while taking a cache mutex).
   InvalidateTrieCache(name);
   InvalidatePlans(name);
   return Status::OK();
 }
+
+Status MultiModelDatabase::RegisterDocumentXml(const std::string& name,
+                                               std::string_view xml,
+                                               ValuePolicy policy) {
+  XJ_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml));
+  return RegisterDocument(name, std::move(doc), policy);
+}
+
+Status MultiModelDatabase::RegisterDocument(const std::string& name,
+                                            XmlDocument doc,
+                                            ValuePolicy policy) {
+  if (name.empty()) return Status::InvalidArgument("empty document name");
+  // Build the index outside the lock (indexing is the expensive part;
+  // Dictionary::Intern synchronizes internally).
+  auto doc_shared = std::make_shared<const XmlDocument>(std::move(doc));
+  auto index = std::make_shared<const NodeIndex>(
+      NodeIndex::Build(doc_shared.get(), &dict_, policy));
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  if (relations_.count(name) || documents_.count(name)) {
+    return Status::AlreadyExists(name + " is already registered");
+  }
+  documents_.emplace(
+      name, DocumentEntry{std::move(doc_shared), std::move(index), 0});
+  return Status::OK();
+}
+
+Status MultiModelDatabase::UpdateDocumentXml(const std::string& name,
+                                             std::string_view xml,
+                                             ValuePolicy policy) {
+  XJ_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml));
+  return UpdateDocument(name, std::move(doc), policy);
+}
+
+Status MultiModelDatabase::UpdateDocument(const std::string& name,
+                                          XmlDocument doc,
+                                          ValuePolicy policy) {
+  auto doc_shared = std::make_shared<const XmlDocument>(std::move(doc));
+  auto index = std::make_shared<const NodeIndex>(
+      NodeIndex::Build(doc_shared.get(), &dict_, policy));
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    auto it = documents_.find(name);
+    if (it == documents_.end()) return Status::NotFound("no document " + name);
+    it->second.doc = std::move(doc_shared);
+    it->second.index = std::move(index);
+    ++it->second.version;
+  }
+  InvalidateTrieCache(name);
+  InvalidatePlans(name);
+  return Status::OK();
+}
+
+Result<const Relation*> MultiModelDatabase::relation(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("no relation " + name);
+  return it->second.relation.get();
+}
+
+Result<const NodeIndex*> MultiModelDatabase::document_index(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  auto it = documents_.find(name);
+  if (it == documents_.end()) return Status::NotFound("no document " + name);
+  return it->second.index.get();
+}
+
+std::vector<std::string> MultiModelDatabase::RelationNames() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, entry] : relations_) {
+    (void)entry;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> MultiModelDatabase::DocumentNames() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  std::vector<std::string> names;
+  names.reserve(documents_.size());
+  for (const auto& [name, doc] : documents_) {
+    (void)doc;
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<uint64_t> MultiModelDatabase::relation_version(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("no relation " + name);
+  return it->second.version;
+}
+
+Result<uint64_t> MultiModelDatabase::document_version(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  auto it = documents_.find(name);
+  if (it == documents_.end()) return Status::NotFound("no document " + name);
+  return it->second.version;
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const internal::DatabaseSnapshot>
+MultiModelDatabase::TakeSnapshot() const {
+  auto snap = std::make_shared<internal::DatabaseSnapshot>();
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  for (const auto& [name, entry] : relations_) {
+    snap->relations.emplace(
+        name, internal::SnapshotRelation{entry.relation, entry.version});
+  }
+  for (const auto& [name, entry] : documents_) {
+    snap->documents.emplace(
+        name,
+        internal::SnapshotDocument{entry.doc, entry.index, entry.version});
+  }
+  return snap;
+}
+
+Session MultiModelDatabase::OpenSession() const {
+  return Session(this, TakeSnapshot());
+}
+
+Result<Relation> Session::Query(const std::string& text,
+                                const QueryOptions& options) const {
+  return db_->RunQuery(text, options, snap_);
+}
+
+Result<PreparedQuery> Session::Prepare(const std::string& text,
+                                       const QueryOptions& options) const {
+  XJoinOptions xopts = options.xjoin;
+  if (xopts.metrics == nullptr) xopts.metrics = options.metrics;
+  XJ_ASSIGN_OR_RETURN(std::shared_ptr<const XJoinPlan> plan,
+                      db_->PreparePlanSnapshot(text, xopts, snap_));
+  return PreparedQuery{std::move(plan)};
+}
+
+Result<Relation> Session::Execute(const PreparedQuery& prepared,
+                                  const QueryOptions& options) const {
+  if (prepared.plan == nullptr) {
+    return Status::InvalidArgument("empty PreparedQuery");
+  }
+  return db_->RunPlan(*prepared.plan, options);
+}
+
+Result<std::string> Session::Explain(const std::string& text,
+                                     const QueryOptions& options) const {
+  XJoinOptions xopts = options.xjoin;
+  if (xopts.metrics == nullptr) xopts.metrics = options.metrics;
+  XJ_ASSIGN_OR_RETURN(std::shared_ptr<const XJoinPlan> plan,
+                      db_->PreparePlanSnapshot(text, xopts, snap_));
+  std::string out = "query: " + CanonicalizeQueryText(text) + "\n";
+  out += ExplainPlan(*plan);
+  CacheStats stats = db_->cache_stats();
+  out += "plan cache: " + std::to_string(stats.plan_hits) + " hits, " +
+         std::to_string(stats.plan_misses) + " misses, " +
+         std::to_string(stats.plan_invalidations) +
+         " invalidations (key = canonical text + options fingerprint)\n";
+  out += "trie cache: " + std::to_string(stats.trie_entries) + " tries, " +
+         std::to_string(stats.trie_bytes) + " bytes (budget " +
+         std::to_string(stats.trie_budget) + "), " +
+         std::to_string(stats.trie_hits) + " hits, " +
+         std::to_string(stats.trie_misses) + " misses, " +
+         std::to_string(stats.trie_evictions) + " evictions\n";
+  return out;
+}
+
+std::vector<std::string> Session::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(snap_->relations.size());
+  for (const auto& [name, entry] : snap_->relations) {
+    (void)entry;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> Session::DocumentNames() const {
+  std::vector<std::string> names;
+  names.reserve(snap_->documents.size());
+  for (const auto& [name, doc] : snap_->documents) {
+    (void)doc;
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<uint64_t> Session::relation_version(const std::string& name) const {
+  auto it = snap_->relations.find(name);
+  if (it == snap_->relations.end()) {
+    return Status::NotFound("no relation " + name);
+  }
+  return it->second.version;
+}
+
+Result<uint64_t> Session::document_version(const std::string& name) const {
+  auto it = snap_->documents.find(name);
+  if (it == snap_->documents.end()) {
+    return Status::NotFound("no document " + name);
+  }
+  return it->second.version;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (against a snapshot)
+// ---------------------------------------------------------------------------
+
+Result<MultiModelQuery> MultiModelDatabase::ParseQuery(
+    const std::string& text, const internal::DatabaseSnapshot& snap) const {
+  MultiModelQuery query;
+  std::string_view rest = TrimWhitespace(text);
+
+  // Optional head "Name(attrs) :=".
+  auto assign = rest.find(":=");
+  if (assign != std::string_view::npos) {
+    std::string_view head = TrimWhitespace(rest.substr(0, assign));
+    rest = TrimWhitespace(rest.substr(assign + 2));
+    auto open = head.find('(');
+    if (open == std::string_view::npos || head.back() != ')') {
+      return Status::ParseError("query head must look like Q(a, b)");
+    }
+    std::string_view attrs = head.substr(open + 1, head.size() - open - 2);
+    if (TrimWhitespace(attrs) != "*") {
+      for (const auto& part : SplitString(attrs, ',')) {
+        std::string attr(TrimWhitespace(part));
+        if (attr.empty()) return Status::ParseError("empty output attribute");
+        query.output_attributes.push_back(std::move(attr));
+      }
+    }
+  }
+  if (rest.empty()) return Status::ParseError("query has no inputs");
+
+  for (const auto& part : SplitTopLevel(rest)) {
+    std::string_view input = TrimWhitespace(part);
+    if (input.empty()) return Status::ParseError("empty query input");
+    auto colon = input.find(':');
+    if (colon == std::string_view::npos) {
+      // Relation reference, bound to the snapshot's pinned storage.
+      std::string name(input);
+      auto it = snap.relations.find(name);
+      if (it == snap.relations.end()) {
+        return Status::NotFound("no relation " + name);
+      }
+      query.relations.push_back({name, it->second.relation.get()});
+    } else {
+      std::string doc_name(TrimWhitespace(input.substr(0, colon)));
+      std::string pattern(TrimWhitespace(input.substr(colon + 1)));
+      auto it = snap.documents.find(doc_name);
+      if (it == snap.documents.end()) {
+        return Status::NotFound("no document " + doc_name);
+      }
+      XJ_ASSIGN_OR_RETURN(Twig twig, Twig::Parse(pattern));
+      query.twigs.push_back(TwigInput{std::move(twig), it->second.index.get()});
+    }
+  }
+  XJ_RETURN_NOT_OK(ValidateQuery(query));
+  return query;
+}
+
+// ---------------------------------------------------------------------------
+// Trie cache
+// ---------------------------------------------------------------------------
 
 std::shared_ptr<const RelationTrie> MultiModelDatabase::TrieCacheLookupLocked(
     const std::string& key) const {
@@ -134,122 +468,26 @@ size_t MultiModelDatabase::trie_cache_budget() const {
   return trie_cache_budget_;
 }
 
-size_t MultiModelDatabase::TrieCacheSize() const {
-  std::lock_guard<std::mutex> lock(trie_cache_mu_);
-  return trie_lru_.size();
-}
-
-size_t MultiModelDatabase::trie_cache_bytes() const {
-  std::lock_guard<std::mutex> lock(trie_cache_mu_);
-  return trie_cache_bytes_;
-}
-
-int64_t MultiModelDatabase::trie_cache_hits() const {
-  std::lock_guard<std::mutex> lock(trie_cache_mu_);
-  return trie_cache_hits_;
-}
-
-int64_t MultiModelDatabase::trie_cache_misses() const {
-  std::lock_guard<std::mutex> lock(trie_cache_mu_);
-  return trie_cache_misses_;
-}
-
-int64_t MultiModelDatabase::trie_cache_evictions() const {
-  std::lock_guard<std::mutex> lock(trie_cache_mu_);
-  return trie_cache_evictions_;
-}
-
-void MultiModelDatabase::ClearPlanCache() {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
-  plan_cache_.clear();
-  plan_lru_.clear();
-}
-
-void MultiModelDatabase::SetPlanCacheCapacity(size_t max_plans) {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
-  plan_cache_capacity_ = max_plans;
-  while (plan_cache_.size() > plan_cache_capacity_) {
-    plan_cache_.erase(plan_lru_.back());
-    plan_lru_.pop_back();
-    ++plan_cache_evictions_;
-  }
-}
-
-size_t MultiModelDatabase::plan_cache_capacity() const {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
-  return plan_cache_capacity_;
-}
-
-size_t MultiModelDatabase::PlanCacheSize() const {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
-  return plan_cache_.size();
-}
-
-int64_t MultiModelDatabase::plan_cache_hits() const {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
-  return plan_cache_hits_;
-}
-
-int64_t MultiModelDatabase::plan_cache_misses() const {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
-  return plan_cache_misses_;
-}
-
-int64_t MultiModelDatabase::plan_cache_invalidations() const {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
-  return plan_cache_invalidations_;
-}
-
-int64_t MultiModelDatabase::plan_cache_evictions() const {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
-  return plan_cache_evictions_;
-}
-
-void MultiModelDatabase::InvalidatePlans(const std::string& name) {
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
-  for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
-    const auto& sources = it->second.plan->sources;
-    bool depends = std::any_of(
-        sources.begin(), sources.end(),
-        [&name](const XJoinPlan::SourceVersion& s) { return s.name == name; });
-    if (depends) {
-      plan_lru_.erase(it->second.lru);
-      it = plan_cache_.erase(it);
-      ++plan_cache_invalidations_;
-    } else {
-      ++it;
-    }
-  }
-}
-
-Result<uint64_t> MultiModelDatabase::relation_version(
-    const std::string& name) const {
-  auto it = relations_.find(name);
-  if (it == relations_.end()) return Status::NotFound("no relation " + name);
-  return it->second.version;
-}
-
-Result<uint64_t> MultiModelDatabase::document_version(
-    const std::string& name) const {
-  auto it = documents_.find(name);
-  if (it == documents_.end()) return Status::NotFound("no document " + name);
-  return it->second.version;
-}
-
-TrieProvider MultiModelDatabase::CacheTrieProvider(Metrics* metrics,
-                                                   int num_threads) const {
+TrieProvider MultiModelDatabase::CacheTrieProvider(
+    std::shared_ptr<const internal::DatabaseSnapshot> snap, Metrics* metrics,
+    int num_threads) const {
   const MultiModelDatabase* self = this;
-  return [self, metrics, num_threads](
+  return [self, snap = std::move(snap), metrics, num_threads](
              const std::string& name, const Relation& relation,
              const std::vector<std::string>& order)
              -> Result<std::shared_ptr<const RelationTrie>> {
-    auto entry = self->relations_.find(name);
-    if (entry == self->relations_.end() ||
-        &entry->second.relation != &relation) {
-      // Not one of our registered relations (defensive: a provider is
+    auto entry = snap->relations.find(name);
+    if (entry == snap->relations.end() ||
+        entry->second.relation.get() != &relation) {
+      // Not one of the snapshot's relations (defensive: a provider is
       // only as good as its key) — let the engine build privately.
       return std::shared_ptr<const RelationTrie>();
     }
+    // The key embeds the snapshot version, so an old session can never
+    // be served a trie over newer data (and vice versa). Inserting an
+    // old-version trie after an update is harmless: it can only be hit
+    // by sessions on the same version, and the update's owner-wide
+    // invalidation / LRU pressure reclaims it.
     std::string key = RelationTrieKey(name, entry->second.version, order);
     {
       std::lock_guard<std::mutex> lock(self->trie_cache_mu_);
@@ -281,17 +519,18 @@ TrieProvider MultiModelDatabase::CacheTrieProvider(Metrics* metrics,
 }
 
 PathTrieProvider MultiModelDatabase::CachePathTrieProvider(
-    Metrics* metrics, int num_threads) const {
+    std::shared_ptr<const internal::DatabaseSnapshot> snap, Metrics* metrics,
+    int num_threads) const {
   const MultiModelDatabase* self = this;
-  return [self, metrics, num_threads](const PathRelation& relation,
-                                      const std::string& signature)
+  return [self, snap = std::move(snap), metrics, num_threads](
+             const PathRelation& relation, const std::string& signature)
              -> Result<std::shared_ptr<const RelationTrie>> {
-    std::string doc_name = self->DocumentNameOf(&relation.index());
+    std::string doc_name = SnapshotDocumentNameOf(*snap, &relation.index());
     if (doc_name.empty()) {
       // A foreign document — no identity, no caching.
       return std::shared_ptr<const RelationTrie>();
     }
-    uint64_t version = self->documents_.find(doc_name)->second.version;
+    uint64_t version = snap->documents.find(doc_name)->second.version;
     std::string key = PathTrieKey(doc_name, version, signature);
     {
       std::lock_guard<std::mutex> lock(self->trie_cache_mu_);
@@ -321,230 +560,194 @@ PathTrieProvider MultiModelDatabase::CachePathTrieProvider(
   };
 }
 
-std::string MultiModelDatabase::DocumentNameOf(const NodeIndex* index) const {
-  for (const auto& [name, doc] : documents_) {
-    if (doc.index.get() == index) return name;
+// ---------------------------------------------------------------------------
+// Plan cache (snapshot-aware)
+// ---------------------------------------------------------------------------
+
+void MultiModelDatabase::ClearPlanCache() {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  plan_cache_.clear();
+  plan_lru_.clear();
+}
+
+void MultiModelDatabase::SetPlanCacheCapacity(size_t max_plans) {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  plan_cache_capacity_ = max_plans;
+  while (plan_cache_.size() > plan_cache_capacity_) {
+    plan_cache_.erase(plan_lru_.back());
+    plan_lru_.pop_back();
+    ++plan_cache_evictions_;
   }
-  return std::string();
 }
 
-Status MultiModelDatabase::RegisterDocumentXml(const std::string& name,
-                                               std::string_view xml,
-                                               ValuePolicy policy) {
-  XJ_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml));
-  return RegisterDocument(name, std::move(doc), policy);
+size_t MultiModelDatabase::plan_cache_capacity() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  return plan_cache_capacity_;
 }
 
-Status MultiModelDatabase::RegisterDocument(const std::string& name,
-                                            XmlDocument doc,
-                                            ValuePolicy policy) {
-  if (name.empty()) return Status::InvalidArgument("empty document name");
-  if (relations_.count(name) || documents_.count(name)) {
-    return Status::AlreadyExists(name + " is already registered");
-  }
-  Document entry;
-  entry.doc = std::make_unique<XmlDocument>(std::move(doc));
-  entry.index = std::make_unique<NodeIndex>(
-      NodeIndex::Build(entry.doc.get(), &dict_, policy));
-  documents_.emplace(name, std::move(entry));
-  return Status::OK();
-}
-
-Status MultiModelDatabase::UpdateDocumentXml(const std::string& name,
-                                             std::string_view xml,
-                                             ValuePolicy policy) {
-  XJ_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xml));
-  return UpdateDocument(name, std::move(doc), policy);
-}
-
-Status MultiModelDatabase::UpdateDocument(const std::string& name,
-                                          XmlDocument doc,
-                                          ValuePolicy policy) {
-  auto it = documents_.find(name);
-  if (it == documents_.end()) return Status::NotFound("no document " + name);
-  it->second.doc = std::make_unique<XmlDocument>(std::move(doc));
-  it->second.index = std::make_unique<NodeIndex>(
-      NodeIndex::Build(it->second.doc.get(), &dict_, policy));
-  ++it->second.version;
-  InvalidateTrieCache(name);
-  InvalidatePlans(name);
-  return Status::OK();
-}
-
-Result<const Relation*> MultiModelDatabase::relation(
-    const std::string& name) const {
-  auto it = relations_.find(name);
-  if (it == relations_.end()) return Status::NotFound("no relation " + name);
-  return &it->second.relation;
-}
-
-Result<const NodeIndex*> MultiModelDatabase::document_index(
-    const std::string& name) const {
-  auto it = documents_.find(name);
-  if (it == documents_.end()) return Status::NotFound("no document " + name);
-  return it->second.index.get();
-}
-
-std::vector<std::string> MultiModelDatabase::RelationNames() const {
-  std::vector<std::string> names;
-  for (const auto& [name, entry] : relations_) {
-    (void)entry;
-    names.push_back(name);
-  }
-  return names;
-}
-
-std::vector<std::string> MultiModelDatabase::DocumentNames() const {
-  std::vector<std::string> names;
-  for (const auto& [name, doc] : documents_) {
-    (void)doc;
-    names.push_back(name);
-  }
-  return names;
-}
-
-namespace {
-
-// Splits on commas at bracket depth zero (twig branches keep their
-// commas).
-std::vector<std::string> SplitTopLevel(std::string_view text) {
-  std::vector<std::string> parts;
-  std::string current;
-  int depth = 0;
-  for (char c : text) {
-    if (c == '[') ++depth;
-    if (c == ']') --depth;
-    if (c == ',' && depth == 0) {
-      parts.push_back(current);
-      current.clear();
+void MultiModelDatabase::InvalidatePlans(const std::string& name) {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
+    const auto& sources = it->second.plan->sources;
+    bool depends = std::any_of(
+        sources.begin(), sources.end(),
+        [&name](const XJoinPlan::SourceVersion& s) { return s.name == name; });
+    if (depends) {
+      plan_lru_.erase(it->second.lru);
+      it = plan_cache_.erase(it);
+      ++plan_cache_invalidations_;
     } else {
-      current += c;
+      ++it;
     }
   }
-  parts.push_back(current);
-  return parts;
 }
 
-}  // namespace
-
-Result<PreparedQuery> MultiModelDatabase::Prepare(
-    const std::string& text) const {
-  PreparedQuery prepared;
-  std::string_view rest = TrimWhitespace(text);
-
-  // Optional head "Name(attrs) :=".
-  auto assign = rest.find(":=");
-  if (assign != std::string_view::npos) {
-    std::string_view head = TrimWhitespace(rest.substr(0, assign));
-    rest = TrimWhitespace(rest.substr(assign + 2));
-    auto open = head.find('(');
-    if (open == std::string_view::npos || head.back() != ')') {
-      return Status::ParseError("query head must look like Q(a, b)");
-    }
-    std::string_view attrs = head.substr(open + 1, head.size() - open - 2);
-    if (TrimWhitespace(attrs) != "*") {
-      for (const auto& part : SplitString(attrs, ',')) {
-        std::string attr(TrimWhitespace(part));
-        if (attr.empty()) return Status::ParseError("empty output attribute");
-        prepared.query.output_attributes.push_back(std::move(attr));
-      }
-    }
-  }
-  if (rest.empty()) return Status::ParseError("query has no inputs");
-
-  for (const auto& part : SplitTopLevel(rest)) {
-    std::string_view input = TrimWhitespace(part);
-    if (input.empty()) return Status::ParseError("empty query input");
-    auto colon = input.find(':');
-    if (colon == std::string_view::npos) {
-      // Relation reference.
-      std::string name(input);
-      auto rel = relation(name);
-      if (!rel.ok()) return rel.status();
-      prepared.query.relations.push_back({name, *rel});
-    } else {
-      std::string doc_name(TrimWhitespace(input.substr(0, colon)));
-      std::string pattern(TrimWhitespace(input.substr(colon + 1)));
-      auto index = document_index(doc_name);
-      if (!index.ok()) return index.status();
-      XJ_ASSIGN_OR_RETURN(Twig twig, Twig::Parse(pattern));
-      prepared.query.twigs.push_back(TwigInput{std::move(twig), *index});
-    }
-  }
-  XJ_RETURN_NOT_OK(ValidateQuery(prepared.query));
-  return prepared;
+CacheStats MultiModelDatabase::cache_stats() const {
+  CacheStats stats;
+  // Lock order: trie then plan (nowhere does the reverse nesting
+  // exist); each section is read atomically under its own mutex.
+  std::lock_guard<std::mutex> trie_lock(trie_cache_mu_);
+  std::lock_guard<std::mutex> plan_lock(plan_cache_mu_);
+  stats.trie_entries = trie_lru_.size();
+  stats.trie_bytes = trie_cache_bytes_;
+  stats.trie_budget = trie_cache_budget_;
+  stats.trie_hits = trie_cache_hits_;
+  stats.trie_misses = trie_cache_misses_;
+  stats.trie_evictions = trie_cache_evictions_;
+  stats.plan_entries = plan_cache_.size();
+  stats.plan_capacity = plan_cache_capacity_;
+  stats.plan_hits = plan_cache_hits_;
+  stats.plan_misses = plan_cache_misses_;
+  stats.plan_invalidations = plan_cache_invalidations_;
+  stats.plan_evictions = plan_cache_evictions_;
+  return stats;
 }
 
-Result<std::shared_ptr<const XJoinPlan>> MultiModelDatabase::PreparePlan(
-    const std::string& text, const XJoinOptions& options) const {
+Result<std::shared_ptr<const XJoinPlan>>
+MultiModelDatabase::PreparePlanSnapshot(
+    const std::string& text, const XJoinOptions& options,
+    const std::shared_ptr<const internal::DatabaseSnapshot>& snap) const {
   std::string key = PlanCacheKey(text, options);
 
-  // Cache lookup + version re-validation. A plan whose recorded input
-  // versions no longer match current storage is stale (e.g. a back-door
-  // mutation that skipped Update*) and gets dropped here.
+  // Cache lookup, validated against the *snapshot's* versions.
   {
     std::lock_guard<std::mutex> lock(plan_cache_mu_);
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
-      bool valid = true;
-      for (const auto& source : it->second.plan->sources) {
-        auto version = source.is_document ? document_version(source.name)
-                                          : relation_version(source.name);
-        if (!version.ok() || *version != source.version) {
-          valid = false;
-          break;
-        }
-      }
-      if (valid) {
+      if (PlanMatchesSnapshot(*it->second.plan, *snap)) {
         plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.lru);
         ++plan_cache_hits_;
         MetricsAdd(options.metrics, "db.plan_cache.hits", 1);
         return it->second.plan;
       }
-      plan_lru_.erase(it->second.lru);
-      plan_cache_.erase(it);
-      ++plan_cache_invalidations_;
+      // The entry doesn't serve this snapshot. Drop it only when it is
+      // also stale for the *current* registry (a back-door mutation or
+      // missed invalidation); when it is merely newer than this — old —
+      // session's snapshot, leave it for current sessions and build
+      // privately below. Taking registry_mu_ shared under
+      // plan_cache_mu_ follows the documented lock order.
+      bool current_valid = true;
+      {
+        std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+        for (const auto& source : it->second.plan->sources) {
+          if (source.is_document) {
+            auto doc = documents_.find(source.name);
+            if (doc == documents_.end() ||
+                doc->second.version != source.version) {
+              current_valid = false;
+              break;
+            }
+          } else {
+            auto rel = relations_.find(source.name);
+            if (rel == relations_.end() ||
+                rel->second.version != source.version) {
+              current_valid = false;
+              break;
+            }
+          }
+        }
+      }
+      if (!current_valid) {
+        plan_lru_.erase(it->second.lru);
+        plan_cache_.erase(it);
+        ++plan_cache_invalidations_;
+      }
     }
   }
 
-  // Miss: parse, wire the database caches in (unless the caller brought
-  // providers), prepare, snapshot input versions, publish.
-  XJ_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
+  // Miss: parse against the snapshot, wire the database caches in
+  // (unless the caller brought providers), prepare, record sources and
+  // pins, publish.
+  XJ_ASSIGN_OR_RETURN(MultiModelQuery query, ParseQuery(text, *snap));
   XJoinOptions prepare_options = options;
   int num_threads = std::max(1, options.num_threads);
   if (!prepare_options.trie_provider) {
     prepare_options.trie_provider =
-        CacheTrieProvider(options.metrics, num_threads);
+        CacheTrieProvider(snap, options.metrics, num_threads);
   }
   if (!prepare_options.path_trie_provider) {
     prepare_options.path_trie_provider =
-        CachePathTrieProvider(options.metrics, num_threads);
+        CachePathTrieProvider(snap, options.metrics, num_threads);
   }
   XJ_ASSIGN_OR_RETURN(std::shared_ptr<XJoinPlan> plan,
-                      PrepareXJoin(prepared.query, prepare_options));
+                      PrepareXJoin(query, prepare_options));
   for (const auto& nr : plan->query.relations) {
-    XJ_ASSIGN_OR_RETURN(uint64_t version, relation_version(nr.name));
-    plan->sources.push_back({nr.name, /*is_document=*/false, version});
+    auto it = snap->relations.find(nr.name);
+    if (it == snap->relations.end()) continue;  // defensive; parse bound it
+    plan->sources.push_back({nr.name, /*is_document=*/false,
+                             it->second.version});
+    // Pin the snapshot storage the plan's raw pointers reference, so
+    // the plan outlives any later copy-on-swap of the registry entry.
+    plan->pins.push_back(it->second.relation);
   }
   for (const auto& ti : plan->query.twigs) {
-    std::string doc_name = DocumentNameOf(ti.index);
-    if (doc_name.empty()) continue;  // defensive; Prepare binds our docs
-    XJ_ASSIGN_OR_RETURN(uint64_t version, document_version(doc_name));
-    plan->sources.push_back({doc_name, /*is_document=*/true, version});
+    std::string doc_name = SnapshotDocumentNameOf(*snap, ti.index);
+    if (doc_name.empty()) continue;  // defensive; parse binds our docs
+    auto it = snap->documents.find(doc_name);
+    plan->sources.push_back({doc_name, /*is_document=*/true,
+                             it->second.version});
+    plan->pins.push_back(it->second.index);
+    plan->pins.push_back(it->second.doc);
   }
   plan->cache_key = key;
   std::shared_ptr<const XJoinPlan> shared = std::move(plan);
 
+  // Publish — but only when the plan's versions still match the
+  // *current* registry. A plan prepared on an old snapshot stays
+  // private to its session: inserting it would poison the cache for
+  // new sessions (their validation would drop it, thrashing).
+  bool current_valid = true;
+  {
+    std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
+    for (const auto& source : shared->sources) {
+      if (source.is_document) {
+        auto doc = documents_.find(source.name);
+        if (doc == documents_.end() ||
+            doc->second.version != source.version) {
+          current_valid = false;
+          break;
+        }
+      } else {
+        auto rel = relations_.find(source.name);
+        if (rel == relations_.end() ||
+            rel->second.version != source.version) {
+          current_valid = false;
+          break;
+        }
+      }
+    }
+  }
   std::lock_guard<std::mutex> lock(plan_cache_mu_);
   ++plan_cache_misses_;
   MetricsAdd(options.metrics, "db.plan_cache.misses", 1);
-  if (plan_cache_.count(key) == 0 && plan_cache_capacity_ > 0) {
+  if (current_valid && plan_cache_.count(key) == 0 &&
+      plan_cache_capacity_ > 0) {
     plan_lru_.push_front(key);
     plan_cache_.emplace(std::move(key),
                         PlanCacheEntry{shared, plan_lru_.begin()});
     // LRU capacity bound: evicting a plan also releases its pinned
-    // tries (the trie byte budget bounds the cache, this bounds the
-    // pins).
+    // tries and storage (the trie byte budget bounds the cache, this
+    // bounds the pins).
     while (plan_cache_.size() > plan_cache_capacity_) {
       plan_cache_.erase(plan_lru_.back());
       plan_lru_.pop_back();
@@ -554,44 +757,113 @@ Result<std::shared_ptr<const XJoinPlan>> MultiModelDatabase::PreparePlan(
   return shared;
 }
 
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+Result<Relation> MultiModelDatabase::RunPlan(const XJoinPlan& plan,
+                                             const QueryOptions& options)
+    const {
+  // The budget clock starts here — planning/cache time is not charged,
+  // execution time is.
+  BudgetTracker budget(options.max_rows, options.max_bytes,
+                       options.deadline_micros);
+  if (options.engine == Engine::kBaseline) {
+    // The baseline engine has no mid-flight hooks; budgets are enforced
+    // post-hoc on the combined result (the deadline still cuts callers
+    // off with a typed Status, just after the work instead of during).
+    BaselineOptions baseline_options;
+    baseline_options.metrics = options.metrics;
+    XJ_ASSIGN_OR_RETURN(Relation result,
+                        ExecuteBaseline(plan.query, baseline_options));
+    if (budget.limited()) {
+      auto rows = static_cast<int64_t>(result.num_rows());
+      budget.ChargeRows(rows,
+                        rows * 8 * static_cast<int64_t>(result.num_columns()));
+      budget.CheckDeadline();
+      if (budget.violated()) return budget.status();
+    }
+    return result;
+  }
+  XJoinOptions exec_options = options.xjoin;
+  if (exec_options.metrics == nullptr) exec_options.metrics = options.metrics;
+  if (budget.limited()) exec_options.budget = &budget;
+  return ExecutePlan(plan, exec_options);
+}
+
+Result<Relation> MultiModelDatabase::RunQuery(
+    const std::string& text, const QueryOptions& options,
+    const std::shared_ptr<const internal::DatabaseSnapshot>& snap) const {
+  if (options.engine == Engine::kBaseline) {
+    // Baseline evaluation needs no plan — parse and evaluate directly
+    // (planning would build tries the baseline never uses).
+    XJ_ASSIGN_OR_RETURN(MultiModelQuery query, ParseQuery(text, *snap));
+    BudgetTracker budget(options.max_rows, options.max_bytes,
+                         options.deadline_micros);
+    BaselineOptions baseline_options;
+    baseline_options.metrics = options.metrics;
+    XJ_ASSIGN_OR_RETURN(Relation result,
+                        ExecuteBaseline(query, baseline_options));
+    if (budget.limited()) {
+      auto rows = static_cast<int64_t>(result.num_rows());
+      budget.ChargeRows(rows,
+                        rows * 8 * static_cast<int64_t>(result.num_columns()));
+      budget.CheckDeadline();
+      if (budget.violated()) return budget.status();
+    }
+    return result;
+  }
+  XJoinOptions xopts = options.xjoin;
+  if (xopts.metrics == nullptr) xopts.metrics = options.metrics;
+  XJ_ASSIGN_OR_RETURN(std::shared_ptr<const XJoinPlan> plan,
+                      PreparePlanSnapshot(text, xopts, snap));
+  return RunPlan(*plan, options);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated one-shot entry points (thin wrappers over a throwaway
+// snapshot; see the README migration table)
+// ---------------------------------------------------------------------------
+
+Result<Relation> MultiModelDatabase::Query(const std::string& text,
+                                           const QueryOptions& options) const {
+  return RunQuery(text, options, TakeSnapshot());
+}
+
 Result<Relation> MultiModelDatabase::Query(const std::string& text,
                                            Engine engine,
                                            Metrics* metrics) const {
-  if (engine == Engine::kXJoin) {
-    XJoinOptions options;
-    options.metrics = metrics;
-    return QueryXJoin(text, std::move(options));
-  }
-  XJ_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
-  BaselineOptions options;
+  QueryOptions options;
+  options.engine = engine;
   options.metrics = metrics;
-  return ExecuteBaseline(prepared.query, options);
+  return RunQuery(text, options, TakeSnapshot());
 }
 
 Result<Relation> MultiModelDatabase::QueryXJoin(const std::string& text,
                                                 XJoinOptions options) const {
+  QueryOptions query_options;
+  query_options.xjoin = std::move(options);
+  return RunQuery(text, query_options, TakeSnapshot());
+}
+
+Result<PreparedQuery> MultiModelDatabase::Prepare(
+    const std::string& text) const {
   XJ_ASSIGN_OR_RETURN(std::shared_ptr<const XJoinPlan> plan,
-                      PreparePlan(text, options));
-  return ExecutePlan(*plan, options);
+                      PreparePlanSnapshot(text, XJoinOptions{},
+                                          TakeSnapshot()));
+  return PreparedQuery{std::move(plan)};
+}
+
+Result<std::shared_ptr<const XJoinPlan>> MultiModelDatabase::PreparePlan(
+    const std::string& text, const XJoinOptions& options) const {
+  return PreparePlanSnapshot(text, options, TakeSnapshot());
 }
 
 Result<std::string> MultiModelDatabase::ExplainXJoin(
     const std::string& text, const XJoinOptions& options) const {
-  XJ_ASSIGN_OR_RETURN(std::shared_ptr<const XJoinPlan> plan,
-                      PreparePlan(text, options));
-  std::string out = "query: " + CanonicalizeQueryText(text) + "\n";
-  out += ExplainPlan(*plan);
-  out += "plan cache: " + std::to_string(plan_cache_hits()) + " hits, " +
-         std::to_string(plan_cache_misses()) + " misses, " +
-         std::to_string(plan_cache_invalidations()) +
-         " invalidations (key = canonical text + options fingerprint)\n";
-  out += "trie cache: " + std::to_string(TrieCacheSize()) + " tries, " +
-         std::to_string(trie_cache_bytes()) + " bytes (budget " +
-         std::to_string(trie_cache_budget()) + "), " +
-         std::to_string(trie_cache_hits()) + " hits, " +
-         std::to_string(trie_cache_misses()) + " misses, " +
-         std::to_string(trie_cache_evictions()) + " evictions\n";
-  return out;
+  QueryOptions query_options;
+  query_options.xjoin = options;
+  return OpenSession().Explain(text, query_options);
 }
 
 Result<std::string> MultiModelDatabase::Explain(const std::string& text) const {

@@ -1,5 +1,5 @@
-// MultiModelDatabase: the convenience facade a downstream application
-// uses — it owns the shared dictionary, registered relations (from CSV
+// MultiModelDatabase: the serving core a downstream application talks
+// to — it owns the shared dictionary, registered relations (from CSV
 // or tuples) and XML documents (parsed and indexed at registration),
 // and evaluates textual multi-model queries:
 //
@@ -13,13 +13,32 @@
 // Commas inside twig branch brackets do not split inputs. Without a
 // head, the result contains every attribute.
 //
-// The database is a prepared-statement engine: QueryXJoin resolves the
-// text to a cached XJoinPlan (key: canonical query text + options
-// fingerprint, re-validated against input versions on every hit) and
-// replays it with ExecutePlan, so repeated query shapes skip order
-// selection, shard planning, and all trie builds. Relation tries and
-// materialized path tries share one byte-budget LRU cache invalidated
-// by UpdateRelation / UpdateDocument version bumps.
+// Serving model (many concurrent callers):
+//
+//   Session session = db.OpenSession();
+//   QueryOptions opts;
+//   opts.max_rows = 100000;
+//   opts.deadline_micros = 50000;
+//   auto result = session.Query("Q(*) := R, invoices:invoice/orderID",
+//                               opts);
+//
+// A Session captures a consistent snapshot of the database: the version
+// of every relation and document plus shared_ptr pins on their storage.
+// Every query through the session sees exactly that snapshot, no matter
+// how many UpdateRelation / UpdateDocument calls land concurrently —
+// writers replace registry entries copy-on-swap (the old storage stays
+// alive while any session or cached plan pins it), so readers never
+// block writers and never see a half-applied update. Queries on one
+// session are safe to issue from multiple threads.
+//
+// The database is also a prepared-statement engine: Session::Query
+// resolves the text to a cached XJoinPlan (key: canonical query text +
+// options fingerprint, validated against the session's snapshot
+// versions) and replays it with ExecutePlan, so repeated query shapes
+// skip order selection, shard planning, and all trie builds. Relation
+// tries and materialized path tries share one byte-budget LRU cache.
+// Execution runs on the shared morsel-driven Executor pool, so N
+// in-flight queries share cores instead of each spawning threads.
 #ifndef XJOIN_CORE_DATABASE_H_
 #define XJOIN_CORE_DATABASE_H_
 
@@ -28,9 +47,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/dictionary.h"
 #include "common/status.h"
 #include "core/baseline.h"
@@ -44,27 +65,165 @@
 
 namespace xjoin {
 
+class MultiModelDatabase;
+
+namespace internal {
+
+/// The immutable payload behind a Session: every relation/document at
+/// snapshot time, pinned via shared_ptr with its version. Shared
+/// (shared_ptr) with plans and providers so a moved-from or destroyed
+/// Session never invalidates an in-flight query. Internal — reach it
+/// through Session.
+struct SnapshotRelation {
+  std::shared_ptr<const Relation> relation;
+  uint64_t version = 0;
+};
+struct SnapshotDocument {
+  std::shared_ptr<const XmlDocument> doc;
+  std::shared_ptr<const NodeIndex> index;
+  uint64_t version = 0;
+};
+struct DatabaseSnapshot {
+  std::map<std::string, SnapshotRelation> relations;
+  std::map<std::string, SnapshotDocument> documents;
+};
+
+}  // namespace internal
+
 /// Which engine evaluates a query.
 enum class Engine {
   kXJoin,     ///< worst-case optimal (Algorithm 1)
   kBaseline,  ///< per-model evaluation + combine (Figure 3 baseline)
 };
 
-/// A parsed query bound to database storage. Valid as long as the
-/// database outlives it and the referenced objects are not replaced.
-struct PreparedQuery {
-  MultiModelQuery query;
+/// The one options struct for every query entry point (replaces the old
+/// Query(text, engine, metrics) vs QueryXJoin(text, XJoinOptions)
+/// duality): engine choice, the full XJoin knob set, and per-query
+/// admission budgets.
+struct QueryOptions {
+  /// Which engine evaluates the query. The budgets below apply to both;
+  /// the XJoin engine enforces them mid-flight (it aborts expansion the
+  /// moment a ceiling is crossed), the baseline engine post-hoc (each
+  /// per-model stage completes, then the combined result is checked).
+  Engine engine = Engine::kXJoin;
+  /// XJoin execution knobs (order, sharding, batching, providers...).
+  /// Ignored by the baseline engine. xjoin.metrics / xjoin.budget are
+  /// overridden by the fields below when those are set.
+  XJoinOptions xjoin;
+  /// Admission budgets; 0 = unlimited. max_rows / max_bytes meter rows
+  /// materialized at ANY stage — XJoin's expansion output counts even
+  /// though validation may later discard most of it (they are resource
+  /// guards, not a LIMIT clause). deadline_micros is relative to query
+  /// start, checked at admission and sampled as work progresses. On
+  /// violation the query returns Status kResourceExhausted /
+  /// kDeadlineExceeded and partial results are discarded — a budgeted
+  /// query either completes in full or returns no rows.
+  int64_t max_rows = 0;
+  int64_t max_bytes = 0;
+  int64_t deadline_micros = 0;
+  /// Nullable counters (same counter names as before: "gj.*",
+  /// "xjoin.*", "db.*"). Wired into xjoin.metrics when that is null.
+  Metrics* metrics = nullptr;
 };
 
-/// The facade. Not thread-safe for concurrent mutation; concurrent
-/// const queries are safe (the internal caches are mutex-guarded).
+/// A prepared statement: a pinned, immutable execution plan plus the
+/// parsed query embedded in it. Obtained from Session::Prepare (or the
+/// deprecated MultiModelDatabase::Prepare) and replayed with
+/// Session::Execute. The plan pins its snapshot storage and tries via
+/// shared_ptr, so it stays executable — against the data it was
+/// prepared on — even after updates replace the registry entries or the
+/// caches evict.
+struct PreparedQuery {
+  std::shared_ptr<const XJoinPlan> plan;
+
+  /// The parsed query (relations + twigs + output attributes).
+  const MultiModelQuery& query() const { return plan->query; }
+};
+
+/// A consistent read snapshot of the database. Cheap to open (copies a
+/// name -> {pin, version} map under a shared lock), cheap to destroy
+/// (drops the pins). Movable, not copyable; safe to query from multiple
+/// threads concurrently. The database must outlive its sessions.
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses, plans (through the plan cache when the cached plan matches
+  /// this snapshot), and evaluates the query.
+  Result<Relation> Query(const std::string& text,
+                         const QueryOptions& options = {}) const;
+
+  /// Prepares a reusable statement against this snapshot.
+  Result<PreparedQuery> Prepare(const std::string& text,
+                                const QueryOptions& options = {}) const;
+
+  /// Replays a prepared statement. `prepared` may come from another
+  /// session; it executes against the snapshot it was prepared on.
+  Result<Relation> Execute(const PreparedQuery& prepared,
+                           const QueryOptions& options = {}) const;
+
+  /// Renders the (cached) execution plan for the query as text.
+  Result<std::string> Explain(const std::string& text,
+                              const QueryOptions& options = {}) const;
+
+  /// Snapshot introspection: names and versions as of OpenSession.
+  std::vector<std::string> RelationNames() const;
+  std::vector<std::string> DocumentNames() const;
+  Result<uint64_t> relation_version(const std::string& name) const;
+  Result<uint64_t> document_version(const std::string& name) const;
+
+ private:
+  friend class MultiModelDatabase;
+
+  Session(const MultiModelDatabase* db,
+          std::shared_ptr<const internal::DatabaseSnapshot> snap)
+      : db_(db), snap_(std::move(snap)) {}
+
+  const MultiModelDatabase* db_;
+  std::shared_ptr<const internal::DatabaseSnapshot> snap_;
+};
+
+/// One atomically consistent reading of every cache counter — a single
+/// call where the nine legacy per-counter getters each took (and
+/// released) a lock, so two counters could straddle an intervening
+/// query. Trie and plan sections are each internally consistent.
+struct CacheStats {
+  // Trie cache (relation + materialized path tries, shared LRU).
+  size_t trie_entries = 0;
+  size_t trie_bytes = 0;
+  size_t trie_budget = 0;
+  int64_t trie_hits = 0;
+  int64_t trie_misses = 0;
+  int64_t trie_evictions = 0;
+  // Plan cache.
+  size_t plan_entries = 0;
+  size_t plan_capacity = 0;
+  int64_t plan_hits = 0;
+  int64_t plan_misses = 0;
+  int64_t plan_invalidations = 0;
+  int64_t plan_evictions = 0;
+};
+
+/// The serving core. Registration/update calls are serialized against
+/// each other by an internal writer lock; queries (through sessions or
+/// the deprecated direct entry points) run concurrently with each other
+/// and with writers.
 class MultiModelDatabase {
  public:
   MultiModelDatabase() = default;
 
   /// The shared dictionary (useful for decoding result codes).
+  /// Thread-safe: Intern/Decode synchronize internally.
   const Dictionary& dictionary() const { return dict_; }
   Dictionary* mutable_dictionary() { return &dict_; }
+
+  /// Opens a consistent read snapshot: every relation and document at
+  /// its current version, pinned so concurrent updates cannot free the
+  /// storage under the session's queries.
+  Session OpenSession() const;
 
   /// Registers a relation parsed from CSV text.
   Status RegisterRelationCsv(const std::string& name, std::string_view csv,
@@ -74,10 +233,12 @@ class MultiModelDatabase {
   /// database's dictionary).
   Status RegisterRelation(const std::string& name, Relation relation);
 
-  /// Replaces an already-registered relation (NotFound otherwise). Bumps
-  /// the relation's version, invalidates its cached tries, and drops
-  /// cached plans that read it, so later queries re-prepare against the
-  /// new contents.
+  /// Replaces an already-registered relation (NotFound otherwise),
+  /// copy-on-swap: the new contents are published under the writer
+  /// lock, the version is bumped, and the relation's cached tries and
+  /// dependent cached plans are dropped. Sessions opened before the
+  /// update keep reading the old storage (their pins keep it alive);
+  /// sessions opened after see the new contents.
   Status UpdateRelation(const std::string& name, Relation relation);
 
   /// Parses and registers an XML document under `name`.
@@ -89,14 +250,15 @@ class MultiModelDatabase {
                           ValuePolicy policy = ValuePolicy::kTextOrNodeId);
 
   /// Replaces an already-registered document (NotFound otherwise),
-  /// mirroring UpdateRelation: bumps the document's version, drops its
-  /// cached path tries, and invalidates dependent plans.
+  /// mirroring UpdateRelation's copy-on-swap contract.
   Status UpdateDocumentXml(const std::string& name, std::string_view xml,
                            ValuePolicy policy = ValuePolicy::kTextOrNodeId);
   Status UpdateDocument(const std::string& name, XmlDocument doc,
                         ValuePolicy policy = ValuePolicy::kTextOrNodeId);
 
-  /// Lookup; NotFound if missing.
+  /// Lookup; NotFound if missing. The pointer is valid until the next
+  /// Update of the same name — prefer OpenSession(), whose pins make
+  /// the storage immortal for the session's lifetime.
   Result<const Relation*> relation(const std::string& name) const;
   Result<const NodeIndex*> document_index(const std::string& name) const;
 
@@ -104,44 +266,35 @@ class MultiModelDatabase {
   std::vector<std::string> RelationNames() const;
   std::vector<std::string> DocumentNames() const;
 
-  /// Parses a textual query against the registered objects.
-  Result<PreparedQuery> Prepare(const std::string& text) const;
+  /// Unified one-shot entry point: OpenSession() + Session::Query.
+  /// (No-options calls resolve to the deprecated overload below.)
+  Result<Relation> Query(const std::string& text,
+                         const QueryOptions& options) const;
 
-  /// Prepares an execution plan for the query text, through the plan
-  /// cache: the key is CanonicalizeQueryText(text) + the options
-  /// fingerprint (PlanFingerprint), and a hit is re-validated against
-  /// every input's current version — stale plans are dropped and
-  /// re-prepared. Hits/misses/invalidations are recorded on
-  /// options.metrics ("db.plan_cache.*") and the database-wide counters
-  /// below. The plan stays valid while this database owns its inputs.
-  Result<std::shared_ptr<const XJoinPlan>> PreparePlan(
-      const std::string& text, const XJoinOptions& options = {}) const;
+  // --- deprecated one-shot API (thin wrappers over a throwaway
+  //     session; see the README migration table). Kept so existing
+  //     callers compile; new code should use OpenSession(). ---
 
-  /// Prepares and evaluates in one step.
+  /// Deprecated: use Query(text, QueryOptions) or Session::Query.
   Result<Relation> Query(const std::string& text,
                          Engine engine = Engine::kXJoin,
                          Metrics* metrics = nullptr) const;
 
-  /// Prepares and evaluates with explicit XJoin options:
-  /// PreparePlan(text, options) + ExecutePlan. Unless the providers are
-  /// already set, the database wires in its trie caches: relation tries
-  /// are built once per (relation, attribute order, relation version),
-  /// materialized path tries once per (document, twig path, document
-  /// version), and shared across queries. Cache hits and misses are
-  /// recorded on options.metrics ("db.trie_cache.hits" /
-  /// "db.trie_cache.misses") and on the database-wide counters below.
+  /// Deprecated: use Query(text, QueryOptions) with options.xjoin.
   Result<Relation> QueryXJoin(const std::string& text,
                               XJoinOptions options) const;
 
-  /// Renders the (cached) execution plan for the query as text: inputs
-  /// with trie-cache provenance, transform(Sx), the expansion order
-  /// with per-level lead rationale, the shard plan, the worst-case size
-  /// bound, and the database cache counters.
+  /// Deprecated: use Session::Prepare (the returned PreparedQuery is
+  /// the same pinned-plan type).
+  Result<PreparedQuery> Prepare(const std::string& text) const;
+
+  /// Deprecated: use Session::Prepare and PreparedQuery::plan.
+  Result<std::shared_ptr<const XJoinPlan>> PreparePlan(
+      const std::string& text, const XJoinOptions& options = {}) const;
+
+  /// Deprecated: use Session::Explain.
   Result<std::string> ExplainXJoin(const std::string& text,
                                    const XJoinOptions& options = {}) const;
-
-  /// Human-readable plan with default options (kept for convenience;
-  /// equivalent to ExplainXJoin(text, {})).
   Result<std::string> Explain(const std::string& text) const;
 
   /// Explicit trie-cache invalidation hook: drops cached relation tries
@@ -151,7 +304,8 @@ class MultiModelDatabase {
   /// other back door.
   void InvalidateTrieCache(const std::string& name);
 
-  /// Drops every cached trie (all relations and documents).
+  /// Drops every cached trie (all relations and documents). Sessions
+  /// and prepared statements keep their pinned tries.
   void ClearTrieCache();
 
   /// Caps the total ByteSizeEstimate() of cached tries (relation and
@@ -162,13 +316,6 @@ class MultiModelDatabase {
   void SetTrieCacheBudget(size_t bytes);
   size_t trie_cache_budget() const;
 
-  /// Trie-cache observability (tests, ops).
-  size_t TrieCacheSize() const;
-  size_t trie_cache_bytes() const;
-  int64_t trie_cache_hits() const;
-  int64_t trie_cache_misses() const;
-  int64_t trie_cache_evictions() const;
-
   /// Caps the number of cached plans, LRU-evicted on insert (default
   /// 256). This bounds total pinned-trie memory too: every cached plan
   /// pins its tries via shared_ptr, past trie-cache eviction — the trie
@@ -178,32 +325,52 @@ class MultiModelDatabase {
   void SetPlanCacheCapacity(size_t max_plans);
   size_t plan_cache_capacity() const;
 
-  /// Plan-cache maintenance and observability.
+  /// Plan-cache maintenance.
   void ClearPlanCache();
-  size_t PlanCacheSize() const;
-  int64_t plan_cache_hits() const;
-  int64_t plan_cache_misses() const;
-  int64_t plan_cache_invalidations() const;
-  int64_t plan_cache_evictions() const;
+
+  /// One atomically consistent snapshot of every cache counter.
+  CacheStats cache_stats() const;
+
+  // --- deprecated per-counter getters: thin wrappers over
+  //     cache_stats(), one lock round-trip each. Kept so existing
+  //     callers compile; new code should take one cache_stats() and
+  //     read fields off it. ---
+  size_t TrieCacheSize() const { return cache_stats().trie_entries; }
+  size_t trie_cache_bytes() const { return cache_stats().trie_bytes; }
+  int64_t trie_cache_hits() const { return cache_stats().trie_hits; }
+  int64_t trie_cache_misses() const { return cache_stats().trie_misses; }
+  int64_t trie_cache_evictions() const {
+    return cache_stats().trie_evictions;
+  }
+  size_t PlanCacheSize() const { return cache_stats().plan_entries; }
+  int64_t plan_cache_hits() const { return cache_stats().plan_hits; }
+  int64_t plan_cache_misses() const { return cache_stats().plan_misses; }
+  int64_t plan_cache_invalidations() const {
+    return cache_stats().plan_invalidations;
+  }
+  int64_t plan_cache_evictions() const {
+    return cache_stats().plan_evictions;
+  }
 
   /// Monotonic per-relation / per-document versions, bumped by
   /// UpdateRelation / UpdateDocument; part of the trie- and plan-cache
-  /// keys. NotFound for unknown names.
+  /// keys. NotFound for unknown names. These read the *current*
+  /// registry; Session has the snapshot-relative equivalents.
   Result<uint64_t> relation_version(const std::string& name) const;
   Result<uint64_t> document_version(const std::string& name) const;
 
  private:
-  struct Document {
-    std::unique_ptr<XmlDocument> doc;
-    std::unique_ptr<NodeIndex> index;
+  friend class Session;
+
+  struct DocumentEntry {
+    std::shared_ptr<const XmlDocument> doc;
+    std::shared_ptr<const NodeIndex> index;
     uint64_t version = 0;
   };
 
   struct RelationEntry {
-    Relation relation;
+    std::shared_ptr<const Relation> relation;
     uint64_t version = 0;
-
-    explicit RelationEntry(Relation rel) : relation(std::move(rel)) {}
   };
 
   /// One cached trie (relation or materialized path), on the shared
@@ -216,14 +383,45 @@ class MultiModelDatabase {
     std::shared_ptr<const RelationTrie> trie;
   };
 
+  /// Copies the registry into an immutable snapshot under the shared
+  /// registry lock.
+  std::shared_ptr<const internal::DatabaseSnapshot> TakeSnapshot() const;
+
+  /// Parses `text` binding inputs against `snap` (raw pointers into the
+  /// snapshot's pinned storage).
+  Result<MultiModelQuery> ParseQuery(
+      const std::string& text, const internal::DatabaseSnapshot& snap) const;
+
+  /// The snapshot-aware planning path behind every entry point: plan
+  /// cache lookup validated against the snapshot's versions, private
+  /// prepare on miss, insert only when the snapshot is still current
+  /// (an old session builds privately rather than poisoning the cache
+  /// for new sessions, and never drops an entry that is valid for the
+  /// current registry).
+  Result<std::shared_ptr<const XJoinPlan>> PreparePlanSnapshot(
+      const std::string& text, const XJoinOptions& options,
+      const std::shared_ptr<const internal::DatabaseSnapshot>& snap) const;
+
+  /// The unified execution path behind Session::Query / Execute:
+  /// budget construction, engine dispatch, typed budget Statuses.
+  Result<Relation> RunQuery(
+      const std::string& text, const QueryOptions& options,
+      const std::shared_ptr<const internal::DatabaseSnapshot>& snap) const;
+  Result<Relation> RunPlan(const XJoinPlan& plan,
+                           const QueryOptions& options) const;
+
   /// The TrieProvider XJoin consults for relation tries: cache lookup,
   /// build and insert on miss (cache-miss builds use `num_threads`
-  /// workers). Thread-safe against concurrent const queries.
-  TrieProvider CacheTrieProvider(Metrics* metrics, int num_threads) const;
+  /// workers). Thread-safe against concurrent queries; identity and
+  /// versions come from the captured snapshot.
+  TrieProvider CacheTrieProvider(
+      std::shared_ptr<const internal::DatabaseSnapshot> snap, Metrics* metrics,
+      int num_threads) const;
 
   /// Likewise for materialized path tries (materialize_paths queries).
-  PathTrieProvider CachePathTrieProvider(Metrics* metrics,
-                                         int num_threads) const;
+  PathTrieProvider CachePathTrieProvider(
+      std::shared_ptr<const internal::DatabaseSnapshot> snap, Metrics* metrics,
+      int num_threads) const;
 
   /// Shared LRU plumbing (callers hold trie_cache_mu_; const because
   /// the providers run on the const query path — all touched state is
@@ -233,15 +431,22 @@ class MultiModelDatabase {
   void TrieCacheInsertLocked(std::string key, std::string owner,
                              std::shared_ptr<const RelationTrie> trie) const;
 
-  /// Document name for one of our NodeIndex pointers; empty if foreign.
-  std::string DocumentNameOf(const NodeIndex* index) const;
-
-  /// Drops cached plans whose sources include `name`; returns how many.
+  /// Drops cached plans whose sources include `name`.
   void InvalidatePlans(const std::string& name);
 
   Dictionary dict_;
+
+  /// The registry. Readers (sessions, lookups) take registry_mu_
+  /// shared; Register*/Update* take it exclusive, swap the shared_ptr
+  /// payload, and bump the version — old payloads stay alive while any
+  /// session, plan, or in-flight query pins them. Lock order: never
+  /// acquire a cache mutex while holding registry_mu_ (Update* swaps
+  /// under the lock, releases it, then invalidates the caches; the
+  /// plan-cache path may take registry_mu_ shared while holding
+  /// plan_cache_mu_).
+  mutable std::shared_mutex registry_mu_;
   std::map<std::string, RelationEntry> relations_;
-  std::map<std::string, Document> documents_;
+  std::map<std::string, DocumentEntry> documents_;
 
   mutable std::mutex trie_cache_mu_;
   // Front = most recently used. The index maps cache key -> list node.

@@ -7,7 +7,6 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "common/parallel.h"
 #include "relational/result_batch.h"
 #include "relational/schema.h"
 
@@ -144,10 +143,13 @@ class Engine {
  public:
   Engine(const std::vector<JoinInput>& inputs,
          const std::vector<LevelPlan>& plan, const PrefixFilter& filter,
-         Metrics* filter_metrics, Relation* out, int batch_size = 0)
+         Metrics* filter_metrics, Relation* out, int batch_size = 0,
+         BudgetTracker* budget = nullptr)
       : filter_(filter),
         filter_metrics_(filter_metrics),
         out_(out),
+        budget_(budget != nullptr && budget->limited() ? budget : nullptr),
+        row_bytes_(static_cast<int64_t>(plan.size()) * 8),
         prefix_(plan.size(), 0),
         level_totals_(plan.size(), 0) {
     level_iters_.resize(plan.size());
@@ -168,6 +170,14 @@ class Engine {
     size_t depth = 0;
     bool entering = true;
     for (;;) {
+      // Admission budget: sample the deadline periodically, poll the
+      // shared violation flag every binding so all shards abort fast.
+      // Partial output is discarded by the driver, so an early break
+      // needs no iterator cleanup.
+      if (budget_ != nullptr) {
+        if ((++budget_ticks_ & 4095) == 0) budget_->CheckDeadline();
+        if (budget_->violated()) break;
+      }
       std::vector<TrieIterator*>& iters = level_iters_[depth];
       bool have;
       if (entering) {
@@ -218,6 +228,7 @@ class Engine {
         if (keep) {
           if (depth + 1 == num_levels) {
             out_->AppendRow(prefix_);
+            ChargeOutput(1);
             entering = false;  // advance at this level
           } else {
             ++depth;  // descend
@@ -274,10 +285,23 @@ class Engine {
     }
   }
 
+  // Charges n freshly materialized output rows (n x 8*arity bytes)
+  // against the admission budget; no-op when the query has none.
+  void ChargeOutput(int64_t n) {
+    if (budget_ != nullptr) budget_->ChargeRows(n, n * row_bytes_);
+  }
+
+  // True when a budgeted query has tripped a ceiling and every loop
+  // should unwind; the driver discards partial output.
+  bool BudgetAborted() const {
+    return budget_ != nullptr && budget_->violated();
+  }
+
   // Stages one result row (prefix_[0..arity-1]) and flushes on a full
   // batch. Only the batched paths emit through here.
   void EmitRow() {
     batch_->PushRow(prefix_);
+    ChargeOutput(1);
     if (batch_->full()) batch_->Flush(out_);
   }
 
@@ -356,6 +380,7 @@ class Engine {
           while (count > 0) {
             size_t take = std::min(count, batch_->capacity() - batch_->size());
             batch_->PushRun(prefix_, keys, take);
+            ChargeOutput(static_cast<int64_t>(take));
             if (batch_->full()) batch_->Flush(out_);
             keys += take;
             count -= take;
@@ -366,12 +391,13 @@ class Engine {
           }
         }
       }
+      if (BudgetAborted()) return;
       if (n < block_->capacity) break;
     }
     if (!has_hi) {
       // NextBlock's exclusive bound cannot express "no bound" for keys
       // equal to INT64_MAX; bind any such stragglers scalar-wise.
-      while (!it->AtEnd()) {
+      while (!it->AtEnd() && !BudgetAborted()) {
         if (BindDeepest(depth, it->Key())) EmitRow();
         it->Next();
         ++seeks_;
@@ -385,6 +411,7 @@ class Engine {
   void RunDeepestRaw(size_t depth, bool has_hi, int64_t hi) {
     if (!RawAlign(&raw_cursors_, &seeks_)) return;
     for (;;) {
+      if (BudgetAborted()) return;
       int64_t key = raw_cursors_[0].keys[raw_cursors_[0].pos];
       if (has_hi && key >= hi) return;
       if (BindDeepest(depth, key)) EmitRow();
@@ -399,6 +426,7 @@ class Engine {
                         bool has_hi, int64_t hi) {
     bool have = LeapfrogAlign(iters, &seeks_);
     while (have) {
+      if (BudgetAborted()) return;
       int64_t key = iters[0]->Key();
       if (has_hi && key >= hi) return;
       if (BindDeepest(depth, key)) EmitRow();
@@ -409,6 +437,9 @@ class Engine {
   const PrefixFilter& filter_;
   Metrics* filter_metrics_;
   Relation* out_;
+  BudgetTracker* budget_;   // null when the query has no finite budget
+  int64_t row_bytes_;       // bytes charged per materialized output row
+  int64_t budget_ticks_ = 0;
   Tuple prefix_;
   std::vector<int64_t> level_totals_;
   std::vector<std::vector<TrieIterator*>> level_iters_;
@@ -484,6 +515,14 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
   const auto& order = options.attribute_order;
   if (order.empty()) return Status::InvalidArgument("empty attribute order");
 
+  // Admission: refuse to start a query whose deadline already passed or
+  // whose budget a prior stage already exhausted (a multi-step caller —
+  // e.g. XJoin's expansion + validation — shares one tracker).
+  if (options.budget != nullptr) {
+    options.budget->CheckDeadline();
+    if (options.budget->violated()) return options.budget->status();
+  }
+
   // Build the per-level plan and validate input orders.
   std::vector<LevelPlan> plan(order.size());
   for (size_t d = 0; d < order.size(); ++d) plan[d].attribute = order[d];
@@ -536,8 +575,11 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
 
   if (requested_shards <= 1) {
     Engine engine(inputs, plan, options.prefix_filter, options.metrics, &out,
-                  options.batch_size);
+                  options.batch_size, options.budget);
     engine.Run(PrefixRange{});
+    if (options.budget != nullptr && options.budget->violated()) {
+      return options.budget->status();
+    }
     PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
                    engine.total_intermediate(),
                    static_cast<int64_t>(out.num_rows()));
@@ -586,8 +628,11 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     // prefixes): fall back to the serial engine instead of paying
     // clone + merge overhead.
     Engine engine(inputs, plan, options.prefix_filter, options.metrics, &out,
-                  options.batch_size);
+                  options.batch_size, options.budget);
     engine.Run(PrefixRange{});
+    if (options.budget != nullptr && options.budget->violated()) {
+      return options.budget->status();
+    }
     PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
                    engine.total_intermediate(),
                    static_cast<int64_t>(out.num_rows()));
@@ -650,17 +695,27 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     shards.push_back(std::move(shard));
   }
 
-  ParallelFor(num_threads, shards.size(), /*grain=*/1, [&](size_t s) {
+  // Shards run as one morsel-driven job on the shared executor pool
+  // (grain 1: each morsel is one shard), so N in-flight queries share
+  // cores instead of each spawning num_threads threads. A shared budget
+  // tracker aborts every shard once any of them trips a ceiling.
+  Executor* executor =
+      options.executor != nullptr ? options.executor : Executor::Default();
+  executor->ParallelFor(num_threads, shards.size(), /*grain=*/1,
+                        [&](size_t s) {
     Shard& shard = shards[s];
     Metrics* filter_metrics =
         options.metrics != nullptr ? &shard.metrics : nullptr;
     Engine engine(shard.inputs, plan, options.prefix_filter, filter_metrics,
-                  &shard.out, options.batch_size);
+                  &shard.out, options.batch_size, options.budget);
     engine.Run(shard.range);
     shard.level_totals = engine.level_totals();
     shard.seeks = engine.seeks();
     shard.total_intermediate = engine.total_intermediate();
   });
+  if (options.budget != nullptr && options.budget->violated()) {
+    return options.budget->status();
+  }
 
   // Deterministic merge: shards cover ascending key ranges, so appending
   // in shard order reproduces the serial row order exactly.

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
+#include "common/executor.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "relational/relation.h"
@@ -95,6 +97,19 @@ struct GenericJoinOptions {
   /// total_intermediate, output) is identical to the scalar path at any
   /// batch size, serial or sharded.
   int batch_size = 0;
+  /// Optional per-query admission budget shared by every shard
+  /// (nullable). The engine charges each materialized output row
+  /// (rows x 8*arity bytes) against it, samples the deadline every few
+  /// thousand bindings, and aborts all shards as soon as any ceiling is
+  /// crossed — GenericJoin then returns the tracker's typed Status
+  /// (kResourceExhausted / kDeadlineExceeded) and discards partial
+  /// rows. With no budget (or an unlimited one) results and counters
+  /// are bit-identical to a budget-free run.
+  BudgetTracker* budget = nullptr;
+  /// Executor pool for the sharded driver (nullable; null = the shared
+  /// Executor::Default() pool). Per-call service, never part of a plan
+  /// fingerprint.
+  Executor* executor = nullptr;
   /// Optional counters (nullable): per level "gj.level<i>.bindings" plus
   /// "gj.max_intermediate", "gj.total_intermediate", "gj.seeks",
   /// "gj.output". Sharded runs additionally record "gj.shards" (effective

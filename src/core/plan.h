@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.h"
+#include "common/executor.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "core/decompose.h"
@@ -94,6 +96,18 @@ struct XJoinOptions {
   /// Optional materialized-path-trie cache hook (used only with
   /// materialize_paths). Empty = materialize and build locally.
   PathTrieProvider path_trie_provider;
+  /// Optional per-query admission budget (nullable), shared by the
+  /// expansion loop and the final structural validation: every
+  /// materialized row at any stage is charged against it and the
+  /// deadline is sampled as work progresses. On violation the engine
+  /// stops, discards partial rows, and returns the tracker's typed
+  /// Status (kResourceExhausted / kDeadlineExceeded). Per-call service —
+  /// never part of the plan fingerprint.
+  BudgetTracker* budget = nullptr;
+  /// Executor pool for sharded expansion and parallel validation
+  /// (nullable; null = the shared Executor::Default() pool). Per-call
+  /// service — never part of the plan fingerprint.
+  Executor* executor = nullptr;
   /// Nullable counters. Records the generic-join "gj.*" counters plus
   /// "plan.prepared" / "plan.prepare_micros" (prepare side),
   /// "xjoin.expanded" (tuples before validation), "xjoin.validated"
@@ -213,6 +227,12 @@ struct XJoinPlan {
   };
   std::vector<SourceVersion> sources;  ///< input versions at prepare time
   std::string cache_key;               ///< canonical text + fingerprint
+  /// Snapshot pins: shared_ptr handles to the registry storage the raw
+  /// pointers above (RelInput::relation, the validators' NodeIndexes)
+  /// point into. Filled by the caching layer from the session snapshot
+  /// so a plan stays executable after a writer copy-on-swaps the
+  /// registry entry out from under it.
+  std::vector<std::shared_ptr<const void>> pins;
 };
 
 /// Stable identity of one decomposed twig path inside its document:

@@ -48,6 +48,8 @@ Result<Relation> ExecutePlan(const XJoinPlan& plan,
   gj_options.num_shards = plan.shard_plan.count;
   gj_options.shard_depth = plan.shard_plan.depth;
   gj_options.batch_size = plan.batch_size;
+  gj_options.budget = options.budget;
+  gj_options.executor = options.executor;
   if (plan.structural_pruning) {
     gj_options.prefix_filter = [&plan](size_t depth,
                                        const std::vector<int64_t>& prefix,
@@ -74,7 +76,11 @@ Result<Relation> ExecutePlan(const XJoinPlan& plan,
     };
   }
 
-  // 3. Expansion (Algorithm 1's loop).
+  // 3. Expansion (Algorithm 1's loop). The budget tracker (if any) is
+  // shared with the engine, which charges every expanded row against it
+  // and returns the typed violation Status here — expansion output
+  // counts toward max_rows/max_bytes even though validation may later
+  // discard most of it (the budget meters work, not final result size).
   XJ_ASSIGN_OR_RETURN(Relation expanded, GenericJoin(inputs, gj_options));
   MetricsAdd(options.metrics, "xjoin.expanded",
              static_cast<int64_t>(expanded.num_rows()));
@@ -96,7 +102,9 @@ Result<Relation> ExecutePlan(const XJoinPlan& plan,
             ? static_cast<size_t>(
                   ParallelWorkerCount(num_threads, num_rows, kGrain))
             : 0);
-    ParallelForWorker(
+    Executor* executor =
+        options.executor != nullptr ? options.executor : Executor::Default();
+    executor->ParallelForWorker(
         num_threads, num_rows, kGrain, [&](int worker, size_t r) {
           Metrics* metrics = worker_metrics.empty()
                                  ? nullptr
@@ -120,6 +128,13 @@ Result<Relation> ExecutePlan(const XJoinPlan& plan,
     for (size_t r = 0; r < num_rows; ++r) {
       if (keep[r] != 0) validated.AppendRow(expanded.GetRow(r));
     }
+  }
+  // Deadline check after the validation stage (its cost scales with the
+  // expansion size, which the deadline is meant to bound). Surviving
+  // rows were already charged as expansion output — no double count.
+  if (options.budget != nullptr) {
+    options.budget->CheckDeadline();
+    if (options.budget->violated()) return options.budget->status();
   }
   MetricsAdd(options.metrics, "xjoin.validated",
              static_cast<int64_t>(validated.num_rows()));

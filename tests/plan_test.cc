@@ -70,7 +70,7 @@ TEST_F(PlanTest, CachedPlanReuseIsByteIdenticalToColdExecution) {
   // byte (no database caches involved at all).
   auto prepared = db_.Prepare(q_);
   ASSERT_TRUE(prepared.ok());
-  auto bare = ExecuteXJoin(prepared->query, XJoinOptions{});
+  auto bare = ExecuteXJoin(prepared->query(), XJoinOptions{});
   ASSERT_TRUE(bare.ok());
   EXPECT_EQ(first->ToTuples(), bare->ToTuples());
 }

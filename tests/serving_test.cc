@@ -1,0 +1,285 @@
+// Serving-core tests: Session snapshot isolation under concurrent
+// writers, admission-budget enforcement (typed Statuses, no partial
+// results), session/plan pin lifetime vs cache eviction, and the
+// atomically-snapshotted CacheStats getter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+
+namespace xjoin {
+namespace {
+
+// CSV for a two-column relation whose rows are (i, i % mod) for
+// i in [0, n) — joins on the shared column name chain naturally.
+std::string MakeCsv(const std::string& a, const std::string& b, int n,
+                    int mod, int offset) {
+  std::string csv = a + "," + b + "\n";
+  for (int i = 0; i < n; ++i) {
+    csv += std::to_string(i + offset) + "," +
+           std::to_string((i + offset) % mod) + "\n";
+  }
+  return csv;
+}
+
+class ServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.RegisterRelationCsv("R", MakeCsv("A", "B", 60, 7, 0)).ok());
+    ASSERT_TRUE(db_.RegisterRelationCsv("S", MakeCsv("B", "C", 60, 7, 0)).ok());
+  }
+
+  MultiModelDatabase db_;
+  const std::string q_ = "Q(*) := R, S";
+};
+
+TEST_F(ServingTest, SessionSeesRepeatableSnapshot) {
+  Session session = db_.OpenSession();
+  auto before = session.Query(q_);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  // Writer lands after the session opened: the session keeps reading
+  // the old contents, a fresh session (and the one-shot API) sees the
+  // new ones.
+  Relation replacement = **db_.relation("S");
+  Relation bigger(replacement.schema());
+  for (const auto& row : replacement.ToTuples()) bigger.AppendRow(row);
+  bigger.AppendRow({db_.mutable_dictionary()->Intern("1"),
+                    db_.mutable_dictionary()->Intern("999")});
+  ASSERT_TRUE(db_.UpdateRelation("S", std::move(bigger)).ok());
+
+  auto after = session.Query(q_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->ToTuples(), after->ToTuples());
+  EXPECT_EQ(*session.relation_version("S"), 0u);
+  EXPECT_EQ(*db_.relation_version("S"), 1u);
+
+  Session fresh = db_.OpenSession();
+  auto updated = fresh.Query(q_);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_GT(updated->num_rows(), before->num_rows());
+}
+
+TEST_F(ServingTest, ConcurrentReadersSeeConsistentSnapshots) {
+  // Writers flip R between two contents and S between two contents;
+  // every reader must observe one of the four consistent combinations
+  // (byte-identical to a serial run on that combination) — never a
+  // torn mix and never a crash from freed storage.
+  MultiModelDatabase db;
+  ASSERT_TRUE(db.RegisterRelationCsv("R", MakeCsv("A", "B", 40, 5, 0)).ok());
+  ASSERT_TRUE(db.RegisterRelationCsv("S", MakeCsv("B", "C", 40, 5, 0)).ok());
+  auto parse = [&](const std::string& csv) {
+    auto rel = ReadCsv(csv, CsvOptions{}, db.mutable_dictionary());
+    EXPECT_TRUE(rel.ok());
+    return *std::move(rel);
+  };
+  const Relation r0 = parse(MakeCsv("A", "B", 40, 5, 0));
+  const Relation r1 = parse(MakeCsv("A", "B", 40, 5, 100));
+  const Relation s0 = parse(MakeCsv("B", "C", 40, 5, 0));
+  const Relation s1 = parse(MakeCsv("B", "C", 40, 5, 100));
+
+  // Precompute the four expected results serially, ending back at
+  // (r0, s0) with even version parities: R version even <=> r0
+  // contents, S version even <=> s0, an invariant the writers below
+  // maintain. expected[R parity][S parity] is the byte-exact answer.
+  const std::string q = "Q(*) := R, S";
+  std::vector<Tuple> expected[2][2];
+  expected[0][0] = db.Query(q)->ToTuples();
+  ASSERT_TRUE(db.UpdateRelation("S", Relation(s1)).ok());  // S v1
+  expected[0][1] = db.Query(q)->ToTuples();
+  ASSERT_TRUE(db.UpdateRelation("R", Relation(r1)).ok());  // R v1
+  expected[1][1] = db.Query(q)->ToTuples();
+  ASSERT_TRUE(db.UpdateRelation("S", Relation(s0)).ok());  // S v2
+  expected[1][0] = db.Query(q)->ToTuples();
+  ASSERT_TRUE(db.UpdateRelation("R", Relation(r0)).ok());  // R v2
+  ASSERT_NE(expected[0][0], expected[1][1]);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // Two writers, alternating contents to preserve the parity map.
+  threads.emplace_back([&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      if (!db.UpdateRelation("R", Relation(i % 2 == 0 ? r1 : r0)).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      if (!db.UpdateRelation("S", Relation(i % 2 == 0 ? s1 : s0)).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+  // Four readers: every query's result must be byte-identical to the
+  // expected answer for the snapshot the session captured, and
+  // re-querying the same session must reproduce it exactly.
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        Session session = db.OpenSession();
+        uint64_t rv = *session.relation_version("R");
+        uint64_t sv = *session.relation_version("S");
+        QueryOptions options;
+        options.xjoin.num_threads = (i % 3 == 0) ? 2 : 1;
+        auto first = session.Query(q, options);
+        auto second = session.Query(q, options);
+        if (!first.ok() || !second.ok() ||
+            first->ToTuples() != expected[rv % 2][sv % 2] ||
+            second->ToTuples() != first->ToTuples()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (size_t t = 2; t < threads.size(); ++t) threads[t].join();
+  stop.store(true);
+  threads[0].join();
+  threads[1].join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ServingTest, BudgetMaxRowsReturnsResourceExhausted) {
+  QueryOptions options;
+  options.max_rows = 1;  // the join produces hundreds of rows
+  auto result = db_.OpenSession().Query(q_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status().ToString();
+}
+
+TEST_F(ServingTest, BudgetMaxBytesReturnsResourceExhausted) {
+  QueryOptions options;
+  options.max_bytes = 8;  // one column of one row
+  auto result = db_.OpenSession().Query(q_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ServingTest, BudgetDeadlineReturnsDeadlineExceeded) {
+  QueryOptions options;
+  options.deadline_micros = 1;  // any real execution takes longer
+  auto result = db_.OpenSession().Query(q_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+}
+
+TEST_F(ServingTest, UnlimitedBudgetMatchesLegacyApi) {
+  QueryOptions unlimited;  // all budgets 0
+  auto via_session = db_.OpenSession().Query(q_, unlimited);
+  auto via_legacy = db_.Query(q_);
+  ASSERT_TRUE(via_session.ok());
+  ASSERT_TRUE(via_legacy.ok());
+  EXPECT_EQ(via_session->ToTuples(), via_legacy->ToTuples());
+}
+
+TEST_F(ServingTest, BaselineEngineThroughUnifiedOptions) {
+  // Explicit head: Q(*) leaves the column order engine-defined
+  // (expansion order vs combine order), the projection normalizes it.
+  const std::string q = "Q(A, B, C) := R, S";
+  QueryOptions options;
+  options.engine = Engine::kBaseline;
+  auto baseline = db_.OpenSession().Query(q, options);
+  auto xjoin = db_.OpenSession().Query(q);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_TRUE(xjoin.ok());
+  // Same rows (order may differ between engines).
+  auto lhs = baseline->ToTuples();
+  auto rhs = xjoin->ToTuples();
+  std::sort(lhs.begin(), lhs.end());
+  std::sort(rhs.begin(), rhs.end());
+  EXPECT_EQ(lhs, rhs);
+  // Budgets apply to the baseline too (post-hoc).
+  options.max_rows = 1;
+  auto budgeted = db_.OpenSession().Query(q, options);
+  ASSERT_FALSE(budgeted.ok());
+  EXPECT_EQ(budgeted.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ServingTest, SessionPinsSurviveCacheEvictionAndUpdates) {
+  Session session = db_.OpenSession();
+  auto prepared = session.Prepare(q_);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto expected = session.Execute(*prepared);
+  ASSERT_TRUE(expected.ok());
+
+  // Evict everything the caches hold; the prepared statement's pins
+  // must keep its tries and storage alive.
+  db_.ClearPlanCache();
+  db_.ClearTrieCache();
+  db_.SetTrieCacheBudget(0);
+  auto after_eviction = session.Execute(*prepared);
+  ASSERT_TRUE(after_eviction.ok());
+  EXPECT_EQ(expected->ToTuples(), after_eviction->ToTuples());
+
+  // Replace both inputs; the statement still executes against the
+  // snapshot it was prepared on.
+  ASSERT_TRUE(db_.UpdateRelation("R", Relation((*db_.relation("R"))->schema()))
+                  .ok());
+  ASSERT_TRUE(db_.UpdateRelation("S", Relation((*db_.relation("S"))->schema()))
+                  .ok());
+  auto after_update = session.Execute(*prepared);
+  ASSERT_TRUE(after_update.ok());
+  EXPECT_EQ(expected->ToTuples(), after_update->ToTuples());
+  // Session queries also still see the old snapshot...
+  auto session_query = session.Query(q_);
+  ASSERT_TRUE(session_query.ok());
+  EXPECT_EQ(expected->ToTuples(), session_query->ToTuples());
+  // ...while a fresh session sees the (now empty) relations.
+  auto fresh = db_.OpenSession().Query(q_);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->num_rows(), 0u);
+}
+
+TEST_F(ServingTest, OldSessionPlansDoNotPoisonTheCacheForNewSessions) {
+  Session old_session = db_.OpenSession();
+  ASSERT_TRUE(old_session.Query(q_).ok());  // seeds the cache at v0
+
+  ASSERT_TRUE(db_.UpdateRelation("R", **db_.relation("R")).ok());  // v1
+
+  // A new session must re-prepare (the cached plan is v0)...
+  Session new_session = db_.OpenSession();
+  ASSERT_TRUE(new_session.Query(q_).ok());
+  CacheStats after_new = db_.cache_stats();
+
+  // ...and the old session's private rebuilds must not evict or
+  // replace the fresh entry: repeated old-session queries keep
+  // building privately (no poisoning), repeated new-session queries
+  // keep hitting.
+  ASSERT_TRUE(old_session.Query(q_).ok());
+  ASSERT_TRUE(new_session.Query(q_).ok());
+  CacheStats final_stats = db_.cache_stats();
+  EXPECT_EQ(final_stats.plan_hits, after_new.plan_hits + 1);
+  EXPECT_EQ(final_stats.plan_entries, after_new.plan_entries);
+}
+
+TEST_F(ServingTest, CacheStatsMatchesLegacyGetters) {
+  ASSERT_TRUE(db_.Query(q_).ok());
+  ASSERT_TRUE(db_.Query(q_).ok());
+  CacheStats stats = db_.cache_stats();
+  EXPECT_EQ(stats.trie_entries, db_.TrieCacheSize());
+  EXPECT_EQ(stats.trie_bytes, db_.trie_cache_bytes());
+  EXPECT_EQ(stats.trie_hits, db_.trie_cache_hits());
+  EXPECT_EQ(stats.trie_misses, db_.trie_cache_misses());
+  EXPECT_EQ(stats.trie_evictions, db_.trie_cache_evictions());
+  EXPECT_EQ(stats.plan_entries, db_.PlanCacheSize());
+  EXPECT_EQ(stats.plan_hits, db_.plan_cache_hits());
+  EXPECT_EQ(stats.plan_misses, db_.plan_cache_misses());
+  EXPECT_EQ(stats.plan_invalidations, db_.plan_cache_invalidations());
+  EXPECT_EQ(stats.plan_evictions, db_.plan_cache_evictions());
+  EXPECT_GT(stats.plan_hits, 0);
+  EXPECT_GT(stats.trie_misses, 0);
+}
+
+}  // namespace
+}  // namespace xjoin
