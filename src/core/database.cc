@@ -87,6 +87,32 @@ std::vector<std::string> SplitTopLevel(std::string_view text) {
   return parts;
 }
 
+// Applies a RelationDelta to columnar storage with set semantics:
+// deletes drop every matching row, inserts append rows not already
+// present. O(rows * log(deletes) + inserts * rows) — deltas are small
+// by contract, and the trie rebuild this path replaces dwarfs the copy.
+Relation ApplyDeltaRows(const Relation& base, const RelationDelta& delta) {
+  std::vector<Tuple> deletes = delta.deletes;
+  std::sort(deletes.begin(), deletes.end());
+  Relation next(base.schema());
+  next.Reserve(base.num_rows() + delta.inserts.size());
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    Tuple row = base.GetRow(r);
+    if (!std::binary_search(deletes.begin(), deletes.end(), row)) {
+      next.AppendRow(row);
+    }
+  }
+  for (const Tuple& t : delta.inserts) {
+    if (!next.ContainsRow(t)) next.AppendRow(t);
+  }
+  return next;
+}
+
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -115,6 +141,10 @@ Status MultiModelDatabase::RegisterRelation(const std::string& name,
 Status MultiModelDatabase::UpdateRelation(const std::string& name,
                                           Relation relation) {
   auto shared = std::make_shared<const Relation>(std::move(relation));
+  // Writers are serialized (update_mu_ outermost) so a concurrent
+  // ApplyRelationDelta cannot interleave its read-modify-write with
+  // this full replacement.
+  std::lock_guard<std::mutex> update_lock(update_mu_);
   {
     std::unique_lock<std::shared_mutex> lock(registry_mu_);
     auto it = relations_.find(name);
@@ -129,6 +159,129 @@ Status MultiModelDatabase::UpdateRelation(const std::string& name,
   InvalidateTrieCache(name);
   InvalidatePlans(name);
   return Status::OK();
+}
+
+Status MultiModelDatabase::ApplyRelationDelta(const std::string& name,
+                                              const RelationDelta& delta) {
+  if (delta.inserts.empty() && delta.deletes.empty()) return Status::OK();
+  // Serialize writers: everything below is a read-modify-write of the
+  // registry entry and of every cached trie derived from it.
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+
+  std::shared_ptr<const Relation> base;
+  uint64_t old_version = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    auto it = relations_.find(name);
+    if (it == relations_.end()) return Status::NotFound("no relation " + name);
+    base = it->second.relation;
+    old_version = it->second.version;
+  }
+  const Schema& schema = base->schema();
+  const size_t arity = schema.size();
+  if (arity == 0) {
+    return Status::InvalidArgument("cannot delta a zero-arity relation");
+  }
+  for (const Tuple& t : delta.inserts) {
+    if (t.size() != arity) {
+      return Status::InvalidArgument("delta tuple arity mismatch for " + name);
+    }
+  }
+  for (const Tuple& t : delta.deletes) {
+    if (t.size() != arity) {
+      return Status::InvalidArgument("delta tuple arity mismatch for " + name);
+    }
+  }
+
+  // 1. New relation contents, copy-on-swap (set semantics).
+  auto next = std::make_shared<const Relation>(ApplyDeltaRows(*base, delta));
+
+  // 2. Collect the cached tries keyed at (name, old_version) and patch
+  // each outside the cache lock (compaction can take a while):
+  // RelationTrie::ApplyDelta returns a new trie sharing the base level
+  // arrays, so session snapshots and plans pinning the old objects are
+  // untouched. Tuples are permuted into each trie's attribute order.
+  std::vector<std::shared_ptr<const RelationTrie>> old_tries;
+  const std::string old_prefix =
+      "rel\x1F" + name + "\x1F" + std::to_string(old_version) + "\x1F";
+  {
+    std::lock_guard<std::mutex> lock(trie_cache_mu_);
+    for (const TrieCacheEntry& entry : trie_lru_) {
+      if (entry.owner == name && HasPrefix(entry.key, old_prefix)) {
+        old_tries.push_back(entry.trie);
+      }
+    }
+  }
+  TrieDeltaOptions delta_options;
+  delta_options.compact_ratio = trie_delta_ratio_;
+  delta_options.compact_min_rows = trie_delta_min_rows_;
+  std::vector<std::pair<std::string, std::shared_ptr<const RelationTrie>>>
+      patched;
+  patched.reserve(old_tries.size());
+  int64_t compactions = 0;
+  for (const auto& old_trie : old_tries) {
+    const std::vector<std::string>& order = old_trie->attribute_order();
+    std::vector<size_t> perm(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      perm[i] = static_cast<size_t>(schema.IndexOf(order[i]));
+    }
+    auto permute = [&](const std::vector<Tuple>& tuples) {
+      std::vector<Tuple> out(tuples.size(), Tuple(arity));
+      for (size_t r = 0; r < tuples.size(); ++r) {
+        for (size_t i = 0; i < arity; ++i) out[r][i] = tuples[r][perm[i]];
+      }
+      return out;
+    };
+    XJ_ASSIGN_OR_RETURN(
+        RelationTrie fresh,
+        old_trie->ApplyDelta(permute(delta.inserts), permute(delta.deletes),
+                             delta_options));
+    auto shared = std::make_shared<const RelationTrie>(std::move(fresh));
+    if (!shared->SharesBaseWith(*old_trie)) ++compactions;
+    patched.emplace_back(RelationTrieKey(name, old_version + 1, order),
+                         std::move(shared));
+  }
+
+  // 3. Publish: swap the storage and bump the version (update_mu_
+  // guarantees it is still old_version).
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    auto it = relations_.find(name);
+    if (it == relations_.end()) return Status::NotFound("no relation " + name);
+    it->second.relation = std::move(next);
+    it->second.version = old_version + 1;
+  }
+
+  // 4. Re-key the patched tries under the new version and drop the
+  // old-version entries (pins keep the old objects alive for open
+  // sessions). Cached plans are deliberately NOT invalidated: their
+  // next hit revalidates versions and rebinds to the patched tries
+  // (see PreparePlanSnapshot) instead of re-planning.
+  {
+    std::lock_guard<std::mutex> lock(trie_cache_mu_);
+    for (auto it = trie_lru_.begin(); it != trie_lru_.end();) {
+      if (it->owner == name && HasPrefix(it->key, old_prefix)) {
+        trie_cache_bytes_ -= it->bytes;
+        trie_index_.erase(it->key);
+        it = trie_lru_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [key, trie] : patched) {
+      ++trie_cache_patches_;
+      TrieCacheInsertLocked(std::move(key), name, std::move(trie));
+    }
+    trie_cache_compactions_ += compactions;
+  }
+  return Status::OK();
+}
+
+void MultiModelDatabase::SetTrieDeltaCompaction(double ratio,
+                                                size_t min_rows) {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  trie_delta_ratio_ = ratio;
+  trie_delta_min_rows_ = min_rows;
 }
 
 Status MultiModelDatabase::RegisterDocumentXml(const std::string& name,
@@ -169,6 +322,7 @@ Status MultiModelDatabase::UpdateDocument(const std::string& name,
   auto doc_shared = std::make_shared<const XmlDocument>(std::move(doc));
   auto index = std::make_shared<const NodeIndex>(
       NodeIndex::Build(doc_shared.get(), &dict_, policy));
+  std::lock_guard<std::mutex> update_lock(update_mu_);
   {
     std::unique_lock<std::shared_mutex> lock(registry_mu_);
     auto it = documents_.find(name);
@@ -614,13 +768,58 @@ CacheStats MultiModelDatabase::cache_stats() const {
   stats.trie_hits = trie_cache_hits_;
   stats.trie_misses = trie_cache_misses_;
   stats.trie_evictions = trie_cache_evictions_;
+  stats.trie_patches = trie_cache_patches_;
+  stats.trie_compactions = trie_cache_compactions_;
   stats.plan_entries = plan_cache_.size();
   stats.plan_capacity = plan_cache_capacity_;
   stats.plan_hits = plan_cache_hits_;
   stats.plan_misses = plan_cache_misses_;
   stats.plan_invalidations = plan_cache_invalidations_;
   stats.plan_evictions = plan_cache_evictions_;
+  stats.plan_rebinds = plan_cache_rebinds_;
   return stats;
+}
+
+void MultiModelDatabase::AttachSnapshotSources(
+    XJoinPlan* plan, const internal::DatabaseSnapshot& snap,
+    std::string key) const {
+  for (const auto& nr : plan->query.relations) {
+    auto it = snap.relations.find(nr.name);
+    if (it == snap.relations.end()) continue;  // defensive; parse bound it
+    plan->sources.push_back({nr.name, /*is_document=*/false,
+                             it->second.version});
+    // Pin the snapshot storage the plan's raw pointers reference, so
+    // the plan outlives any later copy-on-swap of the registry entry.
+    plan->pins.push_back(it->second.relation);
+  }
+  for (const auto& ti : plan->query.twigs) {
+    std::string doc_name = SnapshotDocumentNameOf(snap, ti.index);
+    if (doc_name.empty()) continue;  // defensive; parse binds our docs
+    auto it = snap.documents.find(doc_name);
+    plan->sources.push_back({doc_name, /*is_document=*/true,
+                             it->second.version});
+    plan->pins.push_back(it->second.index);
+    plan->pins.push_back(it->second.doc);
+  }
+  plan->cache_key = std::move(key);
+}
+
+bool MultiModelDatabase::PlanMatchesRegistry(const XJoinPlan& plan) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  for (const auto& source : plan.sources) {
+    if (source.is_document) {
+      auto it = documents_.find(source.name);
+      if (it == documents_.end() || it->second.version != source.version) {
+        return false;
+      }
+    } else {
+      auto it = relations_.find(source.name);
+      if (it == relations_.end() || it->second.version != source.version) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 Result<std::shared_ptr<const XJoinPlan>>
@@ -629,7 +828,9 @@ MultiModelDatabase::PreparePlanSnapshot(
     const std::shared_ptr<const internal::DatabaseSnapshot>& snap) const {
   std::string key = PlanCacheKey(text, options);
 
-  // Cache lookup, validated against the *snapshot's* versions.
+  // Cache lookup, validated against the *snapshot's* versions. A
+  // version mismatch keeps the entry as a rebind candidate.
+  std::shared_ptr<const XJoinPlan> stale;
   {
     std::lock_guard<std::mutex> lock(plan_cache_mu_);
     auto it = plan_cache_.find(key);
@@ -640,34 +841,96 @@ MultiModelDatabase::PreparePlanSnapshot(
         MetricsAdd(options.metrics, "db.plan_cache.hits", 1);
         return it->second.plan;
       }
-      // The entry doesn't serve this snapshot. Drop it only when it is
-      // also stale for the *current* registry (a back-door mutation or
-      // missed invalidation); when it is merely newer than this — old —
-      // session's snapshot, leave it for current sessions and build
-      // privately below. Taking registry_mu_ shared under
-      // plan_cache_mu_ follows the documented lock order.
-      bool current_valid = true;
-      {
-        std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
-        for (const auto& source : it->second.plan->sources) {
-          if (source.is_document) {
-            auto doc = documents_.find(source.name);
-            if (doc == documents_.end() ||
-                doc->second.version != source.version) {
-              current_valid = false;
-              break;
-            }
-          } else {
-            auto rel = relations_.find(source.name);
-            if (rel == relations_.end() ||
-                rel->second.version != source.version) {
-              current_valid = false;
-              break;
-            }
+      stale = it->second.plan;
+    }
+  }
+
+  if (stale != nullptr) {
+    // Version mismatch. Rebind-eligible when the plan's *shape* still
+    // transfers: every mismatched source is a relation present in the
+    // snapshot with an unchanged schema (the delta-update path bumps
+    // versions without touching shape); documents must match exactly.
+    bool eligible = true;
+    for (const auto& source : stale->sources) {
+      if (source.is_document) {
+        auto it = snap->documents.find(source.name);
+        if (it == snap->documents.end() ||
+            it->second.version != source.version) {
+          eligible = false;
+          break;
+        }
+      } else {
+        auto it = snap->relations.find(source.name);
+        if (it == snap->relations.end()) {
+          eligible = false;
+          break;
+        }
+        if (it->second.version == source.version) continue;
+        const Relation* old_rel = nullptr;
+        for (const auto& nr : stale->query.relations) {
+          if (nr.name == source.name) {
+            old_rel = nr.relation;
+            break;
           }
         }
+        if (old_rel == nullptr ||
+            !(old_rel->schema() == it->second.relation->schema())) {
+          eligible = false;
+          break;
+        }
       }
-      if (!current_valid) {
+    }
+    if (eligible) {
+      // Re-pin instead of re-plan: reuse the stale plan's parsed query
+      // with relation pointers remapped onto the snapshot (skips
+      // parsing), and let RebindXJoin force the old expansion order
+      // (skips order selection). The trie provider serves the
+      // delta-patched tries at the new versions.
+      MultiModelQuery query = stale->query;
+      for (auto& nr : query.relations) {
+        nr.relation = snap->relations.find(nr.name)->second.relation.get();
+      }
+      XJoinOptions rebind_options = options;
+      int num_threads = std::max(1, options.num_threads);
+      if (!rebind_options.trie_provider) {
+        rebind_options.trie_provider =
+            CacheTrieProvider(snap, options.metrics, num_threads);
+      }
+      if (!rebind_options.path_trie_provider) {
+        rebind_options.path_trie_provider =
+            CachePathTrieProvider(snap, options.metrics, num_threads);
+      }
+      XJ_ASSIGN_OR_RETURN(std::shared_ptr<XJoinPlan> plan,
+                          RebindXJoin(*stale, query, rebind_options));
+      AttachSnapshotSources(plan.get(), *snap, key);
+      std::shared_ptr<const XJoinPlan> shared = std::move(plan);
+      // Same publish gate as a miss: a rebind for an *old* snapshot
+      // stays private to its session instead of clobbering the entry
+      // current sessions are hitting.
+      bool current_valid = PlanMatchesRegistry(*shared);
+      std::lock_guard<std::mutex> lock(plan_cache_mu_);
+      ++plan_cache_rebinds_;
+      MetricsAdd(options.metrics, "db.plan_cache.rebinds", 1);
+      if (current_valid && plan_cache_capacity_ > 0) {
+        auto it = plan_cache_.find(key);
+        if (it != plan_cache_.end()) {
+          plan_lru_.erase(it->second.lru);
+          plan_cache_.erase(it);
+        }
+        plan_lru_.push_front(key);
+        plan_cache_.emplace(std::move(key),
+                            PlanCacheEntry{shared, plan_lru_.begin()});
+      }
+      return shared;
+    }
+    // Not rebindable. Drop the entry only when it is also stale for the
+    // *current* registry (a back-door mutation or missed invalidation);
+    // when it is merely newer than this — old — session's snapshot,
+    // leave it for current sessions and build privately below.
+    if (!PlanMatchesRegistry(*stale)) {
+      std::lock_guard<std::mutex> lock(plan_cache_mu_);
+      auto it = plan_cache_.find(key);
+      if (it != plan_cache_.end() && it->second.plan == stale) {
         plan_lru_.erase(it->second.lru);
         plan_cache_.erase(it);
         ++plan_cache_invalidations_;
@@ -691,52 +954,14 @@ MultiModelDatabase::PreparePlanSnapshot(
   }
   XJ_ASSIGN_OR_RETURN(std::shared_ptr<XJoinPlan> plan,
                       PrepareXJoin(query, prepare_options));
-  for (const auto& nr : plan->query.relations) {
-    auto it = snap->relations.find(nr.name);
-    if (it == snap->relations.end()) continue;  // defensive; parse bound it
-    plan->sources.push_back({nr.name, /*is_document=*/false,
-                             it->second.version});
-    // Pin the snapshot storage the plan's raw pointers reference, so
-    // the plan outlives any later copy-on-swap of the registry entry.
-    plan->pins.push_back(it->second.relation);
-  }
-  for (const auto& ti : plan->query.twigs) {
-    std::string doc_name = SnapshotDocumentNameOf(*snap, ti.index);
-    if (doc_name.empty()) continue;  // defensive; parse binds our docs
-    auto it = snap->documents.find(doc_name);
-    plan->sources.push_back({doc_name, /*is_document=*/true,
-                             it->second.version});
-    plan->pins.push_back(it->second.index);
-    plan->pins.push_back(it->second.doc);
-  }
-  plan->cache_key = key;
+  AttachSnapshotSources(plan.get(), *snap, key);
   std::shared_ptr<const XJoinPlan> shared = std::move(plan);
 
   // Publish — but only when the plan's versions still match the
   // *current* registry. A plan prepared on an old snapshot stays
   // private to its session: inserting it would poison the cache for
   // new sessions (their validation would drop it, thrashing).
-  bool current_valid = true;
-  {
-    std::shared_lock<std::shared_mutex> registry_lock(registry_mu_);
-    for (const auto& source : shared->sources) {
-      if (source.is_document) {
-        auto doc = documents_.find(source.name);
-        if (doc == documents_.end() ||
-            doc->second.version != source.version) {
-          current_valid = false;
-          break;
-        }
-      } else {
-        auto rel = relations_.find(source.name);
-        if (rel == relations_.end() ||
-            rel->second.version != source.version) {
-          current_valid = false;
-          break;
-        }
-      }
-    }
-  }
+  bool current_valid = PlanMatchesRegistry(*shared);
   std::lock_guard<std::mutex> lock(plan_cache_mu_);
   ++plan_cache_misses_;
   MetricsAdd(options.metrics, "db.plan_cache.misses", 1);

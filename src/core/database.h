@@ -198,6 +198,12 @@ struct CacheStats {
   int64_t trie_hits = 0;
   int64_t trie_misses = 0;
   int64_t trie_evictions = 0;
+  /// Cached tries delta-patched in place of a rebuild by
+  /// ApplyRelationDelta (copy-on-swap, re-keyed to the new version).
+  int64_t trie_patches = 0;
+  /// Patches whose merged delta crossed the compaction threshold and
+  /// folded into fresh level arrays.
+  int64_t trie_compactions = 0;
   // Plan cache.
   size_t plan_entries = 0;
   size_t plan_capacity = 0;
@@ -205,6 +211,20 @@ struct CacheStats {
   int64_t plan_misses = 0;
   int64_t plan_invalidations = 0;
   int64_t plan_evictions = 0;
+  /// Cached plans re-pinned to new trie versions at hit time (same
+  /// query shape, sources version-bumped by ApplyRelationDelta) instead
+  /// of being re-planned from scratch.
+  int64_t plan_rebinds = 0;
+};
+
+/// A single-batch logical update to a registered relation, applied by
+/// MultiModelDatabase::ApplyRelationDelta. Tuples are in the relation's
+/// schema order; deletes apply before inserts (so a tuple in both lists
+/// ends up present), deleting an absent tuple and inserting a present
+/// one are no-ops, and replaying the same batch is idempotent.
+struct RelationDelta {
+  std::vector<Tuple> inserts;
+  std::vector<Tuple> deletes;
 };
 
 /// The serving core. Registration/update calls are serialized against
@@ -240,6 +260,29 @@ class MultiModelDatabase {
   /// update keep reading the old storage (their pins keep it alive);
   /// sessions opened after see the new contents.
   Status UpdateRelation(const std::string& name, Relation relation);
+
+  /// The incremental-write path: applies a small batch of tuple inserts
+  /// and deletes to an already-registered relation (NotFound otherwise)
+  /// WITHOUT invalidating dependent state. The relation storage is
+  /// copy-on-swapped (set semantics — see RelationDelta) and the
+  /// version bumped as with UpdateRelation, but every cached trie over
+  /// the relation is delta-patched in place of a rebuild
+  /// (RelationTrie::ApplyDelta — a new trie object sharing the base
+  /// level arrays, re-keyed under the new version) and cached plans are
+  /// left to re-pin the patched tries at hit time (plan rebind) instead
+  /// of being dropped. Sessions opened before the call keep their
+  /// snapshot — the old storage and tries stay pinned; compaction never
+  /// mutates a trie in place, so even mid-compaction snapshots stay
+  /// byte-stable.
+  Status ApplyRelationDelta(const std::string& name,
+                            const RelationDelta& delta);
+
+  /// Tunes when ApplyRelationDelta folds a trie's accumulated delta
+  /// side-file into fresh level arrays: compaction triggers once
+  /// pending rows exceed max(min_rows, ratio * base rows). (0.0, 0)
+  /// compacts on every delta; a huge ratio never compacts. Default
+  /// (0.25, 64).
+  void SetTrieDeltaCompaction(double ratio, size_t min_rows);
 
   /// Parses and registers an XML document under `name`.
   Status RegisterDocumentXml(const std::string& name, std::string_view xml,
@@ -434,7 +477,27 @@ class MultiModelDatabase {
   /// Drops cached plans whose sources include `name`.
   void InvalidatePlans(const std::string& name);
 
+  /// Attaches snapshot versions, storage pins, and the cache key to a
+  /// freshly prepared (or rebound) plan.
+  void AttachSnapshotSources(
+      XJoinPlan* plan, const internal::DatabaseSnapshot& snap,
+      std::string key) const;
+
+  /// Whether every source of `plan` matches the current registry
+  /// version (callers must NOT hold registry_mu_).
+  bool PlanMatchesRegistry(const XJoinPlan& plan) const;
+
   Dictionary dict_;
+
+  /// Serializes writers (UpdateRelation / UpdateDocument /
+  /// ApplyRelationDelta): the delta path is a read-modify-write of the
+  /// registry entry plus every cached trie derived from it, so two
+  /// writers must not interleave. Outermost in the lock order:
+  /// update_mu_ -> registry_mu_ -> (released) -> cache mutexes; readers
+  /// never take it.
+  mutable std::mutex update_mu_;
+  double trie_delta_ratio_ = 0.25;     // guarded by update_mu_
+  size_t trie_delta_min_rows_ = 64;    // guarded by update_mu_
 
   /// The registry. Readers (sessions, lookups) take registry_mu_
   /// shared; Register*/Update* take it exclusive, swap the shared_ptr
@@ -458,6 +521,8 @@ class MultiModelDatabase {
   mutable int64_t trie_cache_hits_ = 0;
   mutable int64_t trie_cache_misses_ = 0;
   mutable int64_t trie_cache_evictions_ = 0;
+  mutable int64_t trie_cache_patches_ = 0;
+  mutable int64_t trie_cache_compactions_ = 0;
 
   struct PlanCacheEntry {
     std::shared_ptr<const XJoinPlan> plan;
@@ -473,6 +538,7 @@ class MultiModelDatabase {
   mutable int64_t plan_cache_misses_ = 0;
   mutable int64_t plan_cache_invalidations_ = 0;
   mutable int64_t plan_cache_evictions_ = 0;
+  mutable int64_t plan_cache_rebinds_ = 0;
 };
 
 }  // namespace xjoin

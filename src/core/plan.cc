@@ -20,7 +20,9 @@ namespace {
 int64_t LevelEstimate(const std::shared_ptr<const RelationTrie>& trie,
                       const PathRelation* path, size_t local_level) {
   if (trie != nullptr) {
-    return static_cast<int64_t>(trie->level_keys(local_level).size());
+    // Delta-aware upper bound: base level keys plus pending insert rows
+    // (exact for the common no-delta case).
+    return static_cast<int64_t>(trie->LevelKeyEstimate(local_level));
   }
   return static_cast<int64_t>(
       path->index().NodesByTag(path->tags()[local_level]).size());
@@ -281,6 +283,25 @@ Result<std::shared_ptr<XJoinPlan>> PrepareXJoin(const MultiModelQuery& query,
 
   MetricsAdd(options.metrics, "plan.prepared", 1);
   MetricsAdd(options.metrics, "plan.prepare_micros", timer.ElapsedMicros());
+  return plan;
+}
+
+Result<std::shared_ptr<XJoinPlan>> RebindXJoin(const XJoinPlan& stale,
+                                               const MultiModelQuery& query,
+                                               const XJoinOptions& options) {
+  Timer timer;
+  XJoinOptions rebind_options = options;
+  // Pin the stale plan's expansion order: the query shape is unchanged,
+  // so re-running order selection could only reproduce (or needlessly
+  // perturb) it. Metrics are detached so a rebind counts below rather
+  // than as a full "plan.prepared"; the providers carry their own
+  // metrics pointers and are unaffected.
+  rebind_options.attribute_order = stale.order;
+  rebind_options.metrics = nullptr;
+  XJ_ASSIGN_OR_RETURN(std::shared_ptr<XJoinPlan> plan,
+                      PrepareXJoin(query, rebind_options));
+  MetricsAdd(options.metrics, "plan.rebinds", 1);
+  MetricsAdd(options.metrics, "plan.rebind_micros", timer.ElapsedMicros());
   return plan;
 }
 

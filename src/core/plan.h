@@ -259,6 +259,20 @@ size_t PlanFingerprint(const XJoinOptions& options);
 Result<std::shared_ptr<XJoinPlan>> PrepareXJoin(const MultiModelQuery& query,
                                                 const XJoinOptions& options);
 
+/// Re-prepares a structurally unchanged plan against updated inputs:
+/// the caller supplies `query` as the stale plan's parsed query with
+/// relation pointers remapped to the new storage (documents must be
+/// unchanged), and the stale plan's expansion order is forced, so
+/// rebinding skips parsing and order selection and spends its time only
+/// re-pinning tries through the providers — which is where the
+/// database's delta-patched tries at the new versions come from.
+/// Records "plan.rebinds" / "plan.rebind_micros" instead of
+/// "plan.prepared"; used by the plan cache to keep entries serving
+/// across ApplyRelationDelta version bumps without a full re-plan.
+Result<std::shared_ptr<XJoinPlan>> RebindXJoin(const XJoinPlan& stale,
+                                               const MultiModelQuery& query,
+                                               const XJoinOptions& options);
+
 /// Renders the plan for EXPLAIN: inputs and their transform(Sx)
 /// decompositions, the expansion order with per-level bound rationale,
 /// pinned-trie cache provenance, the shard plan, and the Equation-1

@@ -4,6 +4,9 @@
 // level i enumerates the distinct values of attribute i given the bound
 // prefix. Implementations:
 //   * RelationTrie           — materialized, over a columnar Relation
+//     (delta-free tries walk the CSR arrays directly; tries carrying a
+//     pending update side-file merge base and delta on the fly — see
+//     RelationDeltaTrieIterator in relational/trie.h)
 //   * LazyPathTrie           — navigates an XML document in place
 //   * MaterializedPathTrie   — XML path relation flattened to a Relation
 #ifndef XJOIN_RELATIONAL_TRIE_ITERATOR_H_

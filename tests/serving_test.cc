@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -102,6 +103,7 @@ TEST_F(ServingTest, ConcurrentReadersSeeConsistentSnapshots) {
   std::atomic<bool> stop{false};
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;
+  threads.reserve(6);  // gcc 12 -Werror: avoid the _M_realloc_insert FP
   // Two writers, alternating contents to preserve the parity map.
   threads.emplace_back([&] {
     for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
@@ -146,6 +148,171 @@ TEST_F(ServingTest, ConcurrentReadersSeeConsistentSnapshots) {
   threads[0].join();
   threads[1].join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// Set difference of two relations expressed as a RelationDelta: the
+// batch that morphs `from` into `to` when applied.
+RelationDelta DiffDelta(const Relation& from, const Relation& to) {
+  std::vector<Tuple> from_rows = from.ToTuples();
+  std::vector<Tuple> to_rows = to.ToTuples();
+  std::sort(from_rows.begin(), from_rows.end());
+  std::sort(to_rows.begin(), to_rows.end());
+  RelationDelta delta;
+  std::set_difference(to_rows.begin(), to_rows.end(), from_rows.begin(),
+                      from_rows.end(), std::back_inserter(delta.inserts));
+  std::set_difference(from_rows.begin(), from_rows.end(), to_rows.begin(),
+                      to_rows.end(), std::back_inserter(delta.deletes));
+  return delta;
+}
+
+TEST_F(ServingTest, ConcurrentDeltaWritersSeeConsistentSnapshots) {
+  // The delta-path twin of ConcurrentReadersSeeConsistentSnapshots:
+  // writers morph R and S between two contents via ApplyRelationDelta
+  // (patching cached tries in place, compacting when the side-file
+  // crosses the threshold) while readers demand results byte-identical
+  // to some consistent snapshot. Exercised under TSan in CI.
+  MultiModelDatabase db;
+  ASSERT_TRUE(db.RegisterRelationCsv("R", MakeCsv("A", "B", 40, 5, 0)).ok());
+  ASSERT_TRUE(db.RegisterRelationCsv("S", MakeCsv("B", "C", 40, 5, 0)).ok());
+  // Small thresholds so the stream keeps crossing the compaction
+  // boundary: readers see pending side-files and freshly-folded cores.
+  db.SetTrieDeltaCompaction(0.25, 8);
+  auto parse = [&](const std::string& csv) {
+    auto rel = ReadCsv(csv, CsvOptions{}, db.mutable_dictionary());
+    EXPECT_TRUE(rel.ok());
+    return *std::move(rel);
+  };
+  const Relation r0 = parse(MakeCsv("A", "B", 40, 5, 0));
+  const Relation r1 = parse(MakeCsv("A", "B", 40, 5, 100));
+  const Relation s0 = parse(MakeCsv("B", "C", 40, 5, 0));
+  const Relation s1 = parse(MakeCsv("B", "C", 40, 5, 100));
+
+  // Version parity map, same invariant as the rebuild-path test: the
+  // precompute below ends at (r0, s0) with both versions even, and
+  // every ApplyRelationDelta bumps exactly one version while flipping
+  // that relation's contents.
+  const std::string q = "Q(*) := R, S";
+  QueryOptions pinned;
+  pinned.xjoin.attribute_order = {"A", "B", "C"};
+  std::vector<Tuple> expected[2][2];
+  expected[0][0] = db.Query(q, pinned)->ToTuples();
+  ASSERT_TRUE(db.ApplyRelationDelta("S", DiffDelta(s0, s1)).ok());  // S v1
+  expected[0][1] = db.Query(q, pinned)->ToTuples();
+  ASSERT_TRUE(db.ApplyRelationDelta("R", DiffDelta(r0, r1)).ok());  // R v1
+  expected[1][1] = db.Query(q, pinned)->ToTuples();
+  ASSERT_TRUE(db.ApplyRelationDelta("S", DiffDelta(s1, s0)).ok());  // S v2
+  expected[1][0] = db.Query(q, pinned)->ToTuples();
+  ASSERT_TRUE(db.ApplyRelationDelta("R", DiffDelta(r1, r0)).ok());  // R v2
+  ASSERT_NE(expected[0][0], expected[1][1]);
+
+  const RelationDelta r_fwd = DiffDelta(r0, r1), r_back = DiffDelta(r1, r0);
+  const RelationDelta s_fwd = DiffDelta(s0, s1), s_back = DiffDelta(s1, s0);
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(6);  // gcc 12 -Werror: avoid the _M_realloc_insert FP
+  threads.emplace_back([&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      if (!db.ApplyRelationDelta("R", i % 2 == 0 ? r_fwd : r_back).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      if (!db.ApplyRelationDelta("S", i % 2 == 0 ? s_fwd : s_back).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        Session session = db.OpenSession();
+        uint64_t rv = *session.relation_version("R");
+        uint64_t sv = *session.relation_version("S");
+        QueryOptions options = pinned;
+        options.xjoin.num_threads = (i % 3 == 0) ? 2 : 1;
+        auto first = session.Query(q, options);
+        auto second = session.Query(q, options);
+        if (!first.ok() || !second.ok() ||
+            first->ToTuples() != expected[rv % 2][sv % 2] ||
+            second->ToTuples() != first->ToTuples()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (size_t t = 2; t < threads.size(); ++t) threads[t].join();
+  stop.store(true);
+  threads[0].join();
+  threads[1].join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(db.cache_stats().trie_patches, 0);
+}
+
+TEST_F(ServingTest, SnapshotPinsSurviveCompactionUnderLivePin) {
+  // Regression: a session/prepared statement opened before a delta
+  // keeps pinning the PRE-compaction trie object. Compaction must swap
+  // in a new core (never fold in place), so evicting the cache and
+  // compacting under the live pin cannot perturb the pinned snapshot.
+  db_.SetTrieDeltaCompaction(0.0, 0);  // fold on every delta
+  Session session = db_.OpenSession();
+  auto prepared = session.Prepare(q_);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto expected = session.Execute(*prepared);
+  ASSERT_TRUE(expected.ok());
+
+  // Delta + forced compaction patches the cached tries; the pinned
+  // plan must keep executing against the old core.
+  RelationDelta delta;
+  delta.inserts = {{db_.mutable_dictionary()->Intern("777"),
+                    db_.mutable_dictionary()->Intern("777")}};
+  ASSERT_TRUE(db_.ApplyRelationDelta("R", delta).ok());
+  ASSERT_TRUE(db_.ApplyRelationDelta("S", delta).ok());
+  EXPECT_GT(db_.cache_stats().trie_compactions, 0);
+
+  auto after_patch = session.Execute(*prepared);
+  ASSERT_TRUE(after_patch.ok());
+  EXPECT_EQ(expected->ToTuples(), after_patch->ToTuples());
+
+  // Evict everything; the pins alone keep the old storage alive.
+  db_.ClearPlanCache();
+  db_.ClearTrieCache();
+  db_.SetTrieCacheBudget(0);
+  auto after_evict = session.Execute(*prepared);
+  ASSERT_TRUE(after_evict.ok());
+  EXPECT_EQ(expected->ToTuples(), after_evict->ToTuples());
+  auto session_query = session.Query(q_);
+  ASSERT_TRUE(session_query.ok());
+  EXPECT_EQ(expected->ToTuples(), session_query->ToTuples());
+
+  // A fresh session sees the post-delta contents (one new join row).
+  auto fresh = db_.OpenSession().Query(q_);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->num_rows(), expected->num_rows() + 1);
+}
+
+TEST_F(ServingTest, PlanRebindKeepsPlansAcrossDeltaVersionBumps) {
+  // Warm the plan cache, apply a delta, query again: the plan must be
+  // re-pinned to the new trie versions (a rebind), not re-planned from
+  // scratch, and the rebound entry must serve subsequent hits.
+  ASSERT_TRUE(db_.Query(q_).ok());
+  CacheStats warm = db_.cache_stats();
+  RelationDelta delta;
+  delta.inserts = {{db_.mutable_dictionary()->Intern("888"),
+                    db_.mutable_dictionary()->Intern("888")}};
+  ASSERT_TRUE(db_.ApplyRelationDelta("R", delta).ok());
+  ASSERT_TRUE(db_.Query(q_).ok());
+  CacheStats after = db_.cache_stats();
+  EXPECT_EQ(after.plan_rebinds, warm.plan_rebinds + 1);
+  EXPECT_EQ(after.plan_misses, warm.plan_misses);  // no full re-plan
+  EXPECT_EQ(after.plan_entries, warm.plan_entries);
+  ASSERT_TRUE(db_.Query(q_).ok());
+  EXPECT_EQ(db_.cache_stats().plan_hits, after.plan_hits + 1);
 }
 
 TEST_F(ServingTest, BudgetMaxRowsReturnsResourceExhausted) {

@@ -104,6 +104,44 @@ TEST_F(TrieCacheTest, UpdateRelationInvalidatesAndRebuilds) {
   EXPECT_FALSE(db_.UpdateRelation("nope", Relation(*s)).ok());
 }
 
+TEST_F(TrieCacheTest, ApplyRelationDeltaPatchesInsteadOfInvalidating) {
+  ASSERT_TRUE(db_.Query("Q(*) := R, S").ok());
+  EXPECT_EQ(db_.TrieCacheSize(), 2u);
+  const int64_t misses_before = db_.trie_cache_misses();
+
+  // A delta to R re-keys its cached trie at the new version by
+  // patching it in place — no entry is dropped, nothing is rebuilt.
+  RelationDelta delta;
+  delta.inserts = {{db_.mutable_dictionary()->Intern("2"),
+                    db_.mutable_dictionary()->Intern("y")}};
+  ASSERT_TRUE(db_.ApplyRelationDelta("R", delta).ok());
+  EXPECT_EQ(*db_.relation_version("R"), 1u);
+  EXPECT_EQ(db_.TrieCacheSize(), 2u);
+  CacheStats stats = db_.cache_stats();
+  EXPECT_EQ(stats.trie_patches, 1);
+
+  // The next query is served by the patched trie: new contents, and no
+  // trie-cache miss (i.e. no from-scratch build).
+  auto result = db_.Query("Q(A, B, C) := R, S");
+  ASSERT_TRUE(result.ok());
+  const Dictionary& dict = db_.dictionary();
+  EXPECT_TRUE(result->ContainsRow(
+      {dict.Lookup("2"), dict.Lookup("y"), dict.Lookup("8")}));
+  EXPECT_EQ(db_.trie_cache_misses(), misses_before);
+
+  // Deleting the same row again via the delta path restores the
+  // original contents (second patch on the already-patched trie).
+  RelationDelta undo;
+  undo.deletes = delta.inserts;
+  ASSERT_TRUE(db_.ApplyRelationDelta("R", undo).ok());
+  auto restored = db_.Query("Q(A, B, C) := R, S");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored->ContainsRow(
+      {dict.Lookup("2"), dict.Lookup("y"), dict.Lookup("8")}));
+  EXPECT_EQ(db_.cache_stats().trie_patches, 2);
+  EXPECT_EQ(db_.trie_cache_misses(), misses_before);
+}
+
 TEST_F(TrieCacheTest, ExplicitInvalidationHooks) {
   ASSERT_TRUE(db_.Query("Q(*) := R, S").ok());
   ASSERT_EQ(db_.TrieCacheSize(), 2u);
