@@ -7,8 +7,19 @@
 //
 //   bench_concurrent --readers=1,2,4 --writers=0,2 --shards=1,4
 //                    --iters=20 --rows=600 --json=BENCH_concurrent.json
+//
+// Robustness mode: --cancel-rate=<pct> makes that percentage of reader
+// queries race a canceller thread (outcomes must be the exact result or
+// a clean kCancelled), and --tenants=<n> routes readers through n
+// deliberately small tenant pools so admission queueing/rejection is
+// exercised under load (typed kResourceExhausted counts as a healthy
+// outcome, anything else fails the bench):
+//
+//   bench_concurrent --readers=4 --writers=2 --cancel-rate=30 --tenants=2
+//                    --json=BENCH_robustness.json
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -39,8 +50,12 @@ struct Record {
   int readers = 0;
   int writers = 0;
   int shards = 0;
+  int cancel_rate = 0;
+  int tenants = 0;
   int64_t queries = 0;
   int64_t updates = 0;
+  int64_t cancelled = 0;
+  int64_t rejected = 0;
   double seconds = 0.0;
   double qps = 0.0;
   double p50_ms = 0.0;
@@ -59,10 +74,20 @@ double PercentileMs(std::vector<double>& sorted_seconds, double q) {
 // can map the version parities its snapshot reports to one of four
 // serially precomputed expected results.
 Record RunConfig(int readers, int writers, int shards, int iters, int rows,
-                 const std::string& query) {
+                 int cancel_rate, int tenants, const std::string& query) {
   MultiModelDatabase db;
   XJ_CHECK(db.RegisterRelationCsv("R", MakeCsv("A", "B", rows, 30, 0)).ok());
   XJ_CHECK(db.RegisterRelationCsv("S", MakeCsv("B", "C", rows, 30, 0)).ok());
+
+  // Robustness mode: small pools so saturation/queueing actually occurs
+  // at bench concurrency (typed rejections are counted, not failures).
+  for (int t = 0; t < tenants; ++t) {
+    TenantPoolOptions popt;
+    popt.max_concurrent = 2;
+    popt.max_queue_depth = 4;
+    popt.queue_deadline_micros = 20 * 1000;
+    XJ_CHECK(db.CreateTenantPool("t" + std::to_string(t), popt).ok());
+  }
 
   auto parse = [&](const std::string& csv) {
     auto rel = ReadCsv(csv, CsvOptions{}, db.mutable_dictionary());
@@ -111,6 +136,8 @@ Record RunConfig(int readers, int writers, int shards, int iters, int rows,
   std::atomic<bool> stop{false};
   std::atomic<int64_t> mismatches{0};
   std::atomic<int64_t> updates{0};
+  std::atomic<int64_t> cancelled{0};
+  std::atomic<int64_t> rejected{0};
   std::vector<std::vector<double>> latencies(readers);
   for (auto& v : latencies) v.reserve(iters);
 
@@ -145,15 +172,48 @@ Record RunConfig(int readers, int writers, int shards, int iters, int rows,
         }
         QueryOptions options;
         options.xjoin.num_threads = shards;
+        if (tenants > 0) options.tenant = "t" + std::to_string(r % tenants);
+        // Deterministic per-(reader, iteration) cancel schedule: the
+        // canceller races the query after a short staggered delay.
+        const bool race_cancel =
+            cancel_rate > 0 && (r * 7919 + i * 104729) % 100 < cancel_rate;
+        CancellationToken token;
+        std::thread canceller;
+        if (race_cancel) {
+          options.cancel = &token;
+          if ((r + i) % 2 == 0) {
+            // Half the cancels land before the query starts (the typed
+            // kCancelled path is exercised even when queries finish in
+            // microseconds); the other half genuinely race it.
+            token.Cancel("bench canceller");
+          } else {
+            canceller = std::thread([&token, r, i] {
+              std::this_thread::sleep_for(
+                  std::chrono::microseconds((r * 131 + i * 53) % 400));
+              token.Cancel("bench canceller");
+            });
+          }
+        }
         Timer timer;
         auto result = session.Query(query, options);
         double seconds = timer.ElapsedSeconds();
-        if (!result.ok() ||
-            result->ToTuples() != expected[*rv % 2][*sv % 2]) {
-          mismatches.fetch_add(1);
+        if (canceller.joinable()) canceller.join();
+        if (result.ok()) {
+          if (result->ToTuples() != expected[*rv % 2][*sv % 2]) {
+            mismatches.fetch_add(1);
+            return;
+          }
+          latencies[r].push_back(seconds);
+        } else if (race_cancel &&
+                   result.status().code() == StatusCode::kCancelled) {
+          cancelled.fetch_add(1, std::memory_order_relaxed);
+        } else if (tenants > 0 && result.status().code() ==
+                                      StatusCode::kResourceExhausted) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          mismatches.fetch_add(1);  // untyped failure: fail the bench
           return;
         }
-        latencies[r].push_back(seconds);
       }
     });
   }
@@ -178,8 +238,12 @@ Record RunConfig(int readers, int writers, int shards, int iters, int rows,
   record.readers = readers;
   record.writers = writers;
   record.shards = shards;
+  record.cancel_rate = cancel_rate;
+  record.tenants = tenants;
   record.queries = static_cast<int64_t>(all.size());
   record.updates = updates.load();
+  record.cancelled = cancelled.load();
+  record.rejected = rejected.load();
   record.seconds = seconds;
   record.qps = seconds > 0 ? static_cast<double>(all.size()) / seconds : 0.0;
   record.p50_ms = PercentileMs(all, 0.50);
@@ -195,30 +259,39 @@ void Run(int argc, char** argv) {
   const std::vector<int> shards = IntListFlag(argc, argv, "shards", {1, 4});
   const int iters = static_cast<int>(IntFlag(argc, argv, "iters", 20));
   const int rows = static_cast<int>(IntFlag(argc, argv, "rows", 600));
+  const int cancel_rate =
+      static_cast<int>(IntFlag(argc, argv, "cancel-rate", 0));
+  const int tenants = static_cast<int>(IntFlag(argc, argv, "tenants", 0));
   const std::string query = "Q(A, B, C) := R, S";
 
-  Banner("Serving core: concurrent sessions vs copy-on-swap writers");
+  Banner(cancel_rate > 0 || tenants > 0
+             ? "Serving core: concurrent sessions under cancellation and "
+               "tenant admission"
+             : "Serving core: concurrent sessions vs copy-on-swap writers");
 
   std::vector<Record> records;
   for (int m : readers) {
     for (int n : writers) {
       for (int s : shards) {
-        records.push_back(RunConfig(m, n, s, iters, rows, query));
+        records.push_back(
+            RunConfig(m, n, s, iters, rows, cancel_rate, tenants, query));
       }
     }
   }
 
-  Table table({"readers", "writers", "shards", "queries", "updates", "qps",
-               "p50", "p95", "p99"});
+  Table table({"readers", "writers", "shards", "queries", "updates",
+               "cancelled", "rejected", "qps", "p50", "p95", "p99"});
   for (const Record& r : records) {
     table.AddRow({FmtInt(r.readers), FmtInt(r.writers), FmtInt(r.shards),
-                  FmtInt(r.queries), FmtInt(r.updates), FmtF(r.qps, 0),
+                  FmtInt(r.queries), FmtInt(r.updates), FmtInt(r.cancelled),
+                  FmtInt(r.rejected), FmtF(r.qps, 0),
                   FmtSeconds(r.p50_ms / 1e3), FmtSeconds(r.p95_ms / 1e3),
                   FmtSeconds(r.p99_ms / 1e3)});
   }
   table.Print();
-  std::printf("\nAll %zu configurations returned byte-identical results for "
-              "their snapshots.\n", records.size());
+  std::printf("\nAll %zu configurations returned byte-identical results (or "
+              "typed cancel/admission errors) for their snapshots.\n",
+              records.size());
 
   JsonArrayWriter json;
   for (const Record& r : records) {
@@ -226,8 +299,12 @@ void Run(int argc, char** argv) {
         .Field("readers", r.readers)
         .Field("writers", r.writers)
         .Field("shards", r.shards)
+        .Field("cancel_rate", r.cancel_rate)
+        .Field("tenants", r.tenants)
         .Field("queries", r.queries)
         .Field("updates", r.updates)
+        .Field("cancelled", r.cancelled)
+        .Field("rejected", r.rejected)
         .Field("seconds", r.seconds, 6)
         .Field("qps", r.qps, 1)
         .Field("p50_ms", r.p50_ms, 3)

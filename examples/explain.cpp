@@ -82,5 +82,34 @@ int main() {
   }
   std::printf("\n=== EXPLAIN (warm: served from the plan cache) ===\n\n%s",
               warm->c_str());
+
+  // Admission counters: run one query through a tenant pool and cancel
+  // another before it starts, then read the db-wide totals the warm
+  // EXPLAIN above also reports on its "admission:" line.
+  status = db.CreateTenantPool("bookstore");
+  if (!status.ok()) {
+    std::fprintf(stderr, "pool error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  Session session = db.OpenSession();
+  QueryOptions tenanted;
+  tenanted.tenant = "bookstore";
+  if (auto r = session.Query(query, tenanted); !r.ok()) {
+    std::fprintf(stderr, "query error: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  Session doomed = db.OpenSession();
+  doomed.Cancel("example shutdown");
+  auto cancelled = doomed.Query(query);
+  CacheStats stats = db.cache_stats();
+  std::printf(
+      "\n=== Admission (after one tenant-pool query + one cancel) ===\n\n"
+      "cancelled query returned: %s\n"
+      "db-wide: %lld admitted, %lld queued, %lld rejected, %lld cancelled\n",
+      cancelled.status().ToString().c_str(),
+      static_cast<long long>(stats.admission_admitted),
+      static_cast<long long>(stats.admission_queued),
+      static_cast<long long>(stats.admission_rejected),
+      static_cast<long long>(stats.admission_cancelled));
   return 0;
 }

@@ -6,6 +6,14 @@
 // kDeadlineExceeded for time) and NO partial result is returned —
 // budgets are guardrails against runaway queries, not LIMIT clauses.
 //
+// The tracker is also the cancellation rendezvous: CancellationTokens
+// (common/cancel.h) attach as "cancel sources", and the violated() poll
+// every shard already performs each binding additionally observes them,
+// turning a Cancel() from any thread into a typed kCancelled failure
+// within one budget-check interval. Per-tenant aggregate in-flight
+// ceilings (AggregateBudget, fed by TenantPool) layer on the same
+// charge path.
+//
 // Semantics (also documented on QueryOptions):
 //   max_rows / max_bytes  meter rows materialized at any stage — the
 //       expansion output counts, not just the final projection — so a
@@ -20,10 +28,62 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
 
+#include "common/cancel.h"
 #include "common/status.h"
 
 namespace xjoin {
+
+/// Aggregate in-flight row/byte ceilings shared by every concurrently
+/// running query of one tenant pool. Queries charge through their own
+/// BudgetTracker (AttachAggregate below) and release their charges when
+/// they finish, so the ceilings bound the *sum* of live intermediate
+/// results, not any single query. Thread-safe; 0 means unlimited.
+class AggregateBudget {
+ public:
+  AggregateBudget(std::string label, int64_t max_rows, int64_t max_bytes)
+      : label_(std::move(label)), max_rows_(max_rows), max_bytes_(max_bytes) {}
+
+  enum Crossed { kNone = 0, kRows = 1, kBytes = 2 };
+
+  /// Charges in-flight work; reports the first ceiling crossed (sticky
+  /// decisions are the caller's — the charge itself always lands, and
+  /// the matching Release keeps the accounting balanced).
+  Crossed Charge(int64_t rows, int64_t bytes) {
+    int64_t total_rows = rows_.fetch_add(rows, std::memory_order_relaxed) +
+                         rows;
+    int64_t total_bytes = bytes_.fetch_add(bytes, std::memory_order_relaxed) +
+                          bytes;
+    if (max_rows_ > 0 && total_rows > max_rows_) return kRows;
+    if (max_bytes_ > 0 && total_bytes > max_bytes_) return kBytes;
+    return kNone;
+  }
+
+  /// Returns a finished query's charges to the pool.
+  void Release(int64_t rows, int64_t bytes) {
+    rows_.fetch_sub(rows, std::memory_order_relaxed);
+    bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  int64_t inflight_rows() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+  int64_t inflight_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t max_rows() const { return max_rows_; }
+  int64_t max_bytes() const { return max_bytes_; }
+  /// Diagnostic name (the tenant pool), used in violation messages.
+  const std::string& label() const { return label_; }
+
+ private:
+  const std::string label_;
+  const int64_t max_rows_;
+  const int64_t max_bytes_;
+  std::atomic<int64_t> rows_{0};
+  std::atomic<int64_t> bytes_{0};
+};
 
 /// Thread-safe budget accounting shared by every shard of one query.
 /// Default-constructed trackers have no limits and every charge is a
@@ -43,21 +103,62 @@ class BudgetTracker {
     }
   }
 
+  /// Whether the engines must charge work through this tracker: any
+  /// finite limit, any attached cancel source, or a tenant aggregate.
   bool limited() const {
-    return max_rows_ > 0 || max_bytes_ > 0 || has_deadline_;
+    return max_rows_ > 0 || max_bytes_ > 0 || has_deadline_ ||
+           num_cancel_ > 0 || aggregate_ != nullptr;
+  }
+
+  /// Attaches a cancellation token this query observes (query-options
+  /// token, session token, prepared-statement token). Idempotent per
+  /// token; at most kMaxCancelSources distinct sources (extras are
+  /// ignored — the plumbing never attaches more). NOT thread-safe:
+  /// call during query setup, before any shard runs.
+  void AddCancelSource(const CancellationToken* token) {
+    if (token == nullptr) return;
+    for (int i = 0; i < num_cancel_; ++i) {
+      if (cancel_[i] == token) return;
+    }
+    if (num_cancel_ < kMaxCancelSources) cancel_[num_cancel_++] = token;
+  }
+
+  /// Whether any cancel source is attached (the engines count their
+  /// cancellation polls only when one is).
+  bool has_cancel() const { return num_cancel_ > 0; }
+
+  /// Attaches the tenant pool's aggregate in-flight ceilings; every
+  /// ChargeRows also charges the aggregate. NOT thread-safe: call
+  /// during query setup. The caller owns the release (the admission
+  /// slot returns rows_charged()/bytes_charged() when the query ends).
+  void AttachAggregate(AggregateBudget* aggregate) {
+    aggregate_ = aggregate;
   }
 
   /// Charges `rows` newly materialized rows of `bytes` total size.
   /// Returns false once any budget is exceeded (sticky).
   bool ChargeRows(int64_t rows, int64_t bytes) {
-    if (max_rows_ > 0 &&
-        rows_.fetch_add(rows, std::memory_order_relaxed) + rows > max_rows_) {
+    int64_t total_rows =
+        rows_.fetch_add(rows, std::memory_order_relaxed) + rows;
+    int64_t total_bytes =
+        bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (max_rows_ > 0 && total_rows > max_rows_) {
       MarkViolation(kRowsExceeded);
     }
-    if (max_bytes_ > 0 &&
-        bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes >
-            max_bytes_) {
-      MarkViolation(kRowsExceeded);
+    if (max_bytes_ > 0 && total_bytes > max_bytes_) {
+      MarkViolation(kBytesExceeded);
+    }
+    if (aggregate_ != nullptr) {
+      switch (aggregate_->Charge(rows, bytes)) {
+        case AggregateBudget::kRows:
+          MarkViolation(kTenantRowsExceeded);
+          break;
+        case AggregateBudget::kBytes:
+          MarkViolation(kTenantBytesExceeded);
+          break;
+        case AggregateBudget::kNone:
+          break;
+      }
     }
     return !violated();
   }
@@ -71,24 +172,59 @@ class BudgetTracker {
     return !violated();
   }
 
-  /// Whether any budget has been exceeded. Relaxed load — shards poll
-  /// this every binding to abort early.
-  bool violated() const {
-    return violation_.load(std::memory_order_relaxed) != kNone;
+  /// Whether any budget has been exceeded or any attached token was
+  /// cancelled. Relaxed loads — shards poll this every binding to abort
+  /// early; a seen cancellation is latched as a sticky violation.
+  bool violated() {
+    if (violation_.load(std::memory_order_relaxed) != kNone) return true;
+    for (int i = 0; i < num_cancel_; ++i) {
+      if (cancel_[i]->cancelled()) {
+        MarkViolation(kCancelled);
+        return true;
+      }
+    }
+    return false;
   }
 
-  /// OK, or the typed failure for the first budget crossed.
+  /// OK, or the typed failure naming the first limit actually crossed
+  /// plus the totals charged when it tripped.
   Status status() const {
     switch (violation_.load(std::memory_order_relaxed)) {
       case kRowsExceeded:
         return Status::ResourceExhausted(
-            "query exceeded its row/byte budget (max_rows=" +
-            std::to_string(max_rows_) +
-            ", max_bytes=" + std::to_string(max_bytes_) +
+            "query exceeded max_rows=" + std::to_string(max_rows_) +
+            " (charged " + ChargedTotals() +
+            "); partial results are discarded");
+      case kBytesExceeded:
+        return Status::ResourceExhausted(
+            "query exceeded max_bytes=" + std::to_string(max_bytes_) +
+            " (charged " + ChargedTotals() +
             "); partial results are discarded");
       case kDeadlineExceeded:
         return Status::DeadlineExceeded(
             "query exceeded its deadline; partial results are discarded");
+      case kCancelled:
+        for (int i = 0; i < num_cancel_; ++i) {
+          if (cancel_[i]->cancelled()) return cancel_[i]->status();
+        }
+        return Status::Cancelled(
+            "query cancelled; partial results are discarded");
+      case kTenantRowsExceeded:
+        return Status::ResourceExhausted(
+            "tenant pool '" + AggregateLabel() +
+            "' exceeded its aggregate in-flight row ceiling (" +
+            std::to_string(aggregate_ != nullptr ? aggregate_->max_rows()
+                                                 : 0) +
+            " rows across concurrent queries); partial results are "
+            "discarded — retry when the pool drains");
+      case kTenantBytesExceeded:
+        return Status::ResourceExhausted(
+            "tenant pool '" + AggregateLabel() +
+            "' exceeded its aggregate in-flight byte ceiling (" +
+            std::to_string(aggregate_ != nullptr ? aggregate_->max_bytes()
+                                                 : 0) +
+            " bytes across concurrent queries); partial results are "
+            "discarded — retry when the pool drains");
       default:
         return Status::OK();
     }
@@ -102,7 +238,17 @@ class BudgetTracker {
   }
 
  private:
-  enum Violation : int { kNone = 0, kRowsExceeded = 1, kDeadlineExceeded = 2 };
+  enum Violation : int {
+    kNone = 0,
+    kRowsExceeded = 1,
+    kBytesExceeded = 2,
+    kDeadlineExceeded = 3,
+    kCancelled = 4,
+    kTenantRowsExceeded = 5,
+    kTenantBytesExceeded = 6,
+  };
+
+  static constexpr int kMaxCancelSources = 4;
 
   void MarkViolation(Violation v) {
     int expected = kNone;
@@ -110,10 +256,25 @@ class BudgetTracker {
                                        std::memory_order_relaxed);
   }
 
+  std::string ChargedTotals() const {
+    return std::to_string(rows_charged()) + " rows, " +
+           std::to_string(bytes_charged()) + " bytes";
+  }
+
+  std::string AggregateLabel() const {
+    return aggregate_ != nullptr ? aggregate_->label() : std::string("?");
+  }
+
   int64_t max_rows_ = 0;
   int64_t max_bytes_ = 0;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
+  // Cancel sources and the aggregate are set during query setup (before
+  // any shard thread launches — the executor hand-off provides the
+  // happens-before) and only read afterwards.
+  const CancellationToken* cancel_[kMaxCancelSources] = {};
+  int num_cancel_ = 0;
+  AggregateBudget* aggregate_ = nullptr;
   std::atomic<int64_t> rows_{0};
   std::atomic<int64_t> bytes_{0};
   std::atomic<int> violation_{kNone};

@@ -1,0 +1,84 @@
+#include "common/fault.h"
+
+#include <utility>
+
+namespace xjoin {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::FailAt(const std::string& site, int64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_[site] = nth;
+}
+
+void FaultInjector::SetSeed(uint64_t seed, double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seeded_ = true;
+  seed_ = seed;
+  seed_p_ = p;
+}
+
+void FaultInjector::SetHandler(const std::string& site,
+                               std::function<void(int64_t)> handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[site] = std::move(handler);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hit_counts_.clear();
+  fail_at_.clear();
+  handlers_.clear();
+  seeded_ = false;
+  seed_ = 0;
+  seed_p_ = 0.0;
+}
+
+int64_t FaultInjector::hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hit_counts_.find(site);
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+namespace {
+
+// splitmix64: decorrelates (seed, site-hash, hit#) into a uniform
+// 64-bit value so seeded chaos decisions replay exactly per seed.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FaultInjector::Hit(const std::string& site) {
+  std::function<void(int64_t)> handler;
+  int64_t count = 0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    count = ++hit_counts_[site];
+    auto fa = fail_at_.find(site);
+    if (fa != fail_at_.end() && count >= fa->second) fail = true;
+    if (!fail && seeded_ && seed_p_ > 0.0) {
+      uint64_t h = Mix(seed_ ^ Mix(std::hash<std::string>{}(site)) ^
+                       Mix(static_cast<uint64_t>(count)));
+      double u = static_cast<double>(h >> 11) *
+                 (1.0 / 9007199254740992.0);  // [0,1) from top 53 bits
+      fail = u < seed_p_;
+    }
+    auto hi = handlers_.find(site);
+    if (hi != handlers_.end()) handler = hi->second;
+  }
+  // Outside the lock: handlers may call back into tokens, pools, or the
+  // injector itself.
+  if (handler) handler(count);
+  return fail;
+}
+
+}  // namespace xjoin

@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kIOError,
   kResourceExhausted,
   kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Human-readable name for a StatusCode (e.g. "InvalidArgument").
@@ -70,6 +71,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/hash.h"
 #include "common/string_util.h"
 #include "xml/parser.h"
@@ -242,6 +243,15 @@ Status MultiModelDatabase::ApplyRelationDelta(const std::string& name,
                          std::move(shared));
   }
 
+  // Fault site: a failure here (after patching, before publication)
+  // must leave the old version fully intact — the registry entry,
+  // version, and every cached trie are untouched because nothing above
+  // mutated shared state.
+  if (XJOIN_FAULT("trie.compact")) {
+    return Status::Internal("fault injection: delta compaction for " + name +
+                            " failed before publish (site trie.compact)");
+  }
+
   // 3. Publish: swap the storage and bump the version (update_mu_
   // guarantees it is still old_version).
   {
@@ -416,7 +426,7 @@ Session MultiModelDatabase::OpenSession() const {
 
 Result<Relation> Session::Query(const std::string& text,
                                 const QueryOptions& options) const {
-  return db_->RunQuery(text, options, snap_);
+  return db_->RunQuery(text, options, snap_, cancel_.get());
 }
 
 Result<PreparedQuery> Session::Prepare(const std::string& text,
@@ -433,7 +443,8 @@ Result<Relation> Session::Execute(const PreparedQuery& prepared,
   if (prepared.plan == nullptr) {
     return Status::InvalidArgument("empty PreparedQuery");
   }
-  return db_->RunPlan(*prepared.plan, options);
+  return db_->RunPlan(*prepared.plan, options, cancel_.get(),
+                      prepared.cancel.get());
 }
 
 Result<std::string> Session::Explain(const std::string& text,
@@ -455,6 +466,11 @@ Result<std::string> Session::Explain(const std::string& text,
          std::to_string(stats.trie_hits) + " hits, " +
          std::to_string(stats.trie_misses) + " misses, " +
          std::to_string(stats.trie_evictions) + " evictions\n";
+  out += "admission: " + std::to_string(stats.admission_admitted) +
+         " admitted, " + std::to_string(stats.admission_queued) +
+         " queued, " + std::to_string(stats.admission_rejected) +
+         " rejected, " + std::to_string(stats.admission_cancelled) +
+         " cancelled\n";
   return out;
 }
 
@@ -624,9 +640,9 @@ size_t MultiModelDatabase::trie_cache_budget() const {
 
 TrieProvider MultiModelDatabase::CacheTrieProvider(
     std::shared_ptr<const internal::DatabaseSnapshot> snap, Metrics* metrics,
-    int num_threads) const {
+    int num_threads, const CancellationToken* cancel) const {
   const MultiModelDatabase* self = this;
-  return [self, snap = std::move(snap), metrics, num_threads](
+  return [self, snap = std::move(snap), metrics, num_threads, cancel](
              const std::string& name, const Relation& relation,
              const std::vector<std::string>& order)
              -> Result<std::shared_ptr<const RelationTrie>> {
@@ -652,6 +668,13 @@ TrieProvider MultiModelDatabase::CacheTrieProvider(
         return hit;
       }
     }
+    // Cache miss: a cancelled query must not pay for (or fault tests
+    // silently survive) a cold build.
+    if (cancel != nullptr && cancel->cancelled()) return cancel->status();
+    if (XJOIN_FAULT("trie.build")) {
+      return Status::Internal("fault injection: trie build for " + name +
+                              " failed (site trie.build)");
+    }
     // Build outside the lock (concurrent queries may race to build the
     // same trie; the insert below keeps the first and the extra build
     // is discarded — correctness over double-build avoidance).
@@ -674,9 +697,9 @@ TrieProvider MultiModelDatabase::CacheTrieProvider(
 
 PathTrieProvider MultiModelDatabase::CachePathTrieProvider(
     std::shared_ptr<const internal::DatabaseSnapshot> snap, Metrics* metrics,
-    int num_threads) const {
+    int num_threads, const CancellationToken* cancel) const {
   const MultiModelDatabase* self = this;
-  return [self, snap = std::move(snap), metrics, num_threads](
+  return [self, snap = std::move(snap), metrics, num_threads, cancel](
              const PathRelation& relation, const std::string& signature)
              -> Result<std::shared_ptr<const RelationTrie>> {
     std::string doc_name = SnapshotDocumentNameOf(*snap, &relation.index());
@@ -694,6 +717,11 @@ PathTrieProvider MultiModelDatabase::CachePathTrieProvider(
         MetricsAdd(metrics, "db.trie_cache.hits", 1);
         return hit;
       }
+    }
+    if (cancel != nullptr && cancel->cancelled()) return cancel->status();
+    if (XJOIN_FAULT("trie.build")) {
+      return Status::Internal("fault injection: path trie build for " +
+                              doc_name + " failed (site trie.build)");
     }
     TrieBuildOptions build_options;
     build_options.num_threads = num_threads;
@@ -758,26 +786,104 @@ void MultiModelDatabase::InvalidatePlans(const std::string& name) {
 
 CacheStats MultiModelDatabase::cache_stats() const {
   CacheStats stats;
-  // Lock order: trie then plan (nowhere does the reverse nesting
-  // exist); each section is read atomically under its own mutex.
-  std::lock_guard<std::mutex> trie_lock(trie_cache_mu_);
-  std::lock_guard<std::mutex> plan_lock(plan_cache_mu_);
-  stats.trie_entries = trie_lru_.size();
-  stats.trie_bytes = trie_cache_bytes_;
-  stats.trie_budget = trie_cache_budget_;
-  stats.trie_hits = trie_cache_hits_;
-  stats.trie_misses = trie_cache_misses_;
-  stats.trie_evictions = trie_cache_evictions_;
-  stats.trie_patches = trie_cache_patches_;
-  stats.trie_compactions = trie_cache_compactions_;
-  stats.plan_entries = plan_cache_.size();
-  stats.plan_capacity = plan_cache_capacity_;
-  stats.plan_hits = plan_cache_hits_;
-  stats.plan_misses = plan_cache_misses_;
-  stats.plan_invalidations = plan_cache_invalidations_;
-  stats.plan_evictions = plan_cache_evictions_;
-  stats.plan_rebinds = plan_cache_rebinds_;
+  {
+    // Lock order: trie then plan (nowhere does the reverse nesting
+    // exist); each section is read atomically under its own mutex.
+    std::lock_guard<std::mutex> trie_lock(trie_cache_mu_);
+    std::lock_guard<std::mutex> plan_lock(plan_cache_mu_);
+    stats.trie_entries = trie_lru_.size();
+    stats.trie_bytes = trie_cache_bytes_;
+    stats.trie_budget = trie_cache_budget_;
+    stats.trie_hits = trie_cache_hits_;
+    stats.trie_misses = trie_cache_misses_;
+    stats.trie_evictions = trie_cache_evictions_;
+    stats.trie_patches = trie_cache_patches_;
+    stats.trie_compactions = trie_cache_compactions_;
+    stats.plan_entries = plan_cache_.size();
+    stats.plan_capacity = plan_cache_capacity_;
+    stats.plan_hits = plan_cache_hits_;
+    stats.plan_misses = plan_cache_misses_;
+    stats.plan_invalidations = plan_cache_invalidations_;
+    stats.plan_evictions = plan_cache_evictions_;
+    stats.plan_rebinds = plan_cache_rebinds_;
+  }
+  // Admission totals: live pools + pools already removed + queries that
+  // ran without a tenant. tenant_mu_ is a leaf lock, taken on its own.
+  stats.admission_admitted = untenanted_admitted_.load();
+  stats.admission_cancelled = untenanted_cancelled_.load();
+  {
+    std::lock_guard<std::mutex> tenant_lock(tenant_mu_);
+    stats.admission_admitted += tenant_retired_.admitted;
+    stats.admission_queued += tenant_retired_.queued;
+    stats.admission_rejected += tenant_retired_.rejected;
+    stats.admission_cancelled += tenant_retired_.cancelled;
+    for (const auto& [name, pool] : tenant_pools_) {
+      (void)name;
+      TenantPoolStats s = pool->stats();
+      stats.admission_admitted += s.admitted;
+      stats.admission_queued += s.queued;
+      stats.admission_rejected += s.rejected;
+      stats.admission_cancelled += s.cancelled;
+    }
+  }
   return stats;
+}
+
+Status MultiModelDatabase::CreateTenantPool(const std::string& name,
+                                            const TenantPoolOptions& options) {
+  if (name.empty()) return Status::InvalidArgument("empty tenant pool name");
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  if (tenant_pools_.count(name)) {
+    return Status::AlreadyExists("tenant pool '" + name +
+                                 "' is already registered");
+  }
+  tenant_pools_.emplace(name, std::make_shared<TenantPool>(name, options));
+  return Status::OK();
+}
+
+Status MultiModelDatabase::RemoveTenantPool(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  auto it = tenant_pools_.find(name);
+  if (it == tenant_pools_.end()) {
+    return Status::NotFound("no tenant pool '" + name + "'");
+  }
+  // Fold the monotonic history into the retired accumulator so the
+  // db-wide admission totals never go backwards. In-flight queries
+  // admitted through this pool still hold it via shared_ptr; their
+  // releases/cancellations after this point are the one thing removal
+  // loses.
+  TenantPoolStats s = it->second->stats();
+  tenant_retired_.admitted += s.admitted;
+  tenant_retired_.queued += s.queued;
+  tenant_retired_.rejected += s.rejected;
+  tenant_retired_.cancelled += s.cancelled;
+  tenant_pools_.erase(it);
+  return Status::OK();
+}
+
+Result<TenantPoolStats> MultiModelDatabase::tenant_pool_stats(
+    const std::string& name) const {
+  std::shared_ptr<TenantPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(tenant_mu_);
+    auto it = tenant_pools_.find(name);
+    if (it == tenant_pools_.end()) {
+      return Status::NotFound("no tenant pool '" + name + "'");
+    }
+    pool = it->second;
+  }
+  return pool->stats();
+}
+
+std::vector<std::string> MultiModelDatabase::TenantPoolNames() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  names.reserve(tenant_pools_.size());
+  for (const auto& [name, pool] : tenant_pools_) {
+    (void)pool;
+    names.push_back(name);
+  }
+  return names;
 }
 
 void MultiModelDatabase::AttachSnapshotSources(
@@ -894,11 +1000,13 @@ MultiModelDatabase::PreparePlanSnapshot(
       int num_threads = std::max(1, options.num_threads);
       if (!rebind_options.trie_provider) {
         rebind_options.trie_provider =
-            CacheTrieProvider(snap, options.metrics, num_threads);
+            CacheTrieProvider(snap, options.metrics, num_threads,
+                              options.cancel);
       }
       if (!rebind_options.path_trie_provider) {
         rebind_options.path_trie_provider =
-            CachePathTrieProvider(snap, options.metrics, num_threads);
+            CachePathTrieProvider(snap, options.metrics, num_threads,
+                                  options.cancel);
       }
       XJ_ASSIGN_OR_RETURN(std::shared_ptr<XJoinPlan> plan,
                           RebindXJoin(*stale, query, rebind_options));
@@ -946,11 +1054,12 @@ MultiModelDatabase::PreparePlanSnapshot(
   int num_threads = std::max(1, options.num_threads);
   if (!prepare_options.trie_provider) {
     prepare_options.trie_provider =
-        CacheTrieProvider(snap, options.metrics, num_threads);
+        CacheTrieProvider(snap, options.metrics, num_threads, options.cancel);
   }
   if (!prepare_options.path_trie_provider) {
     prepare_options.path_trie_provider =
-        CachePathTrieProvider(snap, options.metrics, num_threads);
+        CachePathTrieProvider(snap, options.metrics, num_threads,
+                              options.cancel);
   }
   XJ_ASSIGN_OR_RETURN(std::shared_ptr<XJoinPlan> plan,
                       PrepareXJoin(query, prepare_options));
@@ -986,63 +1095,169 @@ MultiModelDatabase::PreparePlanSnapshot(
 // Execution
 // ---------------------------------------------------------------------------
 
-Result<Relation> MultiModelDatabase::RunPlan(const XJoinPlan& plan,
-                                             const QueryOptions& options)
-    const {
-  // The budget clock starts here — planning/cache time is not charged,
-  // execution time is.
+Result<std::shared_ptr<TenantPool>> MultiModelDatabase::ResolveTenant(
+    const std::string& tenant) const {
+  if (tenant.empty()) return std::shared_ptr<TenantPool>();
+  std::lock_guard<std::mutex> lock(tenant_mu_);
+  auto it = tenant_pools_.find(tenant);
+  if (it == tenant_pools_.end()) {
+    return Status::NotFound("no tenant pool '" + tenant +
+                            "' (create it with CreateTenantPool)");
+  }
+  return it->second;
+}
+
+namespace {
+
+// Returns a tenant-pool slot (and the query's aggregate charges) when
+// the query ends, however it ends. Declared AFTER the BudgetTracker at
+// the call sites so it is destroyed first — the tracker's charged
+// totals must still be alive to release.
+struct SlotGuard {
+  std::shared_ptr<TenantPool> pool;
+  BudgetTracker* budget = nullptr;
+  std::atomic<int64_t>* untenanted_cancelled = nullptr;
+  bool cancelled = false;
+
+  ~SlotGuard() {
+    if (pool != nullptr) {
+      if (pool->aggregate() != nullptr) {
+        pool->aggregate()->Release(budget->rows_charged(),
+                                   budget->bytes_charged());
+      }
+      if (cancelled) pool->NoteCancelled();
+      pool->Release();
+    } else if (cancelled && untenanted_cancelled != nullptr) {
+      untenanted_cancelled->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace
+
+Result<Relation> MultiModelDatabase::RunPlan(
+    const XJoinPlan& plan, const QueryOptions& options,
+    const CancellationToken* session_cancel,
+    const CancellationToken* prepared_cancel) const {
+  XJ_ASSIGN_OR_RETURN(std::shared_ptr<TenantPool> pool,
+                      ResolveTenant(options.tenant));
+
+  // The budget clock starts here — planning/cache time is not charged;
+  // admission queueing and execution time are. Every cancel scope the
+  // query observes (call-, session-, statement-) attaches as a cancel
+  // source, polled by one violated() check per binding.
   BudgetTracker budget(options.max_rows, options.max_bytes,
                        options.deadline_micros);
-  if (options.engine == Engine::kBaseline) {
-    // The baseline engine has no mid-flight hooks; budgets are enforced
-    // post-hoc on the combined result (the deadline still cuts callers
-    // off with a typed Status, just after the work instead of during).
-    BaselineOptions baseline_options;
-    baseline_options.metrics = options.metrics;
-    XJ_ASSIGN_OR_RETURN(Relation result,
-                        ExecuteBaseline(plan.query, baseline_options));
-    if (budget.limited()) {
-      auto rows = static_cast<int64_t>(result.num_rows());
-      budget.ChargeRows(rows,
-                        rows * 8 * static_cast<int64_t>(result.num_columns()));
-      budget.CheckDeadline();
-      if (budget.violated()) return budget.status();
+  budget.AddCancelSource(options.cancel);
+  budget.AddCancelSource(session_cancel);
+  budget.AddCancelSource(prepared_cancel);
+
+  // Admission: take (or queue for) a slot in the tenant pool, then
+  // layer the pool's aggregate in-flight ceilings on the budget.
+  SlotGuard guard;
+  if (pool != nullptr) {
+    bool queued = false;
+    Status admit = pool->Admit(&budget, &queued);
+    if (queued) MetricsAdd(options.metrics, "db.admission.queued", 1);
+    if (!admit.ok()) {
+      MetricsAdd(options.metrics,
+                 admit.code() == StatusCode::kCancelled
+                     ? "db.admission.cancelled"
+                     : "db.admission.rejected",
+                 1);
+      return admit;
     }
-    return result;
+    guard.pool = pool;
+    guard.budget = &budget;
+    budget.AttachAggregate(pool->aggregate());
+  } else {
+    untenanted_admitted_.fetch_add(1, std::memory_order_relaxed);
+    guard.untenanted_cancelled = &untenanted_cancelled_;
   }
-  XJoinOptions exec_options = options.xjoin;
-  if (exec_options.metrics == nullptr) exec_options.metrics = options.metrics;
-  if (budget.limited()) exec_options.budget = &budget;
-  return ExecutePlan(plan, exec_options);
+  MetricsAdd(options.metrics, "db.admission.admitted", 1);
+
+  // Cancelled (or past deadline) before any work: bail without touching
+  // the engines.
+  budget.CheckDeadline();
+  if (budget.violated()) {
+    Status st = budget.status();
+    if (st.code() == StatusCode::kCancelled) {
+      guard.cancelled = true;
+      MetricsAdd(options.metrics, "db.admission.cancelled", 1);
+    }
+    return st;
+  }
+
+  Result<Relation> result = [&]() -> Result<Relation> {
+    if (options.engine == Engine::kBaseline) {
+      // The baseline engine has no mid-flight hooks; budgets are
+      // enforced post-hoc on the combined result (the deadline still
+      // cuts callers off with a typed Status, just after the work
+      // instead of during).
+      BaselineOptions baseline_options;
+      baseline_options.metrics = options.metrics;
+      XJ_ASSIGN_OR_RETURN(Relation baseline_result,
+                          ExecuteBaseline(plan.query, baseline_options));
+      if (budget.limited()) {
+        auto rows = static_cast<int64_t>(baseline_result.num_rows());
+        budget.ChargeRows(
+            rows,
+            rows * 8 * static_cast<int64_t>(baseline_result.num_columns()));
+        budget.CheckDeadline();
+        if (budget.violated()) return budget.status();
+      }
+      return baseline_result;
+    }
+    XJoinOptions exec_options = options.xjoin;
+    if (exec_options.metrics == nullptr) {
+      exec_options.metrics = options.metrics;
+    }
+    if (budget.limited()) exec_options.budget = &budget;
+    return ExecutePlan(plan, exec_options);
+  }();
+
+  if (!result.ok() && result.status().code() == StatusCode::kCancelled) {
+    guard.cancelled = true;
+    MetricsAdd(options.metrics, "db.admission.cancelled", 1);
+  }
+  return result;
 }
 
 Result<Relation> MultiModelDatabase::RunQuery(
     const std::string& text, const QueryOptions& options,
-    const std::shared_ptr<const internal::DatabaseSnapshot>& snap) const {
+    const std::shared_ptr<const internal::DatabaseSnapshot>& snap,
+    const CancellationToken* session_cancel) const {
   if (options.engine == Engine::kBaseline) {
     // Baseline evaluation needs no plan — parse and evaluate directly
-    // (planning would build tries the baseline never uses).
+    // (planning would build tries the baseline never uses). A shell
+    // plan carries the parsed query into the shared admission + budget
+    // path; its engine branch never touches the XJoin plan fields.
     XJ_ASSIGN_OR_RETURN(MultiModelQuery query, ParseQuery(text, *snap));
-    BudgetTracker budget(options.max_rows, options.max_bytes,
-                         options.deadline_micros);
-    BaselineOptions baseline_options;
-    baseline_options.metrics = options.metrics;
-    XJ_ASSIGN_OR_RETURN(Relation result,
-                        ExecuteBaseline(query, baseline_options));
-    if (budget.limited()) {
-      auto rows = static_cast<int64_t>(result.num_rows());
-      budget.ChargeRows(rows,
-                        rows * 8 * static_cast<int64_t>(result.num_columns()));
-      budget.CheckDeadline();
-      if (budget.violated()) return budget.status();
-    }
-    return result;
+    XJoinPlan shell;
+    shell.query = std::move(query);
+    return RunPlan(shell, options, session_cancel, nullptr);
   }
   XJoinOptions xopts = options.xjoin;
   if (xopts.metrics == nullptr) xopts.metrics = options.metrics;
-  XJ_ASSIGN_OR_RETURN(std::shared_ptr<const XJoinPlan> plan,
-                      PreparePlanSnapshot(text, xopts, snap));
-  return RunPlan(*plan, options);
+  // Prepare-time cancellation: the cold path builds tries, which a
+  // cancelled caller should never pay for. (Execution attaches every
+  // scope to the budget tracker; prepare polls one token directly.)
+  if (xopts.cancel == nullptr) {
+    xopts.cancel = options.cancel != nullptr ? options.cancel : session_cancel;
+  }
+  Result<std::shared_ptr<const XJoinPlan>> plan =
+      PreparePlanSnapshot(text, xopts, snap);
+  if (!plan.ok()) {
+    // A query cancelled while its plan was still being prepared never
+    // reached admission, but it still finished kCancelled — count it so
+    // the db-wide cancellation totals are complete.
+    if (plan.status().code() == StatusCode::kCancelled) {
+      untenanted_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      MetricsAdd(options.metrics, "db.admission.cancelled", 1);
+    }
+    return plan.status();
+  }
+  return RunPlan(**plan, options, session_cancel, nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -1052,7 +1267,7 @@ Result<Relation> MultiModelDatabase::RunQuery(
 
 Result<Relation> MultiModelDatabase::Query(const std::string& text,
                                            const QueryOptions& options) const {
-  return RunQuery(text, options, TakeSnapshot());
+  return RunQuery(text, options, TakeSnapshot(), nullptr);
 }
 
 Result<Relation> MultiModelDatabase::Query(const std::string& text,
@@ -1061,14 +1276,14 @@ Result<Relation> MultiModelDatabase::Query(const std::string& text,
   QueryOptions options;
   options.engine = engine;
   options.metrics = metrics;
-  return RunQuery(text, options, TakeSnapshot());
+  return RunQuery(text, options, TakeSnapshot(), nullptr);
 }
 
 Result<Relation> MultiModelDatabase::QueryXJoin(const std::string& text,
                                                 XJoinOptions options) const {
   QueryOptions query_options;
   query_options.xjoin = std::move(options);
-  return RunQuery(text, query_options, TakeSnapshot());
+  return RunQuery(text, query_options, TakeSnapshot(), nullptr);
 }
 
 Result<PreparedQuery> MultiModelDatabase::Prepare(

@@ -42,6 +42,7 @@
 #ifndef XJOIN_CORE_DATABASE_H_
 #define XJOIN_CORE_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -52,8 +53,10 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/cancel.h"
 #include "common/dictionary.h"
 #include "common/status.h"
+#include "core/tenant.h"
 #include "core/baseline.h"
 #include "core/plan.h"
 #include "core/query.h"
@@ -121,6 +124,21 @@ struct QueryOptions {
   int64_t max_rows = 0;
   int64_t max_bytes = 0;
   int64_t deadline_micros = 0;
+  /// Optional caller-owned cancellation token (nullable). Another
+  /// thread calling Cancel() on it makes this query fail with a typed
+  /// kCancelled within one budget-check interval per shard, discarding
+  /// partial rows. Session::Cancel / PreparedQuery::Cancel are
+  /// shorthands that cancel a session- or statement-scoped token; this
+  /// field scopes one to a single call. Never part of the plan-cache
+  /// fingerprint.
+  const CancellationToken* cancel = nullptr;
+  /// Tenant pool this query is admitted through (empty = no admission
+  /// control). Must name a pool created with CreateTenantPool;
+  /// otherwise the query fails NotFound. A saturated pool queues the
+  /// query (bounded FIFO, up to the pool's queue deadline) and then
+  /// rejects it with a typed kResourceExhausted carrying queue-depth /
+  /// retry context. Never part of the plan-cache fingerprint.
+  std::string tenant;
   /// Nullable counters (same counter names as before: "gj.*",
   /// "xjoin.*", "db.*"). Wired into xjoin.metrics when that is null.
   Metrics* metrics = nullptr;
@@ -135,6 +153,18 @@ struct QueryOptions {
 /// caches evict.
 struct PreparedQuery {
   std::shared_ptr<const XJoinPlan> plan;
+
+  /// Statement-scoped cancel flag: every Execute of this prepared
+  /// statement (from any session, any thread) observes it. Copies of
+  /// the PreparedQuery share the token. Sticky — once cancelled, make a
+  /// fresh statement to run again.
+  std::shared_ptr<CancellationToken> cancel =
+      std::make_shared<CancellationToken>();
+
+  /// Cancels every in-flight (and future) Execute of this statement.
+  void Cancel(std::string reason = std::string()) const {
+    cancel->Cancel(std::move(reason));
+  }
 
   /// The parsed query (relations + twigs + output attributes).
   const MultiModelQuery& query() const { return plan->query; }
@@ -169,6 +199,14 @@ class Session {
   Result<std::string> Explain(const std::string& text,
                               const QueryOptions& options = {}) const;
 
+  /// Cancels every query currently running (or later issued) through
+  /// this session, from any thread: they fail with a typed kCancelled
+  /// within one budget-check interval per shard and discard partial
+  /// rows. Sticky — open a fresh session to query again.
+  void Cancel(std::string reason = std::string()) const {
+    cancel_->Cancel(std::move(reason));
+  }
+
   /// Snapshot introspection: names and versions as of OpenSession.
   std::vector<std::string> RelationNames() const;
   std::vector<std::string> DocumentNames() const;
@@ -180,10 +218,15 @@ class Session {
 
   Session(const MultiModelDatabase* db,
           std::shared_ptr<const internal::DatabaseSnapshot> snap)
-      : db_(db), snap_(std::move(snap)) {}
+      : db_(db),
+        snap_(std::move(snap)),
+        cancel_(std::make_shared<CancellationToken>()) {}
 
   const MultiModelDatabase* db_;
   std::shared_ptr<const internal::DatabaseSnapshot> snap_;
+  // Shared with in-flight queries so a moved-from Session never leaves
+  // a dangling token behind.
+  std::shared_ptr<CancellationToken> cancel_;
 };
 
 /// One atomically consistent reading of every cache counter — a single
@@ -215,6 +258,12 @@ struct CacheStats {
   /// query shape, sources version-bumped by ApplyRelationDelta) instead
   /// of being re-planned from scratch.
   int64_t plan_rebinds = 0;
+  // Admission (all queries; tenant-pool and pool-less combined —
+  // removed pools' history is retained).
+  int64_t admission_admitted = 0;   ///< queries that got to run
+  int64_t admission_queued = 0;     ///< waited in a tenant pool's queue
+  int64_t admission_rejected = 0;   ///< queue-full / queue-deadline
+  int64_t admission_cancelled = 0;  ///< finished with kCancelled
 };
 
 /// A single-batch logical update to a registered relation, applied by
@@ -308,6 +357,24 @@ class MultiModelDatabase {
   /// Registered names, sorted.
   std::vector<std::string> RelationNames() const;
   std::vector<std::string> DocumentNames() const;
+
+  /// Registers a tenant admission pool (AlreadyExists if the name is
+  /// taken). Queries opt in with QueryOptions::tenant; see TenantPool
+  /// for the admission state machine.
+  Status CreateTenantPool(const std::string& name,
+                          const TenantPoolOptions& options = {});
+
+  /// Unregisters a pool (NotFound otherwise). In-flight queries
+  /// admitted through it finish normally (the pool object is shared);
+  /// its admission history folds into cache_stats(). New queries naming
+  /// it fail NotFound.
+  Status RemoveTenantPool(const std::string& name);
+
+  /// Point-in-time admission counters for one pool; NotFound if absent.
+  Result<TenantPoolStats> tenant_pool_stats(const std::string& name) const;
+
+  /// Registered pool names, sorted.
+  std::vector<std::string> TenantPoolNames() const;
 
   /// Unified one-shot entry point: OpenSession() + Session::Query.
   /// (No-options calls resolve to the deprecated overload below.)
@@ -446,25 +513,36 @@ class MultiModelDatabase {
       const std::shared_ptr<const internal::DatabaseSnapshot>& snap) const;
 
   /// The unified execution path behind Session::Query / Execute:
-  /// budget construction, engine dispatch, typed budget Statuses.
+  /// tenant admission, budget + cancel-source construction, engine
+  /// dispatch, typed budget Statuses. `session_cancel` /
+  /// `prepared_cancel` (nullable) are the session- and statement-scoped
+  /// tokens attached alongside options.cancel.
   Result<Relation> RunQuery(
       const std::string& text, const QueryOptions& options,
-      const std::shared_ptr<const internal::DatabaseSnapshot>& snap) const;
-  Result<Relation> RunPlan(const XJoinPlan& plan,
-                           const QueryOptions& options) const;
+      const std::shared_ptr<const internal::DatabaseSnapshot>& snap,
+      const CancellationToken* session_cancel) const;
+  Result<Relation> RunPlan(const XJoinPlan& plan, const QueryOptions& options,
+                           const CancellationToken* session_cancel,
+                           const CancellationToken* prepared_cancel) const;
+
+  /// Resolves QueryOptions::tenant to its pool (nullptr when the field
+  /// is empty; NotFound when it names no registered pool).
+  Result<std::shared_ptr<TenantPool>> ResolveTenant(
+      const std::string& tenant) const;
 
   /// The TrieProvider XJoin consults for relation tries: cache lookup,
   /// build and insert on miss (cache-miss builds use `num_threads`
   /// workers). Thread-safe against concurrent queries; identity and
-  /// versions come from the captured snapshot.
+  /// versions come from the captured snapshot. `cancel` (nullable)
+  /// aborts before a cold build.
   TrieProvider CacheTrieProvider(
       std::shared_ptr<const internal::DatabaseSnapshot> snap, Metrics* metrics,
-      int num_threads) const;
+      int num_threads, const CancellationToken* cancel) const;
 
   /// Likewise for materialized path tries (materialize_paths queries).
   PathTrieProvider CachePathTrieProvider(
       std::shared_ptr<const internal::DatabaseSnapshot> snap, Metrics* metrics,
-      int num_threads) const;
+      int num_threads, const CancellationToken* cancel) const;
 
   /// Shared LRU plumbing (callers hold trie_cache_mu_; const because
   /// the providers run on the const query path — all touched state is
@@ -539,6 +617,19 @@ class MultiModelDatabase {
   mutable int64_t plan_cache_invalidations_ = 0;
   mutable int64_t plan_cache_evictions_ = 0;
   mutable int64_t plan_cache_rebinds_ = 0;
+
+  /// Tenant admission pools. Pools are shared_ptr so an in-flight query
+  /// keeps its pool alive across RemoveTenantPool. `tenant_retired_`
+  /// accumulates the monotonic counters of removed pools so the
+  /// db-wide admission totals never go backwards. Leaf in the lock
+  /// order (never held while acquiring another mutex).
+  mutable std::mutex tenant_mu_;
+  std::map<std::string, std::shared_ptr<TenantPool>> tenant_pools_;
+  TenantPoolStats tenant_retired_;  // guarded by tenant_mu_
+  /// Admission accounting for queries outside any tenant pool, plus
+  /// cancellations (which a pool-less query can also hit).
+  mutable std::atomic<int64_t> untenanted_admitted_{0};
+  mutable std::atomic<int64_t> untenanted_cancelled_{0};
 };
 
 }  // namespace xjoin

@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "relational/result_batch.h"
 #include "relational/schema.h"
@@ -149,6 +150,7 @@ class Engine {
         filter_metrics_(filter_metrics),
         out_(out),
         budget_(budget != nullptr && budget->limited() ? budget : nullptr),
+        count_cancel_(budget_ != nullptr && budget_->has_cancel()),
         row_bytes_(static_cast<int64_t>(plan.size()) * 8),
         prefix_(plan.size(), 0),
         level_totals_(plan.size(), 0) {
@@ -171,11 +173,18 @@ class Engine {
     bool entering = true;
     for (;;) {
       // Admission budget: sample the deadline periodically, poll the
-      // shared violation flag every binding so all shards abort fast.
+      // shared violation flag — which also observes any attached
+      // cancellation tokens — every binding so all shards abort fast.
       // Partial output is discarded by the driver, so an early break
       // needs no iterator cleanup.
       if (budget_ != nullptr) {
-        if ((++budget_ticks_ & 4095) == 0) budget_->CheckDeadline();
+        if ((++budget_ticks_ & 4095) == 0) {
+          budget_->CheckDeadline();
+          // Observer-only fault site: lets tests trigger (e.g.) a
+          // cancel deterministically mid-expansion. Never fails.
+          (void)XJOIN_FAULT("gj.tick");
+        }
+        if (count_cancel_) ++cancel_checks_;
         if (budget_->violated()) break;
       }
       std::vector<TrieIterator*>& iters = level_iters_[depth];
@@ -251,6 +260,7 @@ class Engine {
   const std::vector<int64_t>& level_totals() const { return level_totals_; }
   int64_t seeks() const { return seeks_; }
   int64_t total_intermediate() const { return total_intermediate_; }
+  int64_t cancel_checks() const { return cancel_checks_; }
 
  private:
   // The entering protocol shared by the scalar and batched paths: open
@@ -438,8 +448,10 @@ class Engine {
   Metrics* filter_metrics_;
   Relation* out_;
   BudgetTracker* budget_;   // null when the query has no finite budget
+  bool count_cancel_;       // count cancellation polls (a token is attached)
   int64_t row_bytes_;       // bytes charged per materialized output row
   int64_t budget_ticks_ = 0;
+  int64_t cancel_checks_ = 0;
   Tuple prefix_;
   std::vector<int64_t> level_totals_;
   std::vector<std::vector<TrieIterator*>> level_iters_;
@@ -454,7 +466,7 @@ class Engine {
 // engine always has.
 void PublishMetrics(Metrics* metrics, const std::vector<int64_t>& level_totals,
                     int64_t seeks, int64_t total_intermediate,
-                    int64_t output_rows) {
+                    int64_t output_rows, int64_t cancel_checks = 0) {
   if (metrics == nullptr) return;
   int64_t max_level = 0;
   for (size_t d = 0; d < level_totals.size(); ++d) {
@@ -466,6 +478,9 @@ void PublishMetrics(Metrics* metrics, const std::vector<int64_t>& level_totals,
   metrics->Add("gj.total_intermediate", total_intermediate);
   metrics->Add("gj.seeks", seeks);
   metrics->Add("gj.output", output_rows);
+  // Only cancellable queries count their polls, so runs without a token
+  // keep an identical counter set.
+  if (cancel_checks > 0) metrics->Add("gj.cancel_checks", cancel_checks);
 }
 
 // Enumerates the distinct keys of the level-0 intersection (the shard
@@ -515,12 +530,23 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
   const auto& order = options.attribute_order;
   if (order.empty()) return Status::InvalidArgument("empty attribute order");
 
-  // Admission: refuse to start a query whose deadline already passed or
+  // A cancellation token rides the budget tracker as an extra "cancel
+  // source": the per-binding violation poll then observes it for free.
+  // A token without a caller budget gets a private unlimited tracker.
+  BudgetTracker local_budget;
+  BudgetTracker* budget = options.budget;
+  if (options.cancel != nullptr) {
+    if (budget == nullptr) budget = &local_budget;
+    budget->AddCancelSource(options.cancel);
+  }
+
+  // Admission: refuse to start a query whose deadline already passed,
   // whose budget a prior stage already exhausted (a multi-step caller —
-  // e.g. XJoin's expansion + validation — shares one tracker).
-  if (options.budget != nullptr) {
-    options.budget->CheckDeadline();
-    if (options.budget->violated()) return options.budget->status();
+  // e.g. XJoin's expansion + validation — shares one tracker), or that
+  // was cancelled before it began.
+  if (budget != nullptr) {
+    budget->CheckDeadline();
+    if (budget->violated()) return budget->status();
   }
 
   // Build the per-level plan and validate input orders.
@@ -575,14 +601,15 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
 
   if (requested_shards <= 1) {
     Engine engine(inputs, plan, options.prefix_filter, options.metrics, &out,
-                  options.batch_size, options.budget);
+                  options.batch_size, budget);
     engine.Run(PrefixRange{});
-    if (options.budget != nullptr && options.budget->violated()) {
-      return options.budget->status();
+    if (budget != nullptr && budget->violated()) {
+      return budget->status();
     }
     PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
                    engine.total_intermediate(),
-                   static_cast<int64_t>(out.num_rows()));
+                   static_cast<int64_t>(out.num_rows()),
+                   engine.cancel_checks());
     return out;
   }
 
@@ -628,14 +655,15 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     // prefixes): fall back to the serial engine instead of paying
     // clone + merge overhead.
     Engine engine(inputs, plan, options.prefix_filter, options.metrics, &out,
-                  options.batch_size, options.budget);
+                  options.batch_size, budget);
     engine.Run(PrefixRange{});
-    if (options.budget != nullptr && options.budget->violated()) {
-      return options.budget->status();
+    if (budget != nullptr && budget->violated()) {
+      return budget->status();
     }
     PublishMetrics(options.metrics, engine.level_totals(), engine.seeks(),
                    engine.total_intermediate(),
-                   static_cast<int64_t>(out.num_rows()));
+                   static_cast<int64_t>(out.num_rows()),
+                   engine.cancel_checks());
     if (options.metrics != nullptr) {
       options.metrics->Add("gj.shards", 1);
       options.metrics->Add("gj.shard_depth", 1);
@@ -652,6 +680,7 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     std::vector<int64_t> level_totals;
     int64_t seeks = 0;
     int64_t total_intermediate = 0;
+    int64_t cancel_checks = 0;
     // Shard-local bag handed to the prefix filter; merged into
     // options.metrics at the barrier so filter counters stay exact.
     Metrics metrics;
@@ -695,10 +724,19 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     shards.push_back(std::move(shard));
   }
 
+  // Fault site: the executor hand-off. An armed hit fails the query
+  // before any shard work is dispatched.
+  if (XJOIN_FAULT("gj.shard_dispatch")) {
+    return Status::Internal(
+        "fault injection: shard dispatch to the executor failed "
+        "(site gj.shard_dispatch)");
+  }
+
   // Shards run as one morsel-driven job on the shared executor pool
   // (grain 1: each morsel is one shard), so N in-flight queries share
   // cores instead of each spawning num_threads threads. A shared budget
-  // tracker aborts every shard once any of them trips a ceiling.
+  // tracker aborts every shard once any of them trips a ceiling or sees
+  // a cancellation.
   Executor* executor =
       options.executor != nullptr ? options.executor : Executor::Default();
   executor->ParallelFor(num_threads, shards.size(), /*grain=*/1,
@@ -707,14 +745,15 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     Metrics* filter_metrics =
         options.metrics != nullptr ? &shard.metrics : nullptr;
     Engine engine(shard.inputs, plan, options.prefix_filter, filter_metrics,
-                  &shard.out, options.batch_size, options.budget);
+                  &shard.out, options.batch_size, budget);
     engine.Run(shard.range);
     shard.level_totals = engine.level_totals();
     shard.seeks = engine.seeks();
     shard.total_intermediate = engine.total_intermediate();
+    shard.cancel_checks = engine.cancel_checks();
   });
-  if (options.budget != nullptr && options.budget->violated()) {
-    return options.budget->status();
+  if (budget != nullptr && budget->violated()) {
+    return budget->status();
   }
 
   // Deterministic merge: shards cover ascending key ranges, so appending
@@ -722,6 +761,7 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
   std::vector<int64_t> level_totals(plan.size(), 0);
   int64_t seeks = 0;
   int64_t total_intermediate = 0;
+  int64_t cancel_checks = 0;
   for (Shard& shard : shards) {
     out.AppendRows(shard.out);
     for (size_t d = 0; d < shard.level_totals.size(); ++d) {
@@ -729,10 +769,11 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
     }
     seeks += shard.seeks;
     total_intermediate += shard.total_intermediate;
+    cancel_checks += shard.cancel_checks;
     if (options.metrics != nullptr) options.metrics->MergeFrom(shard.metrics);
   }
   PublishMetrics(options.metrics, level_totals, seeks, total_intermediate,
-                 static_cast<int64_t>(out.num_rows()));
+                 static_cast<int64_t>(out.num_rows()), cancel_checks);
   if (options.metrics != nullptr) {
     options.metrics->Add("gj.shards", static_cast<int64_t>(num_shards));
     options.metrics->Add("gj.shard_depth", composite ? 2 : 1);

@@ -106,6 +106,14 @@ struct GenericJoinOptions {
   /// rows. With no budget (or an unlimited one) results and counters
   /// are bit-identical to a budget-free run.
   BudgetTracker* budget = nullptr;
+  /// Optional cooperative cancellation token (nullable). Attached to the
+  /// budget tracker (a private one is used when `budget` is null) as a
+  /// cancel source, so every shard's per-binding violation poll also
+  /// observes Cancel() from any thread and the join returns the token's
+  /// typed kCancelled Status within one budget-check interval per
+  /// shard, discarding partial rows. Per-call service, never part of a
+  /// plan fingerprint.
+  const CancellationToken* cancel = nullptr;
   /// Executor pool for the sharded driver (nullable; null = the shared
   /// Executor::Default() pool). Per-call service, never part of a plan
   /// fingerprint.

@@ -229,11 +229,16 @@ Result<std::shared_ptr<XJoinPlan>> PrepareXJoin(const MultiModelQuery& query,
   }
 
   // 3. Pin relation tries: provider (the database cache) first, private
-  // build otherwise. Builds use the plan's thread budget.
+  // build otherwise. Builds use the plan's thread budget. Trie builds
+  // are the expensive prepare-time step, so a cancelled caller is
+  // checked before each one rather than only at execution.
   TrieBuildOptions build_options;
   build_options.num_threads = plan->num_threads;
   build_options.metrics = options.metrics;
   for (const auto& nr : plan->query.relations) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return options.cancel->status();
+    }
     XJoinPlan::RelInput input;
     input.name = nr.name;
     input.relation = nr.relation;
@@ -258,6 +263,9 @@ Result<std::shared_ptr<XJoinPlan>> PrepareXJoin(const MultiModelQuery& query,
   // 4. Pin path tries (ablation only; the default is lazy navigation).
   if (plan->materialize_paths) {
     for (auto& input : plan->path_inputs) {
+      if (options.cancel != nullptr && options.cancel->cancelled()) {
+        return options.cancel->status();
+      }
       const PathRelation& rel =
           plan->twigs[input.twig_index].paths[input.path_index];
       if (options.path_trie_provider) {

@@ -104,6 +104,14 @@ struct XJoinOptions {
   /// Status (kResourceExhausted / kDeadlineExceeded). Per-call service —
   /// never part of the plan fingerprint.
   BudgetTracker* budget = nullptr;
+  /// Optional cooperative cancellation token (nullable), observed both
+  /// at prepare time (between trie pins, so a cancelled caller never
+  /// pays for a cold trie build) and throughout execution (attached to
+  /// the budget tracker as a cancel source, polled every binding).
+  /// Cancelled queries return the token's typed kCancelled Status and
+  /// discard partial rows. Per-call service — never part of the plan
+  /// fingerprint.
+  const CancellationToken* cancel = nullptr;
   /// Executor pool for sharded expansion and parallel validation
   /// (nullable; null = the shared Executor::Default() pool). Per-call
   /// service — never part of the plan fingerprint.

@@ -1,0 +1,140 @@
+#include "core/tenant.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/fault.h"
+
+namespace xjoin {
+
+namespace {
+// Queued waiters re-check in short slices rather than sleeping until
+// the queue deadline, so a Cancel() from another thread aborts the wait
+// within about a millisecond instead of the full deadline.
+constexpr std::chrono::milliseconds kWaitSlice{1};
+}  // namespace
+
+TenantPool::TenantPool(std::string name, TenantPoolOptions options)
+    : name_(std::move(name)), options_([&] {
+        TenantPoolOptions o = options;
+        o.max_concurrent = std::max(1, o.max_concurrent);
+        o.max_queue_depth = std::max(0, o.max_queue_depth);
+        o.queue_deadline_micros = std::max<int64_t>(0, o.queue_deadline_micros);
+        return o;
+      }()) {
+  if (options_.max_inflight_rows > 0 || options_.max_inflight_bytes > 0) {
+    aggregate_ = std::make_unique<AggregateBudget>(
+        name_, options_.max_inflight_rows, options_.max_inflight_bytes);
+  }
+}
+
+Status TenantPool::QueueFullError(int depth) {
+  return Status::ResourceExhausted(
+      "tenant pool '" + name_ + "' is saturated: " +
+      std::to_string(options_.max_concurrent) + " queries running and its " +
+      "wait queue is full (" + std::to_string(depth) + "/" +
+      std::to_string(options_.max_queue_depth) +
+      " waiting); retry after a running query finishes or raise "
+      "max_queue_depth");
+}
+
+Status TenantPool::QueueTimeoutError(int depth) {
+  return Status::ResourceExhausted(
+      "tenant pool '" + name_ + "' admission timed out after " +
+      std::to_string(options_.queue_deadline_micros) +
+      "us in the wait queue (" + std::to_string(depth) +
+      " still waiting, " + std::to_string(options_.max_concurrent) +
+      " running); retry later or raise queue_deadline_micros");
+}
+
+Status TenantPool::Admit(BudgetTracker* budget, bool* queued) {
+  if (queued != nullptr) *queued = false;
+  const bool forced_full = XJOIN_FAULT("admission.queue_full");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (forced_full) {
+    ++rejected_;
+    return QueueFullError(static_cast<int>(waiting_.size()));
+  }
+  if (running_ < options_.max_concurrent && waiting_.empty()) {
+    ++running_;
+    ++admitted_;
+    return Status::OK();
+  }
+  if (static_cast<int>(waiting_.size()) >= options_.max_queue_depth) {
+    ++rejected_;
+    return QueueFullError(static_cast<int>(waiting_.size()));
+  }
+
+  const uint64_t ticket = next_ticket_++;
+  waiting_.insert(ticket);
+  ++queued_;
+  if (queued != nullptr) *queued = true;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(options_.queue_deadline_micros);
+
+  for (;;) {
+    if (running_ < options_.max_concurrent && *waiting_.begin() == ticket) {
+      waiting_.erase(ticket);
+      ++running_;
+      ++admitted_;
+      // The head changed: the next waiter may now be admissible too.
+      cv_.notify_all();
+      return Status::OK();
+    }
+    if (budget != nullptr && budget->violated()) {
+      waiting_.erase(ticket);
+      Status st = budget->status();
+      if (st.code() == StatusCode::kCancelled) {
+        ++cancelled_;
+      } else {
+        ++rejected_;
+      }
+      cv_.notify_all();
+      return st.WithContext("while queued for tenant pool '" + name_ + "'");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      waiting_.erase(ticket);
+      ++rejected_;
+      const int depth = static_cast<int>(waiting_.size());
+      cv_.notify_all();
+      return QueueTimeoutError(depth);
+    }
+    cv_.wait_for(lock, std::min<std::chrono::steady_clock::duration>(
+                           kWaitSlice, deadline - now));
+  }
+}
+
+void TenantPool::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_all();
+}
+
+void TenantPool::NoteCancelled() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++cancelled_;
+}
+
+TenantPoolStats TenantPool::stats() {
+  TenantPoolStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.admitted = admitted_;
+    out.queued = queued_;
+    out.rejected = rejected_;
+    out.cancelled = cancelled_;
+    out.running = running_;
+    out.waiting = static_cast<int>(waiting_.size());
+  }
+  if (aggregate_ != nullptr) {
+    out.inflight_rows = aggregate_->inflight_rows();
+    out.inflight_bytes = aggregate_->inflight_bytes();
+  }
+  return out;
+}
+
+}  // namespace xjoin

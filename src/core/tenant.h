@@ -1,0 +1,124 @@
+// Per-tenant admission control for the serving core. A TenantPool caps
+// how many queries one tenant runs concurrently, queues the overflow in
+// a bounded FIFO with a queue deadline, and (optionally) layers
+// aggregate in-flight row/byte ceilings over every admitted query's
+// BudgetTracker. Pools are registered on MultiModelDatabase and named
+// by QueryOptions::tenant.
+//
+// Admission state machine for one query:
+//
+//            Admit()
+//               |
+//    slot free and no one waiting? ----yes----> RUNNING
+//               | no                               |
+//    queue at max_queue_depth? -----yes----> REJECTED (kResourceExhausted,
+//               | no                         queue depth + retry context)
+//               v
+//            QUEUED  --(FIFO head and slot frees)--> RUNNING --Release()--> done
+//               |                                      |
+//               +--(queue deadline passes)--> REJECTED |
+//               +--(token cancelled)--> CANCELLED <----+ (Cancel() mid-run)
+//
+// Saturated pools therefore degrade gracefully: callers get a typed,
+// actionable error after a bounded wait instead of stampeding the
+// shared executor.
+#ifndef XJOIN_CORE_TENANT_H_
+#define XJOIN_CORE_TENANT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/budget.h"
+#include "common/status.h"
+
+namespace xjoin {
+
+/// Configuration for one tenant's pool. All ceilings are per-pool, not
+/// per-query (per-query limits stay in QueryOptions).
+struct TenantPoolOptions {
+  /// Queries of this tenant allowed to run at once (clamped to >= 1).
+  int max_concurrent = 4;
+  /// Queries allowed to wait for a slot; one more is rejected outright.
+  /// 0 disables queueing (saturation rejects immediately).
+  int max_queue_depth = 16;
+  /// How long a queued query waits for a slot before a typed rejection.
+  int64_t queue_deadline_micros = 100 * 1000;
+  /// Aggregate ceilings on rows/bytes materialized by all concurrently
+  /// running queries of this pool combined; 0 = unlimited. Enforced
+  /// through each query's BudgetTracker (see AggregateBudget).
+  int64_t max_inflight_rows = 0;
+  int64_t max_inflight_bytes = 0;
+};
+
+/// Point-in-time counters for one pool (monotonic except running/
+/// waiting/inflight_*, which are gauges).
+struct TenantPoolStats {
+  int64_t admitted = 0;   ///< queries that got a slot (incl. after queueing)
+  int64_t queued = 0;     ///< queries that had to wait for a slot
+  int64_t rejected = 0;   ///< queue-full, queue-deadline, or fault-forced
+  int64_t cancelled = 0;  ///< cancelled while queued or while running
+  int running = 0;
+  int waiting = 0;
+  int64_t inflight_rows = 0;
+  int64_t inflight_bytes = 0;
+};
+
+/// One tenant's admission gate. Thread-safe; queries Admit() before
+/// planning/execution and Release() exactly once per successful Admit.
+class TenantPool {
+ public:
+  TenantPool(std::string name, TenantPoolOptions options);
+  TenantPool(const TenantPool&) = delete;
+  TenantPool& operator=(const TenantPool&) = delete;
+
+  /// Blocks until this query holds a slot, FIFO among waiters. `budget`
+  /// (optional) is polled while queued so an attached cancellation
+  /// token or an already-expired query deadline aborts the wait
+  /// promptly. Returns OK holding a slot; kResourceExhausted when the
+  /// queue is full or the queue deadline passes; the budget's own typed
+  /// status when it trips while waiting. `queued` (nullable) is set to
+  /// whether the query had to wait for a slot.
+  Status Admit(BudgetTracker* budget, bool* queued = nullptr);
+
+  /// Returns the slot taken by a successful Admit().
+  void Release();
+
+  /// Records a query of this pool that finished with kCancelled.
+  void NoteCancelled();
+
+  /// The pool's aggregate in-flight ceilings, or nullptr when none are
+  /// configured. Attach to each admitted query's BudgetTracker; release
+  /// the query's charges when it finishes.
+  AggregateBudget* aggregate() { return aggregate_.get(); }
+
+  TenantPoolStats stats();
+
+  const std::string& name() const { return name_; }
+  const TenantPoolOptions& options() const { return options_; }
+
+ private:
+  Status QueueFullError(int depth);
+  Status QueueTimeoutError(int depth);
+
+  const std::string name_;
+  const TenantPoolOptions options_;
+  std::unique_ptr<AggregateBudget> aggregate_;  // null when unlimited
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int running_ = 0;                // guarded by mu_
+  std::set<uint64_t> waiting_;     // FIFO: head = *begin(); guarded by mu_
+  uint64_t next_ticket_ = 0;       // guarded by mu_
+  int64_t admitted_ = 0;           // guarded by mu_
+  int64_t queued_ = 0;             // guarded by mu_
+  int64_t rejected_ = 0;           // guarded by mu_
+  int64_t cancelled_ = 0;          // guarded by mu_
+};
+
+}  // namespace xjoin
+
+#endif  // XJOIN_CORE_TENANT_H_

@@ -16,6 +16,18 @@ Result<Relation> ExecutePlan(const XJoinPlan& plan,
                              const XJoinOptions& options) {
   const int num_threads = plan.num_threads;
 
+  // A cancellation token rides the budget tracker as a cancel source so
+  // both the expansion loop and the validation stage observe it through
+  // one violated() poll; a token without a caller budget gets a private
+  // unlimited tracker. (The caller's tracker may carry further tokens —
+  // session- and statement-scoped — attached upstream.)
+  BudgetTracker local_budget;
+  BudgetTracker* budget = options.budget;
+  if (options.cancel != nullptr) {
+    if (budget == nullptr) budget = &local_budget;
+    budget->AddCancelSource(options.cancel);
+  }
+
   // 1. Instantiate cursors over the pinned tries: relations first, then
   // twig paths, mirroring the plan's input order.
   std::vector<JoinInput> inputs;
@@ -48,7 +60,7 @@ Result<Relation> ExecutePlan(const XJoinPlan& plan,
   gj_options.num_shards = plan.shard_plan.count;
   gj_options.shard_depth = plan.shard_plan.depth;
   gj_options.batch_size = plan.batch_size;
-  gj_options.budget = options.budget;
+  gj_options.budget = budget;
   gj_options.executor = options.executor;
   if (plan.structural_pruning) {
     gj_options.prefix_filter = [&plan](size_t depth,
@@ -106,6 +118,10 @@ Result<Relation> ExecutePlan(const XJoinPlan& plan,
         options.executor != nullptr ? options.executor : Executor::Default();
     executor->ParallelForWorker(
         num_threads, num_rows, kGrain, [&](int worker, size_t r) {
+          // Cancelled (or budget-tripped) mid-validation: skip the
+          // remaining rows (the whole result is discarded below, so a
+          // zero keep-bit is fine).
+          if (budget != nullptr && budget->violated()) return;
           Metrics* metrics = worker_metrics.empty()
                                  ? nullptr
                                  : &worker_metrics[static_cast<size_t>(worker)];
@@ -129,12 +145,13 @@ Result<Relation> ExecutePlan(const XJoinPlan& plan,
       if (keep[r] != 0) validated.AppendRow(expanded.GetRow(r));
     }
   }
-  // Deadline check after the validation stage (its cost scales with the
-  // expansion size, which the deadline is meant to bound). Surviving
-  // rows were already charged as expansion output — no double count.
-  if (options.budget != nullptr) {
-    options.budget->CheckDeadline();
-    if (options.budget->violated()) return options.budget->status();
+  // Deadline/cancel check after the validation stage (its cost scales
+  // with the expansion size, which the deadline is meant to bound).
+  // Surviving rows were already charged as expansion output — no double
+  // count.
+  if (budget != nullptr) {
+    budget->CheckDeadline();
+    if (budget->violated()) return budget->status();
   }
   MetricsAdd(options.metrics, "xjoin.validated",
              static_cast<int64_t>(validated.num_rows()));

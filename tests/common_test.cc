@@ -2,8 +2,12 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
+#include "common/budget.h"
+#include "common/cancel.h"
 #include "common/dictionary.h"
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -38,7 +42,8 @@ TEST(StatusTest, AllCodesHaveNames) {
         StatusCode::kNotFound, StatusCode::kAlreadyExists,
         StatusCode::kOutOfRange, StatusCode::kUnimplemented,
         StatusCode::kInternal, StatusCode::kIOError,
-        StatusCode::kResourceExhausted}) {
+        StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
 }
@@ -229,6 +234,150 @@ TEST(TimerTest, MeasuresElapsed) {
   EXPECT_GE(t.ElapsedMicros(), 0);
   t.Restart();
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(BudgetTest, RowLimitViolationNamesRowsAndTotals) {
+  BudgetTracker budget(/*max_rows=*/10, /*max_bytes=*/0,
+                       /*deadline_micros=*/0);
+  EXPECT_TRUE(budget.limited());
+  EXPECT_TRUE(budget.ChargeRows(10, 80));
+  EXPECT_FALSE(budget.ChargeRows(5, 40));  // 15 > 10: sticky from here
+  EXPECT_TRUE(budget.violated());
+  Status status = budget.status();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("max_rows=10"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("15 rows"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(BudgetTest, ByteLimitViolationNamesBytesNotRows) {
+  // Regression: a max_bytes trip used to be misreported as the row
+  // limit. The typed message must name the limit actually crossed.
+  BudgetTracker budget(/*max_rows=*/0, /*max_bytes=*/100,
+                       /*deadline_micros=*/0);
+  EXPECT_FALSE(budget.ChargeRows(3, 200));
+  Status status = budget.status();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("max_bytes=100"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(status.message().find("max_rows"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("200 bytes"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(BudgetTest, UnlimitedTrackerStillCountsCharges) {
+  BudgetTracker budget;
+  EXPECT_FALSE(budget.limited());
+  EXPECT_TRUE(budget.ChargeRows(7, 56));
+  EXPECT_FALSE(budget.violated());
+  EXPECT_EQ(budget.rows_charged(), 7);
+  EXPECT_EQ(budget.bytes_charged(), 56);
+  EXPECT_TRUE(budget.status().ok());
+}
+
+TEST(BudgetTest, CancelSourceTripsViolatedAndYieldsTokenStatus) {
+  CancellationToken token;
+  BudgetTracker budget;
+  EXPECT_FALSE(budget.limited());
+  budget.AddCancelSource(&token);
+  budget.AddCancelSource(&token);  // idempotent
+  budget.AddCancelSource(nullptr);
+  EXPECT_TRUE(budget.limited());
+  EXPECT_TRUE(budget.has_cancel());
+  EXPECT_FALSE(budget.violated());
+  token.Cancel("caller hung up");
+  EXPECT_TRUE(budget.violated());
+  Status status = budget.status();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("caller hung up"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(BudgetTest, AggregateCeilingChargesAndReleases) {
+  AggregateBudget aggregate("pool", /*max_rows=*/100, /*max_bytes=*/0);
+  BudgetTracker first;
+  BudgetTracker second;
+  first.AttachAggregate(&aggregate);
+  second.AttachAggregate(&aggregate);
+  EXPECT_TRUE(first.limited());
+  EXPECT_TRUE(first.ChargeRows(60, 480));
+  // The second query pushes the pool-wide total over the ceiling even
+  // though neither query is large on its own.
+  EXPECT_FALSE(second.ChargeRows(60, 480));
+  Status status = second.status();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("tenant pool 'pool'"), std::string::npos)
+      << status.ToString();
+  EXPECT_FALSE(first.violated());  // only the crossing tracker trips
+  EXPECT_EQ(aggregate.inflight_rows(), 120);
+  aggregate.Release(first.rows_charged(), first.bytes_charged());
+  aggregate.Release(second.rows_charged(), second.bytes_charged());
+  EXPECT_EQ(aggregate.inflight_rows(), 0);
+  EXPECT_EQ(aggregate.inflight_bytes(), 0);
+}
+
+TEST(CancellationTokenTest, FirstCancelWinsAndIsSticky) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel("first");
+  token.Cancel("second");  // ignored: first reason is kept
+  EXPECT_TRUE(token.cancelled());
+  Status status = token.status();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("first"), std::string::npos);
+  EXPECT_EQ(status.message().find("second"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, FailAtTriggersOnNthHitAndAfter) {
+  ScopedFaultInjection scoped;
+  FaultInjector& faults = FaultInjector::Global();
+  faults.FailAt("test.site", 3);
+  EXPECT_FALSE(faults.Hit("test.site"));
+  EXPECT_FALSE(faults.Hit("test.site"));
+  EXPECT_TRUE(faults.Hit("test.site"));
+  EXPECT_TRUE(faults.Hit("test.site"));  // and every hit after
+  EXPECT_FALSE(faults.Hit("other.site"));
+  EXPECT_EQ(faults.hits("test.site"), 4);
+  EXPECT_EQ(faults.hits("other.site"), 1);
+  faults.Disarm();
+  EXPECT_FALSE(faults.Hit("test.site"));
+  EXPECT_EQ(faults.hits("test.site"), 1);  // counters reset too
+}
+
+TEST(FaultInjectorTest, SeededDecisionsReplayExactly) {
+  ScopedFaultInjection scoped;
+  FaultInjector& faults = FaultInjector::Global();
+  auto run = [&faults](uint64_t seed) {
+    faults.Disarm();
+    faults.SetSeed(seed, 0.3);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 64; ++i) decisions.push_back(faults.Hit("a.site"));
+    for (int i = 0; i < 64; ++i) decisions.push_back(faults.Hit("b.site"));
+    return decisions;
+  };
+  std::vector<bool> first = run(7);
+  std::vector<bool> replay = run(7);
+  std::vector<bool> other = run(8);
+  EXPECT_EQ(first, replay);
+  EXPECT_NE(first, other);
+  // p=0.3 over 128 draws: some fail, most don't.
+  int fails = 0;
+  for (bool b : first) fails += b ? 1 : 0;
+  EXPECT_GT(fails, 0);
+  EXPECT_LT(fails, 128);
+}
+
+TEST(FaultInjectorTest, HandlerObservesWithoutFailing) {
+  ScopedFaultInjection scoped;
+  FaultInjector& faults = FaultInjector::Global();
+  std::vector<int64_t> observed;
+  faults.SetHandler("watched.site",
+                    [&observed](int64_t n) { observed.push_back(n); });
+  EXPECT_FALSE(faults.Hit("watched.site"));
+  EXPECT_FALSE(faults.Hit("watched.site"));
+  EXPECT_EQ(observed, (std::vector<int64_t>{1, 2}));
 }
 
 }  // namespace
