@@ -15,11 +15,21 @@
 // Every batched run is checked byte-identical to the scalar run, with
 // identical gj.* counters, before its timing is trusted.
 //
+// A second sweep pins the SIMD dispatch override to each compiled
+// kernel table (portable scalar, SSE4.2, AVX2) and times the batched
+// engine under each on the triangle and AGM-tight workloads — the
+// scalar-vs-SIMD trajectory CI tracks as BENCH_simd.json. Every level's
+// result and gj.* counters are checked identical to the scalar table's
+// before its timing is trusted (the kernels accelerate each seek's
+// interior search, never the jump sequence).
+//
 // Flags: --reps=5          best-of repetitions per measurement
 //        --n=220           triangle/path2 key domain (~n^2-row inputs)
 //        --batch=1024      result-batch capacity for the batched runs
+//        --agm-scale=64    AGM-tight instance scale for the SIMD sweep
 //        --xmark-scale=32  XMark size multiplier
-//        --json=PATH       also write the records to PATH
+//        --json=PATH       also write the scalar-vs-batched records there
+//        --simd-json=PATH  also write the dispatch-sweep records there
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -29,6 +39,7 @@
 #include "bench/bench_util.h"
 #include "core/generic_join.h"
 #include "relational/trie.h"
+#include "workload/adversarial.h"
 #include "workload/xmark.h"
 
 namespace xjoin::bench {
@@ -97,23 +108,72 @@ Record Measure(const std::string& label, const RunFn& run, int reps,
   return record;
 }
 
+RunFn GenericJoinRunFn(std::vector<JoinInput> inputs,
+                       std::vector<std::string> order) {
+  return [inputs = std::move(inputs),
+          order = std::move(order)](int batch_size, Metrics* metrics) {
+    GenericJoinOptions options;
+    options.attribute_order = order;
+    options.batch_size = batch_size;
+    options.metrics = metrics;
+    Timer timer;
+    auto result = GenericJoin(inputs, options);
+    double seconds = timer.ElapsedSeconds();
+    XJ_CHECK(result.ok()) << result.status().ToString();
+    return std::make_pair(seconds, *std::move(result));
+  };
+}
+
 Record BenchGenericJoin(const std::string& label,
                         const std::vector<JoinInput>& inputs,
                         std::vector<std::string> order, int reps, int batch) {
-  return Measure(
-      label,
-      [&](int batch_size, Metrics* metrics) {
-        GenericJoinOptions options;
-        options.attribute_order = order;
-        options.batch_size = batch_size;
-        options.metrics = metrics;
-        Timer timer;
-        auto result = GenericJoin(inputs, options);
-        double seconds = timer.ElapsedSeconds();
-        XJ_CHECK(result.ok()) << result.status().ToString();
-        return std::make_pair(seconds, *std::move(result));
-      },
-      reps, batch);
+  return Measure(label, GenericJoinRunFn(inputs, std::move(order)), reps,
+                 batch);
+}
+
+// One dispatch-sweep measurement: the batched engine pinned to one
+// kernel table.
+struct SimdRecord {
+  std::string workload;
+  std::string dispatch;
+  double seconds = 0.0;
+  int64_t rows = 0;
+  int64_t seeks = 0;
+};
+
+// Times `run` batched under every kernel table that is both compiled in
+// and runnable on this host, checking each level's result and counters
+// against the scalar table's run first.
+void SweepDispatch(const std::string& label, const RunFn& run, int reps,
+                   int batch, std::vector<SimdRecord>* out) {
+  SetSimdDispatchOverride(SimdLevel::kScalar);
+  Metrics scalar_m;
+  auto [scalar_s, scalar_rel] = run(batch, &scalar_m);
+  ClearSimdDispatchOverride();
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse42, SimdLevel::kAvx2}) {
+    if (IntersectKernelFor(level) == nullptr) continue;  // not compiled in
+    if (level > DetectedSimdLevel()) continue;           // not runnable here
+    SetSimdDispatchOverride(level);
+    SimdRecord record;
+    record.workload = label;
+    record.dispatch = SimdLevelName(level);
+    Metrics m;
+    auto [seconds, rel] = run(batch, &m);
+    CheckEquivalent(scalar_rel, rel, scalar_m, m,
+                    label + "@" + record.dispatch);
+    record.seconds = level == SimdLevel::kScalar
+                         ? std::min(seconds, scalar_s)
+                         : seconds;
+    record.rows = static_cast<int64_t>(rel.num_rows());
+    record.seeks = m.Get("gj.seeks");
+    for (int rep = 1; rep < reps; ++rep) {
+      Metrics mm;
+      record.seconds = std::min(record.seconds, run(batch, &mm).first);
+    }
+    ClearSimdDispatchOverride();
+    out->push_back(record);
+  }
 }
 
 Record BenchXMark(int64_t scale, int reps, int batch) {
@@ -143,12 +203,15 @@ void Run(int argc, char** argv) {
   const int reps = static_cast<int>(IntFlag(argc, argv, "reps", 5));
   const int n = static_cast<int>(IntFlag(argc, argv, "n", 220));
   const int batch = static_cast<int>(IntFlag(argc, argv, "batch", 1024));
+  const int agm_scale = static_cast<int>(IntFlag(argc, argv, "agm-scale", 64));
   const int64_t xmark_scale = IntFlag(argc, argv, "xmark-scale", 32);
   const char* json_path = FlagValue(argc, argv, "json");
+  const char* simd_json_path = FlagValue(argc, argv, "simd-json");
 
   Banner("Generic join: scalar vs batched kernel (output-heavy mix)");
 
   std::vector<Record> records;
+  std::vector<SimdRecord> simd_records;
 
   {
     // Dense triangle: ~n^2/2 rows per relation, many closing wedges.
@@ -164,8 +227,34 @@ void Run(int argc, char** argv) {
     std::vector<JoinInput> inputs{{"R", {"A", "B"}, ir.get()},
                                   {"S", {"B", "C"}, is.get()},
                                   {"T", {"A", "C"}, it.get()}};
-    records.push_back(
-        BenchGenericJoin("triangle", inputs, {"A", "B", "C"}, reps, batch));
+    RunFn run = GenericJoinRunFn(inputs, {"A", "B", "C"});
+    records.push_back(Measure("triangle", run, reps, batch));
+    SweepDispatch("triangle", run, reps, batch, &simd_records);
+  }
+
+  {
+    // AGM-tight triangle: the adversarial instance whose output meets
+    // the worst-case bound — skewed level cardinalities, so the sweep
+    // exercises both the gallop and merge strategies.
+    auto inst = MakeAgmTightInstance({{"A", "B"}, {"B", "C"}, {"C", "A"}},
+                                     agm_scale);
+    XJ_CHECK(inst.ok()) << inst.status().ToString();
+    MultiModelQuery query;
+    for (size_t i = 0; i < inst->relations.size(); ++i) {
+      query.relations.push_back(
+          {"R" + std::to_string(i + 1), inst->relations[i].get()});
+    }
+    RunFn run = [&query](int batch_size, Metrics* metrics) {
+      XJoinOptions options;
+      options.batch_size = batch_size;
+      options.metrics = metrics;
+      Timer timer;
+      auto result = ExecuteXJoin(query, options);
+      double seconds = timer.ElapsedSeconds();
+      XJ_CHECK(result.ok()) << result.status().ToString();
+      return std::make_pair(seconds, *std::move(result));
+    };
+    SweepDispatch("agm_tight", run, reps, batch, &simd_records);
   }
 
   {
@@ -194,7 +283,7 @@ void Run(int argc, char** argv) {
     json.BeginObject()
         .Field("bench", "bench_micro_gj")
         .Field("workload", r.workload)
-        .Field("batch", batch)
+        .Field("batch_size", batch)
         .Field("scalar_s", r.scalar_s, 6)
         .Field("batched_s", r.batched_s, 6)
         .Field("speedup", speedup, 3)
@@ -203,6 +292,35 @@ void Run(int argc, char** argv) {
   }
   table.Print();
   json.Emit(json_path);
+
+  Banner("SIMD dispatch sweep: batched engine per kernel table");
+
+  Table simd_table(
+      {"workload", "dispatch", "seconds", "vs scalar", "|Q|", "seeks"});
+  JsonArrayWriter simd_json;
+  for (const SimdRecord& r : simd_records) {
+    double scalar_s = 0.0;
+    for (const SimdRecord& s : simd_records) {
+      if (s.workload == r.workload && s.dispatch == std::string("scalar")) {
+        scalar_s = s.seconds;
+      }
+    }
+    simd_table.AddRow({r.workload, r.dispatch, FmtSeconds(r.seconds),
+                       FmtRatio(scalar_s, r.seconds), FmtInt(r.rows),
+                       FmtInt(r.seeks)});
+    simd_json.BeginObject()
+        .Field("bench", "bench_micro_gj.simd")
+        .Field("workload", r.workload)
+        .Field("dispatch", r.dispatch)
+        .Field("batch_size", batch)
+        .Field("seconds", r.seconds, 6)
+        .Field("speedup_vs_scalar",
+               r.seconds > 0 ? scalar_s / r.seconds : 0.0, 3)
+        .Field("rows", r.rows)
+        .Field("seeks", r.seeks);
+  }
+  simd_table.Print();
+  simd_json.Emit(simd_json_path);
 }
 
 }  // namespace

@@ -14,9 +14,11 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/simd.h"
 #include "core/baseline.h"
 #include "core/query.h"
 #include "core/xjoin.h"
+#include "relational/intersect_kernels.h"
 
 namespace xjoin::bench {
 
@@ -198,10 +200,15 @@ class JsonArrayWriter {
   };
 
   /// Starts the next object in the array. Finish one object's fields
-  /// before beginning the next.
+  /// before beginning the next. Every row is stamped with the SIMD
+  /// kernel the dispatch ladder resolves to on this host at emission
+  /// time ("scalar" / "sse42" / "avx2"), so perf trajectories across CI
+  /// runs are attributable to the code path that actually executed.
   Object BeginObject() {
     body_ += body_.empty() ? "\n  {" : "},\n  {";
-    return Object(&body_);
+    Object obj(&body_);
+    obj.Field("kernel", SimdLevelName(ActiveIntersectKernel().level));
+    return obj;
   }
 
   std::string ToString() const {

@@ -4,9 +4,11 @@
 // Registers the paper's Figure-1 bookstore data in a MultiModelDatabase,
 // prints ExplainXJoin for the multi-model query — inputs with
 // trie-cache provenance, transform(Sx), the expansion order with
-// per-level lead rationale, the shard plan, and the worst-case size
-// bound — then runs the query twice to show the plan cache taking over
-// (the second EXPLAIN reports the hit and the pinned tries).
+// per-level lead rationale and chosen intersection kernel, the shard
+// plan, the execution mode with the host's SIMD dispatch level, and
+// the worst-case size bound — then runs the query twice to show the
+// plan cache taking over (the second EXPLAIN reports the hit and the
+// pinned tries).
 //
 //   ./build/examples/explain
 #include <cstdio>

@@ -8,6 +8,7 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "relational/intersect_kernels.h"
 #include "relational/result_batch.h"
 #include "relational/schema.h"
 
@@ -68,65 +69,12 @@ struct PrefixRange {
   int64_t hi[2] = {0, 0};  // exclusive lexicographic upper bound
 };
 
-// Devirtualized cursor over one CSR level: the raw sorted-key array and
-// the cursor's remaining half-open range within it, as exposed by
-// TrieIterator::RawLevelSpan. The batched last-level kernel below runs
-// the leapfrog directly over these — plain loads, inlinable gallops, no
-// virtual dispatch per key.
-struct RawCursor {
-  const int64_t* keys;
-  size_t pos, hi;
-};
-
-// Mirror of RelationTrieIterator::Seek over a raw cursor: gallop to
-// bracket the target, binary-search inside the bracket.
-inline void RawSeek(RawCursor* c, int64_t key) {
-  size_t base = c->pos;
-  size_t step = 1;
-  while (base + step < c->hi && c->keys[base + step] < key) {
-    base += step;
-    step <<= 1;
-  }
-  size_t search_hi = std::min(base + step, c->hi);
-  c->pos = static_cast<size_t>(
-      std::lower_bound(c->keys + base, c->keys + search_hi, key) - c->keys);
-}
-
-// Exact mirrors of LeapfrogAlign / LeapfrogAdvance over raw cursors —
-// same control flow, same Seek/Next accounting, so the batched kernel's
-// "gj.seeks" matches the scalar engine count for count.
-bool RawAlign(std::vector<RawCursor>* cursors, int64_t* seeks) {
-  for (const RawCursor& c : *cursors) {
-    if (c.pos >= c.hi) return false;
-  }
-  for (;;) {
-    int64_t max_key = (*cursors)[0].keys[(*cursors)[0].pos];
-    for (const RawCursor& c : *cursors) {
-      max_key = std::max(max_key, c.keys[c.pos]);
-    }
-    bool all_equal = true;
-    for (RawCursor& c : *cursors) {
-      if (c.keys[c.pos] < max_key) {
-        RawSeek(&c, max_key);
-        ++*seeks;
-        if (c.pos >= c.hi) return false;
-        if (c.keys[c.pos] > max_key) {
-          all_equal = false;  // overshoot: new max, restart
-          break;
-        }
-      }
-    }
-    if (all_equal) return true;
-  }
-}
-
-bool RawAdvance(std::vector<RawCursor>* cursors, int64_t* seeks) {
-  RawCursor& lead = (*cursors)[0];
-  ++lead.pos;
-  ++*seeks;
-  if (lead.pos >= lead.hi) return false;
-  return RawAlign(cursors, seeks);
-}
+// The devirtualized leapfrog primitives over raw CSR key arrays —
+// gallop/align/advance with exact scalar seek accounting — live in the
+// runtime-dispatched SIMD kernel tables (relational/intersect_kernels.h);
+// the engine resolves ActiveIntersectKernel() once per run and drives
+// the same jump sequence through whichever table the CPU supports, so
+// "gj.seeks" and result bytes match the scalar engine count for count.
 
 // The iterative (explicit-stack) expansion loop of Algorithm 1 over one
 // key range. All mutable state lives in this object, so one Engine per
@@ -134,12 +82,18 @@ bool RawAdvance(std::vector<RawCursor>* cursors, int64_t* seeks) {
 // engine only accumulates raw counters; the driver merges and publishes
 // them, which keeps serial and sharded metric output consistent.
 //
-// batch_size > 0 switches the deepest level to block-at-a-time
-// execution (see GenericJoinOptions::batch_size): every binding is
-// staged in a columnar ResultBatch and flushed in blocks, and the
-// intersection itself runs through NextBlock bulk drains or the
-// raw-cursor kernel above whenever the participants allow it. All
-// counters are maintained exactly as in the scalar path.
+// batch_size > 0 switches to block-at-a-time execution (see
+// GenericJoinOptions::batch_size): every binding is staged in a
+// columnar ResultBatch and flushed in blocks. When every input exposes
+// its whole trie as raw CSR arrays (RawTrieSpans), the entire
+// expansion — all levels, not just the deepest — runs through the
+// full-depth raw executor (RunRaw below): explicit frame stacks
+// navigated through the child_begin arrays, leapfrog seeks through the
+// runtime-dispatched SIMD kernel, zero virtual dispatch anywhere.
+// Otherwise the virtual-protocol loop runs, with the deepest level
+// still drained through NextBlock bulk copies or the SIMD kernel when
+// its participants allow it. All counters are maintained exactly as in
+// the scalar path in every mode.
 class Engine {
  public:
   Engine(const std::vector<JoinInput>& inputs,
@@ -161,13 +115,45 @@ class Engine {
         level_iters_[d].push_back(inputs[i].iterator);
       }
     }
+    kernel_ = &ActiveIntersectKernel();
     if (batch_size > 0 && !plan.empty()) {
       batch_.emplace(plan.size(), static_cast<size_t>(batch_size));
       block_.emplace(static_cast<size_t>(batch_size));
+      kernel_buf_.resize(static_cast<size_t>(batch_size));
+      // Full-depth raw mode engages only when every input is a plain
+      // delta-free CSR trie; a lazy path trie or a pending delta
+      // side-file anywhere sends the run down the virtual loop.
+      raw_mode_ = true;
+      raw_inputs_.resize(inputs.size());
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        if (!inputs[i].iterator->RawTrieSpans(&raw_inputs_[i].view)) {
+          raw_mode_ = false;
+          break;
+        }
+        raw_inputs_[i].frames.reserve(raw_inputs_[i].view.levels.size());
+      }
+      if (raw_mode_) {
+        raw_levels_.resize(plan.size());
+        raw_strategy_.assign(plan.size(), IntersectStrategy::kGallop);
+        std::vector<size_t> next_local(inputs.size(), 0);
+        for (size_t d = 0; d < plan.size(); ++d) {
+          raw_levels_[d].reserve(plan[d].participants.size());
+          for (size_t i : plan[d].participants) {
+            raw_levels_[d].push_back(RawRef{i, next_local[i]++});
+          }
+        }
+      } else {
+        raw_inputs_.clear();
+      }
     }
   }
 
   void Run(const PrefixRange& range) {
+    if (raw_mode_) {
+      RunRaw(range);
+      batch_->Flush(out_);
+      return;
+    }
     const size_t num_levels = level_iters_.size();
     size_t depth = 0;
     bool entering = true;
@@ -361,7 +347,7 @@ class Engine {
     RawKeySpan span;
     for (TrieIterator* it : iters) {
       if (!it->RawLevelSpan(&span)) break;
-      raw_cursors_.push_back(RawCursor{span.keys, span.pos, span.hi});
+      raw_cursors_.push_back(KeyCursor{span.keys, span.pos, span.hi});
     }
     if (raw_cursors_.size() == iters.size()) {
       RunDeepestRaw(depth, has_hi, hi);
@@ -381,26 +367,7 @@ class Engine {
     for (;;) {
       size_t n = it->NextBlock(bound, &*block_);
       seeks_ += static_cast<int64_t>(n);
-      if (n > 0) {
-        if (!filter_) {
-          level_totals_[depth] += static_cast<int64_t>(n);
-          total_intermediate_ += static_cast<int64_t>(n);
-          const int64_t* keys = block_->keys.data();
-          size_t count = n;
-          while (count > 0) {
-            size_t take = std::min(count, batch_->capacity() - batch_->size());
-            batch_->PushRun(prefix_, keys, take);
-            ChargeOutput(static_cast<int64_t>(take));
-            if (batch_->full()) batch_->Flush(out_);
-            keys += take;
-            count -= take;
-          }
-        } else {
-          for (int64_t key : block_->keys) {
-            if (BindDeepest(depth, key)) EmitRow();
-          }
-        }
-      }
+      if (n > 0) EmitDeepestRun(depth, block_->keys.data(), n);
       if (BudgetAborted()) return;
       if (n < block_->capacity) break;
     }
@@ -415,18 +382,66 @@ class Engine {
     }
   }
 
-  // All participants are CSR-backed: leapfrog over the raw key arrays —
-  // galloping merges on plain int64_t loads, zero virtual dispatch per
-  // key — emitting into the columnar batch.
-  void RunDeepestRaw(size_t depth, bool has_hi, int64_t hi) {
-    if (!RawAlign(&raw_cursors_, &seeks_)) return;
-    for (;;) {
-      if (BudgetAborted()) return;
-      int64_t key = raw_cursors_[0].keys[raw_cursors_[0].pos];
-      if (has_hi && key >= hi) return;
-      if (BindDeepest(depth, key)) EmitRow();
-      if (!RawAdvance(&raw_cursors_, &seeks_)) return;
+  // Emits `n` deepest-level bindings from a contiguous ascending key
+  // run: bulk columnar staging when no prefix filter is installed,
+  // per-key bind + filter otherwise. Binding and budget accounting are
+  // identical to the scalar per-key path.
+  void EmitDeepestRun(size_t depth, const int64_t* keys, size_t n) {
+    if (!filter_) {
+      level_totals_[depth] += static_cast<int64_t>(n);
+      total_intermediate_ += static_cast<int64_t>(n);
+      while (n > 0) {
+        size_t take = std::min(n, batch_->capacity() - batch_->size());
+        batch_->PushRun(prefix_, keys, take);
+        ChargeOutput(static_cast<int64_t>(take));
+        if (batch_->full()) batch_->Flush(out_);
+        keys += take;
+        n -= take;
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (BindDeepest(depth, keys[i])) EmitRow();
+      }
     }
+  }
+
+  // Blockwise kernel drain of a multi-way deepest-level intersection:
+  // each call fills kernel_buf_ with up to a batch of aligned keys (the
+  // SIMD leapfrog runs entirely inside the kernel TU), which are then
+  // emitted in bulk. Shared by the virtual RawLevelSpan path and the
+  // full-depth raw executor.
+  void DrainWithKernel(KeyCursor* cursors, size_t n,
+                       IntersectStrategy strategy, size_t depth, bool has_hi,
+                       int64_t hi) {
+    bool first = true;
+    bool done = false;
+    while (!done) {
+      size_t produced = kernel_->drain(cursors, n, strategy, first, has_hi,
+                                       hi, kernel_buf_.data(),
+                                       kernel_buf_.size(), &seeks_, &done);
+      first = false;
+      if (produced > 0) EmitDeepestRun(depth, kernel_buf_.data(), produced);
+      if (BudgetAborted()) return;
+    }
+  }
+
+  // All participants are CSR-backed: leapfrog over the raw key arrays
+  // through the dispatched SIMD kernel — vectorized seeks on plain
+  // int64_t loads, zero virtual dispatch per key — emitting into the
+  // columnar batch. The seek strategy comes from the cardinality skew
+  // of this prefix's remaining ranges (the dynamic EstimateKeys ratio).
+  void RunDeepestRaw(size_t depth, bool has_hi, int64_t hi) {
+    int64_t min_remaining = std::numeric_limits<int64_t>::max();
+    int64_t max_remaining = 0;
+    for (const KeyCursor& c : raw_cursors_) {
+      int64_t remaining = static_cast<int64_t>(c.hi - c.pos);
+      min_remaining = std::min(min_remaining, remaining);
+      max_remaining = std::max(max_remaining, remaining);
+    }
+    IntersectStrategy strategy = ChooseIntersectStrategy(
+        raw_cursors_.size(), min_remaining, max_remaining);
+    DrainWithKernel(raw_cursors_.data(), raw_cursors_.size(), strategy, depth,
+                    has_hi, hi);
   }
 
   // Mixed participants (a lazy path trie in the intersection): the
@@ -444,6 +459,284 @@ class Engine {
     }
   }
 
+  // ---------------------------------------------------------------
+  // Full-depth raw executor: the whole expansion over explicit frame
+  // stacks and CSR child_begin arrays. Control flow, lead selection,
+  // shard-range handling, budget cadence, and every counter mirror
+  // Run() op for op — tests/batch_test.cc holds the paths byte- and
+  // counter-identical at every batch size, thread count, and dispatch
+  // level.
+  // ---------------------------------------------------------------
+
+  // One open trie level of one input: the remaining half-open range
+  // [pos, hi) within that level's key array.
+  struct RawFrame {
+    size_t hi;
+    size_t pos;
+  };
+
+  struct RawInputState {
+    RawTrieView view;
+    std::vector<RawFrame> frames;  // one per open level, top = deepest
+  };
+
+  // A level participant: which input, and the input-local trie level
+  // that the engine level maps to.
+  struct RawRef {
+    size_t input;
+    size_t local;
+  };
+
+  RawFrame& FrameOf(const RawRef& ref) {
+    return raw_inputs_[ref.input].frames.back();
+  }
+
+  const RawTrieView::Level& LevelOf(const RawRef& ref) const {
+    return raw_inputs_[ref.input].view.levels[ref.local];
+  }
+
+  int64_t RawKeyOf(const RawRef& ref) {
+    return LevelOf(ref).keys[FrameOf(ref).pos];
+  }
+
+  void RunRaw(const PrefixRange& range) {
+    const size_t num_levels = raw_levels_.size();
+    size_t depth = 0;
+    bool entering = true;
+    for (;;) {
+      if (budget_ != nullptr) {
+        if ((++budget_ticks_ & 4095) == 0) {
+          budget_->CheckDeadline();
+          (void)XJOIN_FAULT("gj.tick");
+        }
+        if (count_cancel_) ++cancel_checks_;
+        if (budget_->violated()) break;
+      }
+      std::vector<RawRef>& parts = raw_levels_[depth];
+      bool have;
+      if (entering) {
+        OpenRawLevel(depth, range);
+        if (depth == 0) {
+          constexpr int64_t kMaxReserveRows = int64_t{1} << 16;
+          const RawFrame& lead = FrameOf(parts[0]);
+          out_->Reserve(static_cast<size_t>(std::clamp<int64_t>(
+              static_cast<int64_t>(lead.hi - lead.pos), 0, kMaxReserveRows)));
+        }
+        if (depth + 1 == num_levels) {
+          RunDeepestRawLevel(depth, range);
+          CloseRawLevel(depth);
+          if (depth == 0) break;
+          --depth;
+          entering = false;
+          continue;
+        }
+        have = RawAlignLevel(depth);
+      } else {
+        have = RawAdvanceLevel(depth);
+      }
+      if (have && range.has_hi) {
+        if (depth == 0) {
+          int64_t key = RawKeyOf(parts[0]);
+          if (range.depth == 1 ? key >= range.hi[0] : key > range.hi[0]) {
+            have = false;
+          }
+        } else if (depth == 1 && range.depth == 2 &&
+                   prefix_[0] == range.hi[0] &&
+                   RawKeyOf(parts[0]) >= range.hi[1]) {
+          have = false;
+        }
+      }
+      if (have) {
+        prefix_[depth] = RawKeyOf(parts[0]);
+        ++level_totals_[depth];
+        ++total_intermediate_;
+        bool keep = !filter_ || filter_(depth, prefix_, filter_metrics_);
+        if (keep) {
+          ++depth;  // descend (the deepest level never reaches here)
+          entering = true;
+        } else {
+          entering = false;  // pruned: advance at this level
+        }
+        continue;
+      }
+      CloseRawLevel(depth);
+      if (depth == 0) break;
+      --depth;
+      entering = false;
+    }
+  }
+
+  // Mirror of OpenLevel: push a frame per participant (child range from
+  // the parent's position, whole level at local 0), lead with the
+  // smallest remaining range, pick this open's seek strategy from the
+  // cardinality skew, and skip to the shard's lexicographic lower
+  // bound.
+  void OpenRawLevel(size_t depth, const PrefixRange& range) {
+    std::vector<RawRef>& parts = raw_levels_[depth];
+    for (const RawRef& ref : parts) {
+      RawInputState& st = raw_inputs_[ref.input];
+      size_t lo, hi;
+      if (ref.local == 0) {
+        lo = 0;
+        hi = st.view.levels[0].num_keys;
+      } else {
+        const RawFrame& parent = st.frames.back();
+        const size_t* child_begin = st.view.levels[ref.local - 1].child_begin;
+        lo = child_begin[parent.pos];
+        hi = child_begin[parent.pos + 1];
+      }
+      st.frames.push_back(RawFrame{hi, lo});
+    }
+    int64_t min_remaining = std::numeric_limits<int64_t>::max();
+    int64_t max_remaining = 0;
+    if (parts.size() > 1) {
+      size_t lead = 0;
+      int64_t best = std::numeric_limits<int64_t>::max();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        const RawFrame& f = FrameOf(parts[i]);
+        int64_t remaining = static_cast<int64_t>(f.hi - f.pos);
+        if (remaining < best) {
+          best = remaining;
+          lead = i;
+        }
+        min_remaining = std::min(min_remaining, remaining);
+        max_remaining = std::max(max_remaining, remaining);
+      }
+      if (lead != 0) std::swap(parts[0], parts[lead]);
+    }
+    raw_strategy_[depth] = ChooseIntersectStrategy(parts.size(),
+                                                   min_remaining,
+                                                   max_remaining);
+    if (range.has_lo) {
+      RawFrame& lead = FrameOf(parts[0]);
+      const RawTrieView::Level& level = LevelOf(parts[0]);
+      if (lead.pos < lead.hi) {
+        if (depth == 0 && level.keys[lead.pos] < range.lo[0]) {
+          lead.pos = kernel_->seek(level.keys, lead.pos, lead.hi,
+                                   range.lo[0], raw_strategy_[depth]);
+          ++seeks_;
+        } else if (depth == 1 && range.depth == 2 &&
+                   prefix_[0] == range.lo[0] &&
+                   level.keys[lead.pos] < range.lo[1]) {
+          lead.pos = kernel_->seek(level.keys, lead.pos, lead.hi,
+                                   range.lo[1], raw_strategy_[depth]);
+          ++seeks_;
+        }
+      }
+    }
+  }
+
+  void CloseRawLevel(size_t depth) {
+    for (const RawRef& ref : raw_levels_[depth]) {
+      raw_inputs_[ref.input].frames.pop_back();
+    }
+  }
+
+  // Mirrors of LeapfrogAlign / LeapfrogAdvance over the frame stacks,
+  // with each jump's interior search running through the dispatched
+  // kernel. Identical seek accounting.
+  bool RawAlignLevel(size_t depth) {
+    std::vector<RawRef>& parts = raw_levels_[depth];
+    for (const RawRef& ref : parts) {
+      const RawFrame& f = FrameOf(ref);
+      if (f.pos >= f.hi) return false;
+    }
+    if (parts.size() == 1) return true;
+    const IntersectStrategy strategy = raw_strategy_[depth];
+    for (;;) {
+      int64_t max_key = RawKeyOf(parts[0]);
+      for (size_t i = 1; i < parts.size(); ++i) {
+        max_key = std::max(max_key, RawKeyOf(parts[i]));
+      }
+      bool all_equal = true;
+      for (const RawRef& ref : parts) {
+        RawFrame& f = FrameOf(ref);
+        const RawTrieView::Level& level = LevelOf(ref);
+        if (level.keys[f.pos] < max_key) {
+          f.pos = kernel_->seek(level.keys, f.pos, f.hi, max_key, strategy);
+          ++seeks_;
+          if (f.pos >= f.hi) return false;
+          if (level.keys[f.pos] > max_key) {
+            all_equal = false;  // overshoot: new max, restart
+            break;
+          }
+        }
+      }
+      if (all_equal) return true;
+    }
+  }
+
+  bool RawAdvanceLevel(size_t depth) {
+    RawFrame& lead = FrameOf(raw_levels_[depth][0]);
+    ++lead.pos;
+    ++seeks_;
+    if (lead.pos >= lead.hi) return false;
+    return RawAlignLevel(depth);
+  }
+
+  // Mirror of RunDeepestLevel: fold the shard bound, then drain the
+  // level — bulk array copies for a single participant, the SIMD
+  // kernel for a true intersection.
+  void RunDeepestRawLevel(size_t depth, const PrefixRange& range) {
+    bool has_hi = false;
+    int64_t hi = 0;
+    if (range.has_hi) {
+      if (depth == 0) {
+        XJ_DCHECK(range.depth == 1);
+        has_hi = true;
+        hi = range.hi[0];
+      } else if (depth == 1 && range.depth == 2 &&
+                 prefix_[0] == range.hi[0]) {
+        has_hi = true;
+        hi = range.hi[1];
+      }
+    }
+    std::vector<RawRef>& parts = raw_levels_[depth];
+    if (parts.size() == 1) {
+      DrainSingleRaw(depth, has_hi, hi);
+      return;
+    }
+    raw_cursors_.clear();
+    for (const RawRef& ref : parts) {
+      const RawFrame& f = FrameOf(ref);
+      raw_cursors_.push_back(KeyCursor{LevelOf(ref).keys, f.pos, f.hi});
+    }
+    DrainWithKernel(raw_cursors_.data(), raw_cursors_.size(),
+                    raw_strategy_[depth], depth, has_hi, hi);
+  }
+
+  // Mirror of DrainSingle over the raw level array: the same blockwise
+  // protocol (n counted seeks per block of at most one batch, budget
+  // poll between blocks, scalar INT64_MAX stragglers), but the keys
+  // stage straight out of the CSR array with zero copies in between.
+  void DrainSingleRaw(size_t depth, bool has_hi, int64_t hi) {
+    RawFrame& f = FrameOf(raw_levels_[depth][0]);
+    const RawTrieView::Level& level = LevelOf(raw_levels_[depth][0]);
+    const int64_t bound = has_hi ? hi : std::numeric_limits<int64_t>::max();
+    const size_t cap = kernel_buf_.size();
+    for (;;) {
+      size_t end = std::min(f.pos + cap, f.hi);
+      if (end > f.pos && level.keys[end - 1] >= bound) {
+        end = kernel_->lower_bound(level.keys, f.pos, end, bound);
+      }
+      size_t n = end - f.pos;
+      seeks_ += static_cast<int64_t>(n);
+      if (n > 0) {
+        EmitDeepestRun(depth, level.keys + f.pos, n);
+        f.pos = end;
+      }
+      if (BudgetAborted()) return;
+      if (n < cap) break;
+    }
+    if (!has_hi) {
+      while (f.pos < f.hi && !BudgetAborted()) {
+        if (BindDeepest(depth, level.keys[f.pos])) EmitRow();
+        ++f.pos;
+        ++seeks_;
+      }
+    }
+  }
+
   const PrefixFilter& filter_;
   Metrics* filter_metrics_;
   Relation* out_;
@@ -457,7 +750,15 @@ class Engine {
   std::vector<std::vector<TrieIterator*>> level_iters_;
   std::optional<ResultBatch> batch_;  // engaged iff batch_size > 0
   std::optional<KeyBlock> block_;     // NextBlock scratch, same capacity
-  std::vector<RawCursor> raw_cursors_;
+  const IntersectKernel* kernel_ = nullptr;  // resolved once per engine
+  std::vector<int64_t> kernel_buf_;   // drain destination, batch capacity
+  std::vector<KeyCursor> raw_cursors_;
+  // Full-depth raw mode, engaged iff batch is on and every input
+  // exposes RawTrieSpans (plain delta-free CSR storage).
+  std::vector<RawInputState> raw_inputs_;
+  std::vector<std::vector<RawRef>> raw_levels_;  // participants per level
+  std::vector<IntersectStrategy> raw_strategy_;  // chosen at each open
+  bool raw_mode_ = false;
   int64_t seeks_ = 0;
   int64_t total_intermediate_ = 0;
 };

@@ -25,6 +25,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "relational/relation.h"
+#include "relational/result_batch.h"
 #include "relational/trie_iterator.h"
 
 namespace xjoin {
@@ -85,18 +86,23 @@ struct GenericJoinOptions {
   /// pair domain has <= 1 element). Results are byte-identical for
   /// every setting.
   int shard_depth = 0;
-  /// Result-batch capacity in rows. 0 (default) runs the legacy scalar
-  /// path: one virtual Key/Next/Seek round per binding and one
-  /// Relation::AppendRow per result row. > 0 runs block-at-a-time at the
-  /// deepest level — bulk TrieIterator::NextBlock drains when one input
-  /// covers the level, a devirtualized galloping-merge kernel over the
-  /// raw CSR arrays when every participant is a RelationTrie, the scalar
-  /// leapfrog otherwise — and stages results in a columnar ResultBatch
-  /// of this many rows, flushed via Relation::AppendColumnBlock. Results
-  /// are byte-identical and every "gj.*" counter (bindings, seeks,
-  /// total_intermediate, output) is identical to the scalar path at any
-  /// batch size, serial or sharded.
-  int batch_size = 0;
+  /// Result-batch capacity in rows. > 0 (the default) runs
+  /// block-at-a-time execution: when every input is a plain CSR
+  /// RelationTrie the whole expansion runs over the raw level arrays
+  /// with runtime-dispatched SIMD intersection kernels (SSE4.2/AVX2
+  /// galloping lower-bound, see relational/intersect_kernels.h);
+  /// otherwise block-at-a-time applies at the deepest level — bulk
+  /// TrieIterator::NextBlock drains when one input covers the level,
+  /// the dispatched kernel when every participant exposes a raw span,
+  /// the scalar leapfrog otherwise. Results stage in a columnar
+  /// ResultBatch of this many rows, flushed via
+  /// Relation::AppendColumnBlock. 0 opts out: the legacy scalar path,
+  /// one virtual Key/Next/Seek round per binding and one
+  /// Relation::AppendRow per result row. Results are byte-identical and
+  /// every "gj.*" counter (bindings, seeks, total_intermediate, output)
+  /// is identical to the scalar path at any batch size and SIMD
+  /// dispatch level, serial or sharded.
+  int batch_size = kDefaultResultBatchCapacity;
   /// Optional per-query admission budget shared by every shard
   /// (nullable). The engine charges each materialized output row
   /// (rows x 8*arity bytes) against it, samples the deadline every few

@@ -7,8 +7,10 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "common/simd.h"
 #include "common/string_util.h"
 #include "core/bound.h"
+#include "relational/intersect_kernels.h"
 
 namespace xjoin {
 
@@ -49,8 +51,11 @@ std::vector<PlannedInput> CollectInputs(const XJoinPlan& plan) {
   return inputs;
 }
 
-// Fills plan.levels: participants, coverage, and the planned leapfrog
-// lead (smallest static key-count estimate at the input's local level).
+// Fills plan.levels: participants, coverage, the planned leapfrog lead
+// (smallest static key-count estimate at the input's local level), and
+// the planned intersection kernel — the same selection rule the raw
+// executor applies at run time (ChooseIntersectStrategy), fed the
+// static estimates.
 void PlanLevels(XJoinPlan* plan) {
   std::vector<PlannedInput> inputs = CollectInputs(*plan);
   plan->levels.reserve(plan->order.size());
@@ -58,6 +63,9 @@ void PlanLevels(XJoinPlan* plan) {
     PlanLevel level;
     level.attribute = attribute;
     int64_t best = std::numeric_limits<int64_t>::max();
+    int64_t min_estimate = std::numeric_limits<int64_t>::max();
+    int64_t max_estimate = 0;
+    bool all_raw = true;
     for (const auto& in : inputs) {
       auto it = std::find(in.attrs->begin(), in.attrs->end(), attribute);
       if (it == in.attrs->end()) continue;
@@ -69,8 +77,24 @@ void PlanLevels(XJoinPlan* plan) {
         level.lead = *in.name;
         level.lead_estimate = estimate;
       }
+      min_estimate = std::min(min_estimate, estimate);
+      max_estimate = std::max(max_estimate, estimate);
+      // The raw executor engages only over plain delta-free CSR tries
+      // (RawTrieSpans); lazy path inputs and delta tries leapfrog
+      // through the virtual protocol.
+      if (*in.trie == nullptr || (*in.trie)->has_delta()) all_raw = false;
     }
     level.coverage = static_cast<int>(level.participants.size());
+    if (plan->batch_size <= 0) {
+      level.kernel = "scalar";
+    } else if (level.coverage <= 1) {
+      level.kernel = "drain";
+    } else if (all_raw) {
+      level.kernel = IntersectStrategyName(ChooseIntersectStrategy(
+          level.participants.size(), min_estimate, max_estimate));
+    } else {
+      level.kernel = "leapfrog";
+    }
     plan->levels.push_back(std::move(level));
   }
 }
@@ -344,7 +368,9 @@ std::string ExplainPlan(const XJoinPlan& plan) {
     out += "  level " + std::to_string(d) + ": " + level.attribute +
            "  inputs {" + JoinStrings(level.participants, ", ") + "}  lead " +
            level.lead + " (~" + std::to_string(level.lead_estimate) +
-           " keys)\n";
+           " keys)";
+    if (!level.kernel.empty()) out += "  kernel " + level.kernel;
+    out += "\n";
   }
 
   const ShardPlan& sp = plan.shard_plan;
@@ -360,6 +386,10 @@ std::string ExplainPlan(const XJoinPlan& plan) {
   if (plan.batch_size > 0) {
     out += "batched (columnar, block=" + std::to_string(plan.batch_size) +
            "; CSR levels devirtualized)\n";
+    // Live property of the host running EXPLAIN, not a plan snapshot:
+    // the dispatch ladder is resolved again wherever the plan executes.
+    out += "simd dispatch: " +
+           std::string(SimdLevelName(ActiveSimdLevel())) + "\n";
   } else {
     out += "scalar (row-at-a-time; batch_size=0)\n";
   }

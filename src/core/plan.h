@@ -33,6 +33,7 @@
 #include "core/validate.h"
 #include "core/virtual_relation.h"
 #include "relational/relation.h"
+#include "relational/result_batch.h"
 #include "relational/trie.h"
 
 namespace xjoin {
@@ -85,11 +86,12 @@ struct XJoinOptions {
   /// partitioning deterministically on one thread.
   int num_shards = 0;
   /// Result-batch capacity for the expansion loop, snapshotted into the
-  /// plan and part of the cache fingerprint. 0 (default) = legacy
-  /// scalar execution; > 0 = block-at-a-time deepest level with
-  /// columnar materialization (see GenericJoinOptions::batch_size).
+  /// plan and part of the cache fingerprint. > 0 (the default) =
+  /// block-at-a-time execution with columnar materialization and
+  /// runtime-dispatched SIMD intersection kernels over raw CSR inputs;
+  /// 0 = the legacy scalar opt-out (see GenericJoinOptions::batch_size).
   /// Results and "gj.*"/"validate.*" counters are identical either way.
-  int batch_size = 0;
+  int batch_size = kDefaultResultBatchCapacity;
   /// Optional trie cache hook (see TrieProvider above). Empty = every
   /// prepare builds its own relation tries.
   TrieProvider trie_provider;
@@ -137,6 +139,14 @@ struct PlanLevel {
   std::string lead;                       ///< planned leapfrog lead input
   int64_t lead_estimate = 0;              ///< its static key-count estimate
   int coverage = 0;                       ///< #inputs covering the attribute
+  /// Planned intersection kernel for the level, shown by EXPLAIN:
+  /// "scalar" (batch_size == 0 — virtual leapfrog throughout), "drain"
+  /// (single participant: bulk block copies), "gallop"/"merge" (the
+  /// SIMD-dispatched raw-CSR kernel, strategy picked from the static
+  /// cardinality skew), or "leapfrog" (non-CSR participant, virtual
+  /// protocol). Like the lead, the executor re-decides per prefix from
+  /// live estimates; this is the a-priori choice.
+  std::string kernel;
 };
 
 /// The shard partitioning decision, chosen at prepare time from the
@@ -173,7 +183,7 @@ struct XJoinPlan {
   bool structural_pruning = false;
   int num_threads = 1;
   int num_shards = 0;
-  int batch_size = 0;
+  int batch_size = kDefaultResultBatchCapacity;
 
   /// The chosen expansion order (PA) with its per-level rationale.
   std::vector<std::string> order;

@@ -1,0 +1,56 @@
+#include "relational/intersect_kernels.h"
+
+#include "relational/intersect_kernels_impl.h"
+
+namespace xjoin {
+
+namespace {
+
+// Portable fallback: plain scalar loops, no target-specific flags.
+// This is also the reference the SIMD variants are tested against.
+struct ScalarOps {
+  static constexpr size_t kLinearCutoff = 8;
+  static constexpr size_t kScanBudget = 16;
+
+  static size_t LinearLowerBound(const int64_t* keys, size_t lo, size_t hi,
+                                 int64_t key) {
+    while (lo < hi && keys[lo] < key) ++lo;
+    return lo;
+  }
+};
+
+using ScalarKernels = intersect_internal::Kernels<ScalarOps>;
+
+constexpr IntersectKernel kScalarKernel = {
+    SimdLevel::kScalar,
+    &ScalarKernels::LowerBound,
+    &ScalarKernels::Seek,
+    &ScalarKernels::Drain,
+};
+
+}  // namespace
+
+const IntersectKernel* IntersectKernelFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &kScalarKernel;
+    case SimdLevel::kSse42:
+      return intersect_internal::Sse42IntersectKernel();
+    case SimdLevel::kAvx2:
+      return intersect_internal::Avx2IntersectKernel();
+  }
+  return &kScalarKernel;
+}
+
+const IntersectKernel& ActiveIntersectKernel() {
+  // Walk down the ladder from the policy level to the first table this
+  // binary actually carries (the -m flags may be unavailable).
+  for (int level = static_cast<int>(ActiveSimdLevel()); level > 0; --level) {
+    const IntersectKernel* kernel =
+        IntersectKernelFor(static_cast<SimdLevel>(level));
+    if (kernel != nullptr) return *kernel;
+  }
+  return kScalarKernel;
+}
+
+}  // namespace xjoin

@@ -1,0 +1,75 @@
+// SSE4.2 kernel variant. This TU — and only this TU — is compiled with
+// -msse4.2 (see src/relational/CMakeLists.txt), so the vector code
+// here never leaks into translation units that must stay runnable on
+// baseline x86-64. When the flag is unavailable (non-x86 target, or a
+// toolchain without it) the registry entry degrades to null and
+// dispatch walks down to scalar.
+#include "relational/intersect_kernels.h"
+
+#if defined(__SSE4_2__) && (defined(__GNUC__) || defined(__clang__))
+
+#include <emmintrin.h>
+#include <smmintrin.h>
+
+#include "relational/intersect_kernels_impl.h"
+
+namespace xjoin {
+namespace intersect_internal {
+namespace {
+
+// PCMPGTQ (64-bit signed greater-than) is the SSE4.2 floor for these
+// kernels; __m128i holds two lanes.
+struct Sse42Ops {
+  static constexpr size_t kLinearCutoff = 16;
+  static constexpr size_t kScanBudget = 16;
+
+  static size_t LinearLowerBound(const int64_t* keys, size_t lo, size_t hi,
+                                 int64_t key) {
+    const __m128i needle = _mm_set1_epi64x(key);
+    size_t i = lo;
+    while (i + 2 <= hi) {
+      // Keys ascend, so lanes < key form a prefix of the block: the
+      // popcount of the less-than mask is the in-block offset of the
+      // first lane >= key.
+      __m128i block =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+      __m128i lt = _mm_cmpgt_epi64(needle, block);
+      unsigned mask =
+          static_cast<unsigned>(_mm_movemask_pd(_mm_castsi128_pd(lt)));
+      if (mask != 0x3u) {
+        return i + static_cast<size_t>(__builtin_popcount(mask));
+      }
+      i += 2;
+    }
+    while (i < hi && keys[i] < key) ++i;  // tail
+    return i;
+  }
+};
+
+using Sse42Kernels = Kernels<Sse42Ops>;
+
+constexpr IntersectKernel kSse42Kernel = {
+    SimdLevel::kSse42,
+    &Sse42Kernels::LowerBound,
+    &Sse42Kernels::Seek,
+    &Sse42Kernels::Drain,
+};
+
+}  // namespace
+
+const IntersectKernel* Sse42IntersectKernel() { return &kSse42Kernel; }
+
+}  // namespace intersect_internal
+}  // namespace xjoin
+
+#else  // !__SSE4_2__
+
+namespace xjoin {
+namespace intersect_internal {
+
+const IntersectKernel* Sse42IntersectKernel() { return nullptr; }
+
+}  // namespace intersect_internal
+}  // namespace xjoin
+
+#endif  // __SSE4_2__

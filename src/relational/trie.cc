@@ -551,6 +551,23 @@ bool RelationTrieIterator::RawLevelSpan(RawKeySpan* out) const {
   return true;
 }
 
+bool RelationTrieIterator::RawTrieSpans(RawTrieView* out) const {
+  const RelationTrie::Core* core = trie_->core_.get();
+  const size_t arity = core == nullptr ? 0 : core->keys.size();
+  out->levels.clear();
+  out->levels.reserve(arity);
+  for (size_t d = 0; d < arity; ++d) {
+    RawTrieView::Level level;
+    level.keys = core->keys[d].data();
+    level.num_keys = core->keys[d].size();
+    // The deepest level has no children to index into.
+    level.child_begin =
+        d + 1 < arity ? core->child_begin[d].data() : nullptr;
+    out->levels.push_back(level);
+  }
+  return true;
+}
+
 int64_t RelationTrieIterator::EstimateKeys() const {
   XJ_DCHECK(depth_ >= 0);
   const Frame& f = frames_[static_cast<size_t>(depth_)];

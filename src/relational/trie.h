@@ -208,6 +208,8 @@ class RelationTrieIterator final : public TrieIterator {
   size_t NextBlock(int64_t hi_exclusive, KeyBlock* out) override;
   /// CSR levels are sorted arrays, so the raw span is always available.
   bool RawLevelSpan(RawKeySpan* out) const override;
+  /// Delta-free CSR storage is exactly the raw layout: always true.
+  bool RawTrieSpans(RawTrieView* out) const override;
   std::unique_ptr<TrieIterator> Clone() const override;
 
  private:

@@ -42,6 +42,23 @@ struct RawKeySpan {
   size_t hi = 0;
 };
 
+/// Borrowed view of a whole delta-free CSR trie: per level, the full
+/// sorted key array plus the child_begin offsets that map a key at
+/// position p to its children's range [child_begin[p], child_begin[p+1])
+/// one level down (the deepest level has no child_begin). Iterators
+/// whose backing storage is exactly this layout expose one via
+/// TrieIterator::RawTrieSpans — the hook the full-depth batched
+/// generic-join executor devirtualizes on, navigating the arrays
+/// directly instead of driving the virtual cursor protocol.
+struct RawTrieView {
+  struct Level {
+    const int64_t* keys = nullptr;
+    size_t num_keys = 0;
+    const size_t* child_begin = nullptr;  // null at the deepest level
+  };
+  std::vector<Level> levels;
+};
+
 /// Cursor over a sorted trie of tuples.
 ///
 /// Protocol (all positions are per-level, keys are sorted ascending):
@@ -120,6 +137,17 @@ class TrieIterator {
   /// ascend (Up()) out of the level before using the iterator again.
   /// Precondition: depth() >= 0.
   virtual bool RawLevelSpan(RawKeySpan* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Exposes the whole backing trie as raw CSR arrays (all levels at
+  /// once, position-independent) when the storage is a plain delta-free
+  /// CSR trie. Returns false otherwise — delta-merging and
+  /// document-navigating iterators decline, sending the engine down the
+  /// virtual-protocol path. The view borrows the backing arrays, which
+  /// outlive the iterator; it is unaffected by cursor movement.
+  virtual bool RawTrieSpans(RawTrieView* out) const {
     (void)out;
     return false;
   }

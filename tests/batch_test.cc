@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/simd.h"
 #include "core/generic_join.h"
 #include "core/xjoin.h"
+#include "relational/intersect_kernels.h"
 #include "relational/result_batch.h"
 #include "relational/trie.h"
 #include "tests/test_util.h"
@@ -141,6 +143,7 @@ TEST(BatchedGenericJoinTest, TriangleMatchesScalarAtEveryBatchAndThread) {
   TriangleFixture fx(20);
   GenericJoinOptions scalar_opts;
   scalar_opts.attribute_order = {"A", "B", "C"};
+  scalar_opts.batch_size = 0;  // batching defaults on; baseline opts out
   Metrics scalar_m;
   scalar_opts.metrics = &scalar_m;
   auto scalar = GenericJoin(fx.Inputs(), scalar_opts);
@@ -183,6 +186,7 @@ TEST(BatchedGenericJoinTest, ShardedCountersMatchScalarSharded) {
       opts.attribute_order = {"A", "B", "C"};
       opts.num_threads = threads;
       opts.num_shards = shards;
+      opts.batch_size = 0;
       Metrics scalar_m;
       opts.metrics = &scalar_m;
       auto scalar = GenericJoin(fx.Inputs(), opts);
@@ -240,6 +244,7 @@ TEST(BatchedGenericJoinTest, CompositeShardingMatchesScalar) {
   base.num_threads = 4;
   base.num_shards = 8;
   base.shard_depth = 2;
+  base.batch_size = 0;
   Metrics scalar_m;
   base.metrics = &scalar_m;
   auto scalar = GenericJoin(inputs, base);
@@ -279,6 +284,7 @@ TEST(BatchedGenericJoinTest, SingleParticipantDeepestLevelDrain) {
 
   GenericJoinOptions scalar_opts;
   scalar_opts.attribute_order = {"A", "B", "C"};
+  scalar_opts.batch_size = 0;
   Metrics scalar_m;
   scalar_opts.metrics = &scalar_m;
   auto ir = tr->NewIterator();
@@ -304,6 +310,61 @@ TEST(BatchedGenericJoinTest, SingleParticipantDeepestLevelDrain) {
       ExpectByteIdentical(*scalar, *batched);
       if (threads == 1) {
         EXPECT_EQ(DeterministicCounters(m), DeterministicCounters(scalar_m));
+      }
+    }
+  }
+}
+
+// Pins the SIMD dispatch override for a scope, restoring on exit.
+class DispatchOverrideGuard {
+ public:
+  explicit DispatchOverrideGuard(SimdLevel level) {
+    SetSimdDispatchOverride(level);
+  }
+  ~DispatchOverrideGuard() { ClearSimdDispatchOverride(); }
+};
+
+// The same join must produce byte-identical rows and identical
+// deterministic counters at every compiled SIMD dispatch level — the
+// kernels only accelerate each seek's interior search, never change the
+// jump sequence — across the batch-size and thread matrices.
+TEST(BatchedGenericJoinTest, DispatchMatrixMatchesForcedScalar) {
+  TriangleFixture fx(20);
+  GenericJoinOptions scalar_opts;
+  scalar_opts.attribute_order = {"A", "B", "C"};
+  scalar_opts.batch_size = 0;
+  Metrics scalar_m;
+  scalar_opts.metrics = &scalar_m;
+  auto scalar = GenericJoin(fx.Inputs(), scalar_opts);
+  ASSERT_TRUE(scalar.ok());
+  ASSERT_GT(scalar->num_rows(), 0u);
+
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse42, SimdLevel::kAvx2}) {
+    if (IntersectKernelFor(level) == nullptr) continue;  // not compiled in
+    if (level > DetectedSimdLevel()) continue;           // not runnable here
+    DispatchOverrideGuard guard(level);
+    for (int batch : kBatchSizes) {
+      for (int threads : kThreadCounts) {
+        GenericJoinOptions opts;
+        opts.attribute_order = {"A", "B", "C"};
+        opts.batch_size = batch;
+        opts.num_threads = threads;
+        Metrics m;
+        opts.metrics = &m;
+        auto batched = GenericJoin(fx.Inputs(), opts);
+        ASSERT_TRUE(batched.ok());
+        SCOPED_TRACE(std::string("level=") + SimdLevelName(level) +
+                     " batch=" + std::to_string(batch) +
+                     " threads=" + std::to_string(threads));
+        ExpectByteIdentical(*scalar, *batched);
+        if (threads == 1) {
+          EXPECT_EQ(DeterministicCounters(m), DeterministicCounters(scalar_m));
+        } else {
+          EXPECT_EQ(m.Get("gj.output"), scalar_m.Get("gj.output"));
+          EXPECT_EQ(m.Get("gj.total_intermediate"),
+                    scalar_m.Get("gj.total_intermediate"));
+        }
       }
     }
   }

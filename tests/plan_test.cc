@@ -112,25 +112,40 @@ TEST_F(PlanTest, OptionsFingerprintSeparatesVariants) {
   XJoinOptions pruning;
   pruning.structural_pruning = true;
   ASSERT_TRUE(db_.QueryXJoin(q_, pruning).ok());
-  XJoinOptions batched;
-  batched.batch_size = 1024;
-  ASSERT_TRUE(db_.QueryXJoin(q_, batched).ok());
+  // Batch size is on by default, so the scalar opt-out is the variant
+  // that must fingerprint separately.
+  XJoinOptions scalar;
+  scalar.batch_size = 0;
+  ASSERT_TRUE(db_.QueryXJoin(q_, scalar).ok());
   EXPECT_EQ(db_.PlanCacheSize(), 4u);
   EXPECT_EQ(db_.plan_cache_hits(), 0);
   EXPECT_EQ(db_.plan_cache_misses(), 4);
   // Re-running each variant hits its own entry.
   ASSERT_TRUE(db_.QueryXJoin(q_, threaded).ok());
-  ASSERT_TRUE(db_.QueryXJoin(q_, batched).ok());
+  ASSERT_TRUE(db_.QueryXJoin(q_, scalar).ok());
   EXPECT_EQ(db_.plan_cache_hits(), 2);
   EXPECT_EQ(db_.PlanCacheSize(), 4u);
 }
 
 TEST_F(PlanTest, ExplainShowsExecutionMode) {
-  // Default plans render the legacy scalar mode; batched plans show the
-  // block size.
-  auto scalar_text = db_.ExplainXJoin(q_);
+  // Batched execution is the default (block = kDefaultResultBatchCapacity)
+  // and renders the live SIMD dispatch level plus a per-level kernel;
+  // batch_size = 0 opts back into the legacy scalar mode.
+  auto default_text = db_.ExplainXJoin(q_);
+  ASSERT_TRUE(default_text.ok());
+  EXPECT_NE(default_text->find(
+                "execution: batched (columnar, block=" +
+                std::to_string(kDefaultResultBatchCapacity)),
+            std::string::npos);
+  EXPECT_NE(default_text->find("simd dispatch: "), std::string::npos);
+  EXPECT_NE(default_text->find("kernel "), std::string::npos);
+  XJoinOptions scalar;
+  scalar.batch_size = 0;
+  auto scalar_text = db_.ExplainXJoin(q_, scalar);
   ASSERT_TRUE(scalar_text.ok());
   EXPECT_NE(scalar_text->find("execution: scalar"), std::string::npos);
+  EXPECT_NE(scalar_text->find("kernel scalar"), std::string::npos);
+  EXPECT_EQ(scalar_text->find("simd dispatch: "), std::string::npos);
   XJoinOptions batched;
   batched.batch_size = 512;
   auto batched_text = db_.ExplainXJoin(q_, batched);
