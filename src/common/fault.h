@@ -26,6 +26,20 @@
 //   admission.queue_full  evaluated at tenant admission (a hit makes
 //                         the pool report queue-full regardless of
 //                         actual depth)
+//   gj.morsel             per-shard morsel hand-off inside the sharded
+//                         driver's ParallelFor body (a hit drops that
+//                         shard's work; the query fails kInternal)
+//   gj.result_merge       before shard results merge into the final
+//                         relation (a hit fails the query kInternal)
+//   net.accept            before the server accepts a pending
+//                         connection (a hit drops it on the floor)
+//   net.read              per read() in the server's frame decoder (a
+//                         hit closes the connection mid-frame)
+//   net.write             per write() of a response (a hit closes the
+//                         connection mid-response)
+//   net.drop_response     after a request executes but before its
+//                         response frame is written (a hit closes the
+//                         connection, simulating a lost response)
 #ifndef XJOIN_COMMON_FAULT_H_
 #define XJOIN_COMMON_FAULT_H_
 

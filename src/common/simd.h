@@ -11,9 +11,9 @@
 //
 //   1. what the CPU reports (`__builtin_cpu_supports`, cached once),
 //   2. an optional `XJOIN_SIMD` environment cap ("scalar", "sse42",
-//      "avx2"; anything else, including unset, means "no cap") read
-//      once at first use — this is how CI forces the portable path on
-//      AVX2 hardware,
+//      "avx2"; unset means "no cap", and a malformed value logs a
+//      warning then falls back to "no cap") read once at first use —
+//      this is how CI forces the portable path on AVX2 hardware,
 //   3. an optional programmatic override (SetSimdDispatchOverride),
 //      which takes precedence over the environment cap but is still
 //      clamped to the detected level so a test requesting AVX2 on an
@@ -29,6 +29,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <string>
+
+#include "common/logging.h"
 
 namespace xjoin {
 
@@ -81,6 +83,20 @@ inline SimdLevel DetectedSimdLevel() {
   return detected;
 }
 
+/// Resolves an XJOIN_SIMD-style cap value: null/empty means "no cap"
+/// (kAvx2 — detection still clamps), a valid level name parses, and
+/// anything else logs a warning and deterministically falls back to
+/// "no cap" instead of being silently swallowed.
+inline SimdLevel SimdCapFromEnvValue(const char* value) {
+  if (value == nullptr || *value == '\0') return SimdLevel::kAvx2;
+  SimdLevel parsed = SimdLevel::kAvx2;
+  if (!ParseSimdLevelName(value, &parsed)) {
+    XJ_LOG(Warning) << "ignoring malformed XJOIN_SIMD='" << value
+                    << "' (want scalar|sse42|avx2); dispatch is uncapped";
+  }
+  return parsed;
+}
+
 namespace simd_internal {
 
 // -1 = no programmatic override; otherwise a SimdLevel value.
@@ -89,15 +105,10 @@ inline std::atomic<int>& OverrideSlot() {
   return slot;
 }
 
-// The XJOIN_SIMD environment cap, parsed once. Unparsable or unset
-// values leave the cap at kAvx2 (i.e. no cap below detection).
+// The XJOIN_SIMD environment cap, parsed once (malformed values warn
+// and fall back to "no cap" — see SimdCapFromEnvValue).
 inline SimdLevel EnvSimdCap() {
-  static const SimdLevel cap = [] {
-    const char* env = std::getenv("XJOIN_SIMD");
-    SimdLevel parsed = SimdLevel::kAvx2;
-    if (env != nullptr) ParseSimdLevelName(env, &parsed);
-    return parsed;
-  }();
+  static const SimdLevel cap = SimdCapFromEnvValue(std::getenv("XJOIN_SIMD"));
   return cap;
 }
 

@@ -42,7 +42,9 @@ std::string Status::ToString() const {
 
 Status Status::WithContext(const std::string& context) const {
   if (ok()) return *this;
-  return Status(code_, context + ": " + message_);
+  Status out(code_, context + ": " + message_);
+  out.retry_info_ = retry_info_;  // context never strips retry data
+  return out;
 }
 
 }  // namespace xjoin

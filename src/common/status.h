@@ -30,6 +30,22 @@ enum class StatusCode : uint8_t {
 /// Human-readable name for a StatusCode (e.g. "InvalidArgument").
 const char* StatusCodeToString(StatusCode code);
 
+/// Machine-readable retry context carried by admission/overload errors
+/// (kResourceExhausted from tenant pools and the network front-end), so
+/// clients back off on data instead of parsing the human message.
+struct RetryInfo {
+  /// Suggested wait before retrying; 0 = no specific suggestion.
+  int64_t retry_after_micros = 0;
+  /// Admission-queue depth observed when the error was raised; -1 when
+  /// the error has no queue (e.g. a connection-ceiling rejection).
+  int32_t queue_depth = -1;
+
+  bool operator==(const RetryInfo& other) const {
+    return retry_after_micros == other.retry_after_micros &&
+           queue_depth == other.queue_depth;
+  }
+};
+
 /// An error-or-success outcome. Cheap to move; success carries no
 /// allocation. Inspect with ok()/code()/message().
 class Status {
@@ -87,13 +103,26 @@ class Status {
   /// message. No-op on success.
   Status WithContext(const std::string& context) const;
 
+  /// Returns a copy of this status carrying machine-readable retry
+  /// context (see RetryInfo). No-op on success.
+  Status WithRetryInfo(RetryInfo info) const {
+    Status out = *this;
+    if (!out.ok()) out.retry_info_ = info;
+    return out;
+  }
+
+  /// The structured retry context, if the producer attached one.
+  const std::optional<RetryInfo>& retry_info() const { return retry_info_; }
+
   bool operator==(const Status& other) const {
-    return code_ == other.code_ && message_ == other.message_;
+    return code_ == other.code_ && message_ == other.message_ &&
+           retry_info_ == other.retry_info_;
   }
 
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  std::optional<RetryInfo> retry_info_;
 };
 
 /// A value or an error. Like arrow::Result: construct from T or Status,

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace xjoin {
 
 std::vector<std::string> SplitString(std::string_view s, char sep) {
@@ -65,6 +67,38 @@ Result<double> ParseDouble(std::string_view s) {
     return Status::ParseError("invalid float literal: " + buf);
   }
   return v;
+}
+
+Result<uint64_t> ParseUint64(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return Status::ParseError("empty integer literal");
+  // strtoull happily accepts "-1" (wrapping it); reject signs up front.
+  if (s.front() == '-' || s.front() == '+') {
+    return Status::ParseError("invalid unsigned integer literal: " +
+                              std::string(s));
+  }
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return Status::ParseError("integer overflow: " + buf);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::ParseError("invalid unsigned integer literal: " + buf);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+uint64_t EnvUint64OrDefault(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  Result<uint64_t> parsed = ParseUint64(value);
+  if (!parsed.ok()) {
+    XJ_LOG(Warning) << "ignoring malformed " << name << "='" << value
+                    << "' (" << parsed.status().message() << "); using "
+                    << fallback;
+    return fallback;
+  }
+  return *parsed;
 }
 
 bool StartsWith(std::string_view s, std::string_view prefix) {

@@ -27,6 +27,17 @@ Result<int64_t> ParseInt64(std::string_view s);
 /// Parses a floating point number; rejects trailing garbage.
 Result<double> ParseDouble(std::string_view s);
 
+/// Parses a base-10 unsigned integer; rejects signs, trailing garbage,
+/// and overflow.
+Result<uint64_t> ParseUint64(std::string_view s);
+
+/// Reads environment variable `name` as an unsigned integer. Unset
+/// returns `fallback` silently; a malformed value (e.g. "banana",
+/// "-3", "12x") logs one warning and returns `fallback`, so a typo'd
+/// XJOIN_FAULT_SEED degrades to a deterministic default instead of
+/// silently becoming 0.
+uint64_t EnvUint64OrDefault(const char* name, uint64_t fallback);
+
 /// True if `s` begins with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <limits>
 #include <optional>
 #include <utility>
@@ -1040,8 +1041,21 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
   // a cancellation.
   Executor* executor =
       options.executor != nullptr ? options.executor : Executor::Default();
+#ifdef XJOIN_FAULTS_ENABLED
+  // Fault site: the per-shard morsel hand-off. A hit makes the worker
+  // drop that shard's work on the floor (the morsel "ran" but produced
+  // nothing), which the barrier below converts into a typed failure —
+  // exercising the executor path where a shard silently vanishes.
+  std::atomic<bool> morsel_dropped{false};
+#endif
   executor->ParallelFor(num_threads, shards.size(), /*grain=*/1,
                         [&](size_t s) {
+#ifdef XJOIN_FAULTS_ENABLED
+    if (XJOIN_FAULT("gj.morsel")) {
+      morsel_dropped.store(true, std::memory_order_relaxed);
+      return;
+    }
+#endif
     Shard& shard = shards[s];
     Metrics* filter_metrics =
         options.metrics != nullptr ? &shard.metrics : nullptr;
@@ -1055,6 +1069,20 @@ Result<Relation> GenericJoin(const std::vector<JoinInput>& inputs,
   });
   if (budget != nullptr && budget->violated()) {
     return budget->status();
+  }
+#ifdef XJOIN_FAULTS_ENABLED
+  if (morsel_dropped.load(std::memory_order_relaxed)) {
+    return Status::Internal(
+        "fault injection: morsel hand-off dropped shard work "
+        "(site gj.morsel)");
+  }
+#endif
+
+  // Fault site: the result merge. A hit fails the query after all shard
+  // work completed but before any rows reach the caller.
+  if (XJOIN_FAULT("gj.result_merge")) {
+    return Status::Internal(
+        "fault injection: shard result merge failed (site gj.result_merge)");
   }
 
   // Deterministic merge: shards cover ascending key ranges, so appending

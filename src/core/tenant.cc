@@ -28,23 +28,34 @@ TenantPool::TenantPool(std::string name, TenantPoolOptions options)
   }
 }
 
+// A saturated pool should clear a queue slot within about one queue
+// deadline (that is how long the current head is allowed to wait), so
+// both rejection flavors suggest it as the machine-readable retry
+// hint, floored at 1ms so a zero-deadline pool still backs callers off.
+int64_t TenantPool::RetryAfterMicros() const {
+  return std::max<int64_t>(options_.queue_deadline_micros, 1000);
+}
+
 Status TenantPool::QueueFullError(int depth) {
   return Status::ResourceExhausted(
-      "tenant pool '" + name_ + "' is saturated: " +
-      std::to_string(options_.max_concurrent) + " queries running and its " +
-      "wait queue is full (" + std::to_string(depth) + "/" +
-      std::to_string(options_.max_queue_depth) +
-      " waiting); retry after a running query finishes or raise "
-      "max_queue_depth");
+             "tenant pool '" + name_ + "' is saturated: " +
+             std::to_string(options_.max_concurrent) +
+             " queries running and its " + "wait queue is full (" +
+             std::to_string(depth) + "/" +
+             std::to_string(options_.max_queue_depth) +
+             " waiting); retry after a running query finishes or raise "
+             "max_queue_depth")
+      .WithRetryInfo(RetryInfo{RetryAfterMicros(), depth});
 }
 
 Status TenantPool::QueueTimeoutError(int depth) {
   return Status::ResourceExhausted(
-      "tenant pool '" + name_ + "' admission timed out after " +
-      std::to_string(options_.queue_deadline_micros) +
-      "us in the wait queue (" + std::to_string(depth) +
-      " still waiting, " + std::to_string(options_.max_concurrent) +
-      " running); retry later or raise queue_deadline_micros");
+             "tenant pool '" + name_ + "' admission timed out after " +
+             std::to_string(options_.queue_deadline_micros) +
+             "us in the wait queue (" + std::to_string(depth) +
+             " still waiting, " + std::to_string(options_.max_concurrent) +
+             " running); retry later or raise queue_deadline_micros")
+      .WithRetryInfo(RetryInfo{RetryAfterMicros(), depth});
 }
 
 Status TenantPool::Admit(BudgetTracker* budget, bool* queued) {

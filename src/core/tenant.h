@@ -14,7 +14,7 @@
 //    queue at max_queue_depth? -----yes----> REJECTED (kResourceExhausted,
 //               | no                         queue depth + retry context)
 //               v
-//            QUEUED  --(FIFO head and slot frees)--> RUNNING --Release()--> done
+//            QUEUED  --(FIFO head + slot frees)--> RUNNING --Release()--> done
 //               |                                      |
 //               +--(queue deadline passes)--> REJECTED |
 //               +--(token cancelled)--> CANCELLED <----+ (Cancel() mid-run)
@@ -101,6 +101,10 @@ class TenantPool {
   const TenantPoolOptions& options() const { return options_; }
 
  private:
+  int64_t RetryAfterMicros() const;
+  /// Both rejection flavors carry machine-readable RetryInfo
+  /// (retry-after suggestion + observed queue depth) on the Status, so
+  /// network clients back off on data instead of the human message.
   Status QueueFullError(int depth);
   Status QueueTimeoutError(int depth);
 

@@ -1,0 +1,179 @@
+#include "net/client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace xjoin {
+namespace net {
+
+namespace {
+
+// splitmix64: deterministic, seedable, and good enough to decorrelate
+// backoff across clients sharing a seed base.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+bool IsRetryable(const Status& status) {
+  // Overload rejections are worth retrying only when the producer
+  // attached retry context; a kResourceExhausted without it (result
+  // too large, budget ceiling) will fail identically on every try.
+  return status.code() == StatusCode::kResourceExhausted &&
+         status.retry_info().has_value();
+}
+
+}  // namespace
+
+XJoinClient::XJoinClient(ClientOptions options)
+    : options_(std::move(options)), rng_state_(options_.jitter_seed) {}
+
+XJoinClient::~XJoinClient() { Close(); }
+
+void XJoinClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status XJoinClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  XJ_ASSIGN_OR_RETURN(
+      fd_, ConnectTcp(options_.host, options_.port,
+                      SteadyNowMicros() + options_.connect_timeout_micros));
+  ++stats_.reconnects;
+  return Status::OK();
+}
+
+Result<std::pair<FrameHeader, std::string>> XJoinClient::RoundTrip(
+    FrameType type, const std::string& request_payload) {
+  XJ_RETURN_NOT_OK(EnsureConnected());
+  const int64_t deadline = SteadyNowMicros() + options_.request_timeout_micros;
+  const Status wrote = WriteFrame(fd_, type, request_payload, deadline);
+  if (!wrote.ok()) {
+    Close();  // the stream position is unknown; start fresh
+    return wrote.WithContext("request write");
+  }
+  Result<std::pair<FrameHeader, std::string>> frame = ReadFrame(fd_, deadline);
+  if (!frame.ok()) {
+    Close();
+    return frame.status().WithContext("response read");
+  }
+  return frame;
+}
+
+void XJoinClient::Backoff(int retry_number, const RetryInfo* hint) {
+  int64_t wait;
+  if (hint != nullptr && hint->retry_after_micros > 0) {
+    wait = hint->retry_after_micros;
+    ++stats_.hints_honored;
+  } else {
+    const int shift = std::min(retry_number - 1, 20);
+    wait = std::min(options_.backoff_cap_micros,
+                    options_.backoff_base_micros << shift);
+  }
+  if (wait <= 0) return;
+  // Jitter into [wait/2, wait] so a shed stampede decorrelates.
+  const int64_t half = wait / 2;
+  wait = half + static_cast<int64_t>(NextRandom(&rng_state_) %
+                                     static_cast<uint64_t>(half + 1));
+  std::this_thread::sleep_for(std::chrono::microseconds(wait));
+}
+
+Result<QueryResultSet> XJoinClient::Query(const QueryRequest& request) {
+  ++stats_.requests;
+  const std::string payload = EncodeQueryRequest(request);
+  const int max_attempts = std::max(1, options_.max_attempts);
+  Status last = Status::Internal("query never attempted");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) ++stats_.retries;
+    Result<std::pair<FrameHeader, std::string>> frame =
+        RoundTrip(FrameType::kQuery, payload);
+    if (!frame.ok()) {
+      last = frame.status();  // transport failure: retryable
+      if (attempt < max_attempts) Backoff(attempt, nullptr);
+      continue;
+    }
+    const FrameHeader& header = frame->first;
+    if (header.type == FrameType::kResult) {
+      Result<QueryResultSet> result = DecodeQueryResultSet(frame->second);
+      if (!result.ok()) {
+        Close();  // a garbled result payload poisons the stream
+        return result.status().WithContext("malformed result frame");
+      }
+      return result;
+    }
+    if (header.type == FrameType::kError) {
+      Status error;
+      const Status parsed = DecodeErrorStatus(frame->second, &error);
+      if (!parsed.ok()) {
+        Close();
+        return parsed.WithContext("malformed error frame");
+      }
+      last = error;
+      if (!IsRetryable(last)) return last;
+      if (attempt < max_attempts) {
+        const RetryInfo* hint = last.retry_info().has_value()
+                                    ? &last.retry_info().value()
+                                    : nullptr;
+        Backoff(attempt, hint);
+      }
+      continue;
+    }
+    Close();  // a pong to a query is a protocol violation
+    return Status::Internal("unexpected frame type " +
+                            std::to_string(static_cast<int>(header.type)) +
+                            " in response to a query");
+  }
+  return last.WithContext("after " + std::to_string(max_attempts) +
+                          " attempts");
+}
+
+Result<HealthReply> XJoinClient::Ping() {
+  ++stats_.requests;
+  const int max_attempts = std::max(1, options_.max_attempts);
+  Status last = Status::Internal("ping never attempted");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) ++stats_.retries;
+    Result<std::pair<FrameHeader, std::string>> frame =
+        RoundTrip(FrameType::kPing, std::string());
+    if (!frame.ok()) {
+      last = frame.status();
+      if (attempt < max_attempts) Backoff(attempt, nullptr);
+      continue;
+    }
+    if (frame->first.type == FrameType::kPong) {
+      Result<HealthReply> health = DecodeHealthReply(frame->second);
+      if (!health.ok()) {
+        Close();
+        return health.status().WithContext("malformed pong frame");
+      }
+      return health;
+    }
+    if (frame->first.type == FrameType::kError) {
+      Status error;
+      const Status parsed = DecodeErrorStatus(frame->second, &error);
+      if (!parsed.ok()) {
+        Close();
+        return parsed.WithContext("malformed error frame");
+      }
+      return error;
+    }
+    Close();
+    return Status::Internal("unexpected frame type in response to a ping");
+  }
+  return last.WithContext("after " + std::to_string(max_attempts) +
+                          " attempts");
+}
+
+}  // namespace net
+}  // namespace xjoin

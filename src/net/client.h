@@ -1,0 +1,102 @@
+// Client library for the xjoin framed-socket front-end: a persistent
+// connection with lazy (re)connect, per-attempt timeouts, and a retry
+// policy that distinguishes three failure classes:
+//
+//   * transport failures (connect/read/write errors and timeouts) —
+//     retried on a fresh connection with bounded exponential backoff
+//     plus deterministic jitter. Queries are read-only, so replaying a
+//     request whose response was lost is safe;
+//   * typed overload rejections (kResourceExhausted carrying RetryInfo,
+//     from tenant admission or the server's shedding ceilings) —
+//     retried, honoring the server's retry_after_micros hint when one
+//     is present instead of the local backoff curve;
+//   * everything else (kInvalidArgument, kParseError, kNotFound,
+//     kCancelled, kDeadlineExceeded, kInternal, and kResourceExhausted
+//     WITHOUT retry context, e.g. "result exceeds the frame cap") —
+//     returned to the caller immediately: retrying cannot help.
+//
+// Jitter is a pure function of (jitter_seed, retry#), so a test that
+// pins the seed replays the identical backoff schedule.
+#ifndef XJOIN_NET_CLIENT_H_
+#define XJOIN_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace xjoin {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Budget for establishing one connection.
+  int64_t connect_timeout_micros = 2'000'000;
+  /// Per-attempt budget covering the request write and the full
+  /// response read.
+  int64_t request_timeout_micros = 30'000'000;
+  /// Total tries per Query/Ping call (1 = no retries).
+  int max_attempts = 4;
+  /// Backoff after retryable failure n (1-based) is
+  /// min(cap, base << (n-1)), jittered into [half, full].
+  int64_t backoff_base_micros = 2'000;
+  int64_t backoff_cap_micros = 250'000;
+  /// Seed for the deterministic backoff jitter.
+  uint64_t jitter_seed = 1;
+};
+
+/// Monotonic per-client counters.
+struct ClientStats {
+  int64_t requests = 0;       ///< Query/Ping calls
+  int64_t retries = 0;        ///< extra attempts beyond the first
+  int64_t reconnects = 0;     ///< connections established
+  int64_t hints_honored = 0;  ///< backoffs that used a server retry hint
+};
+
+/// Not thread-safe: one XJoinClient per thread (the server side is the
+/// concurrent one). Destruction closes the connection.
+class XJoinClient {
+ public:
+  explicit XJoinClient(ClientOptions options);
+  ~XJoinClient();
+
+  XJoinClient(const XJoinClient&) = delete;
+  XJoinClient& operator=(const XJoinClient&) = delete;
+
+  /// Runs one query with the retry policy above. On success the rows
+  /// are dictionary-decoded strings in server row order.
+  Result<QueryResultSet> Query(const QueryRequest& request);
+
+  /// Health/readiness probe (same retry policy; a draining server still
+  /// answers pongs, so check HealthReply::draining).
+  Result<HealthReply> Ping();
+
+  /// Drops the connection; the next call reconnects.
+  void Close();
+
+  const ClientStats& stats() const { return stats_; }
+
+ private:
+  /// Connects if not connected.
+  Status EnsureConnected();
+
+  /// One attempt: write `request_payload`, read one response frame.
+  Result<std::pair<FrameHeader, std::string>> RoundTrip(
+      FrameType type, const std::string& request_payload);
+
+  /// Sleeps before retry `retry_number` (1-based), honoring `hint`
+  /// (nullable) over the local curve.
+  void Backoff(int retry_number, const RetryInfo* hint);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  uint64_t rng_state_;
+  ClientStats stats_;
+};
+
+}  // namespace net
+}  // namespace xjoin
+
+#endif  // XJOIN_NET_CLIENT_H_

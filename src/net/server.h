@@ -1,0 +1,229 @@
+// Long-lived framed-socket serving front-end over MultiModelDatabase.
+//
+// Thread model — one event-loop thread plus a small request-worker
+// pool:
+//
+//   event loop (poll)                      workers (num_workers)
+//   ----------------------                 ---------------------------
+//   accept / reject at the     frame -->   pop request, open a Session
+//   connection ceiling         queue       (pins a snapshot), run the
+//   read + decode frames                   query — execution itself
+//   shed at the inflight                   morsel-parallelizes on the
+//   ceiling / while draining               shared Executor pool — then
+//   answer kPing inline                    write the response frame
+//   watch executing conns for              with the write deadline
+//   disconnect -> cancel token
+//   evict slow readers
+//   own every fd close
+//
+// Connection state machine (Conn::state, atomic):
+//
+//         +------------------------------------------------+
+//         v                                                |
+//   kReadHeader -> kReadBody -> kQueued -> kExecuting -----+
+//        |              |          |            |      (response written)
+//        +--------------+----------+------------+---> kClosed
+//          (EOF, bad header, slow read,    (disconnect, write failure,
+//           idle eviction)                  net.drop_response)
+//
+// Ownership rules that keep this race-free without a lock per
+// connection: the event loop is the only thread that reads from a fd or
+// closes it, and it never touches a connection's buffers while the
+// state is kQueued/kExecuting (it only polls the fd for hangup); the
+// worker owns the connection during those states, writes the response
+// itself, and hands the connection back by storing kReadHeader (or
+// kClosed) and poking the loop's wakeup pipe. A client disconnect
+// mid-query cancels the per-request CancellationToken — the engine
+// unwinds within one budget-check interval and the worker finds
+// client_gone instead of writing to a dead socket.
+//
+// Overload shedding: past max_connections new sockets get one kError
+// frame (kResourceExhausted + retry hint) and close; past max_inflight
+// new requests get the same without executing. Per-tenant admission
+// (QueryRequest::tenant -> TenantPool) and aggregate budgets run
+// inside the database as for in-process callers; their typed
+// rejections — now carrying RetryInfo — serialize onto the wire
+// unchanged.
+//
+// Graceful drain (Shutdown): stop accepting, answer new requests with
+// a typed shed error, let in-flight requests finish until the drain
+// deadline, then cancel their tokens ("server drain deadline
+// exceeded" -> clients see kCancelled), join workers and the loop, and
+// close every fd. kPing keeps answering during the drain with
+// draining=true, so load balancers stop routing before the socket
+// disappears.
+#ifndef XJOIN_NET_SERVER_H_
+#define XJOIN_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "core/database.h"
+#include "net/frame.h"
+
+namespace xjoin {
+namespace net {
+
+struct ServerOptions {
+  /// 127.0.0.1 port to listen on; 0 = ephemeral (read back with port()).
+  int port = 0;
+  /// Request workers. Query execution itself morsel-parallelizes on the
+  /// shared Executor pool, so this caps concurrent *requests*, not
+  /// total threads doing join work.
+  int num_workers = 4;
+  /// Connection ceiling: accepts past it get one typed kError frame
+  /// (kResourceExhausted + retry hint) and an immediate close.
+  int max_connections = 64;
+  /// Requests queued-or-executing across all connections; past it new
+  /// requests are shed without executing.
+  int max_inflight = 16;
+  /// Slow-client eviction: once the first byte of a frame arrives, the
+  /// whole frame must arrive within this budget. 0 disables.
+  int64_t read_timeout_micros = 5'000'000;
+  /// Response write budget per frame; a slower client is evicted.
+  int64_t write_timeout_micros = 5'000'000;
+  /// Evict connections idle (no partial frame) longer than this.
+  /// 0 = idle connections live forever.
+  int64_t idle_timeout_micros = 0;
+  /// xjoin.num_threads for every served query: execution shards onto
+  /// the process-wide Executor pool (results are byte-identical to a
+  /// serial run). <= 1 runs each request fully serial on its worker.
+  int query_num_threads = 4;
+  /// retry_after_micros attached to connection-ceiling, inflight-shed,
+  /// and draining rejections.
+  int64_t shed_retry_after_micros = 20'000;
+};
+
+/// Point-in-time serving counters (monotonic except the two gauges).
+struct ServerStats {
+  int64_t accepted = 0;
+  int64_t rejected_conn_limit = 0;  ///< shed at the connection ceiling
+  int64_t shed_inflight = 0;        ///< shed at the inflight ceiling
+  int64_t shed_draining = 0;        ///< requests arriving during drain
+  int64_t evicted_slow = 0;         ///< read/write deadline evictions
+  int64_t served_ok = 0;            ///< kResult responses written
+  int64_t served_error = 0;         ///< kError responses written
+  int64_t cancelled_disconnect = 0; ///< queries cancelled by client EOF
+  int64_t cancelled_drain = 0;      ///< queries cancelled at drain deadline
+  int64_t bad_frames = 0;           ///< header-level protocol violations
+  int64_t pings = 0;
+  int active_connections = 0;       ///< gauge
+  int inflight = 0;                 ///< gauge: queued + executing
+};
+
+class XJoinServer {
+ public:
+  /// `db` must outlive the server. The server never mutates it.
+  XJoinServer(const MultiModelDatabase* db, ServerOptions options);
+
+  /// Shuts down with a short default drain if Start() succeeded and
+  /// Shutdown() was never called.
+  ~XJoinServer();
+
+  XJoinServer(const XJoinServer&) = delete;
+  XJoinServer& operator=(const XJoinServer&) = delete;
+
+  /// Binds, listens, and launches the event loop and workers. Fails
+  /// (kIOError) if the port cannot be bound.
+  Status Start();
+
+  /// The bound port (valid after Start(); the interesting case is
+  /// options.port == 0).
+  int port() const { return port_; }
+
+  /// Graceful drain, idempotent: stop accepting, shed new requests,
+  /// give in-flight requests up to `drain_deadline_micros` to finish,
+  /// cancel whatever remains, then tear everything down. Blocks until
+  /// all threads are joined and all fds are closed.
+  void Shutdown(int64_t drain_deadline_micros = 2'000'000);
+
+  /// True once Shutdown began (kPong mirrors this as not-ready).
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  ServerStats stats() const;
+
+ private:
+  struct Conn;
+  struct Job;
+
+  void EventLoop();
+  void WorkerLoop();
+
+  /// Accept-ready: drain the listen fd, applying the connection
+  /// ceiling and the net.accept fault site.
+  void HandleAccept();
+
+  /// Read-ready connection: pull bytes, assemble frames, dispatch.
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+
+  /// A full frame arrived on `conn`.
+  void HandleFrame(const std::shared_ptr<Conn>& conn);
+
+  /// Best-effort small inline reply from the event loop (error/pong).
+  void WriteInline(const std::shared_ptr<Conn>& conn, FrameType type,
+                   const std::string& payload);
+
+  /// Builds the shed Status for the given situation.
+  Status ShedError(const std::string& why, int queue_depth) const;
+
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  void Poke();  // wakeup-pipe nudge for the event loop
+
+  HealthReply Health() const;
+
+  const MultiModelDatabase* const db_;
+  const ServerOptions options_;
+  int port_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> loop_stop_{false};
+  std::atomic<bool> shut_down_{false};
+
+  /// Connection registry. The event loop mutates it; Shutdown reads it
+  /// (to cancel in-flight tokens) under the same lock.
+  mutable std::mutex conns_mu_;
+  std::map<int, std::shared_ptr<Conn>> conns_;
+
+  /// Request queue feeding the workers (mutable: stats()/Health() are
+  /// const readers of the inflight gauge).
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;  // signalled when inflight_ drops
+  std::deque<Job> queue_;
+  bool workers_stop_ = false;  // guarded by queue_mu_
+  int inflight_ = 0;           // queued + executing; guarded by queue_mu_
+
+  // Monotonic counters (relaxed atomics: stats are advisory).
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> rejected_conn_limit_{0};
+  std::atomic<int64_t> shed_inflight_{0};
+  std::atomic<int64_t> shed_draining_{0};
+  std::atomic<int64_t> evicted_slow_{0};
+  std::atomic<int64_t> served_ok_{0};
+  std::atomic<int64_t> served_error_{0};
+  std::atomic<int64_t> cancelled_disconnect_{0};
+  std::atomic<int64_t> cancelled_drain_{0};
+  std::atomic<int64_t> bad_frames_{0};
+  std::atomic<int64_t> pings_{0};
+};
+
+}  // namespace net
+}  // namespace xjoin
+
+#endif  // XJOIN_NET_SERVER_H_

@@ -1,0 +1,68 @@
+// Thin POSIX socket helpers shared by the server and client: listener
+// and connect setup, and deadline-bounded full reads/writes of whole
+// frames over nonblocking fds (readiness via poll()).
+//
+// Deadlines are absolute steady-clock microseconds (SteadyNowMicros() +
+// budget); 0 means "no deadline". Timeouts surface as
+// kDeadlineExceeded, every other socket failure (ECONNRESET, EPIPE,
+// EOF mid-frame, ...) as kIOError — callers map both onto their own
+// policy (the server evicts the slow client, the client retries on a
+// fresh connection).
+#ifndef XJOIN_NET_SOCKET_H_
+#define XJOIN_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace xjoin {
+namespace net {
+
+/// Monotonic now, in microseconds. The time base for every deadline in
+/// this module.
+int64_t SteadyNowMicros();
+
+/// Marks `fd` nonblocking (all frame IO here is poll-driven).
+Status SetNonBlocking(int fd);
+
+/// Opens a nonblocking TCP listener on 127.0.0.1:`port` (0 = kernel
+/// picks an ephemeral port; read it back with ListenerPort). Returns
+/// the listen fd.
+Result<int> ListenLoopback(int port);
+
+/// The locally bound port of a listen fd.
+Result<int> ListenerPort(int fd);
+
+/// Connects to `host`:`port` (IPv4 dotted quad, e.g. "127.0.0.1")
+/// within the deadline. Returns a connected nonblocking fd.
+Result<int> ConnectTcp(const std::string& host, int port,
+                       int64_t deadline_micros);
+
+/// Reads exactly `n` bytes. EOF mid-read is kIOError (a clean EOF at
+/// offset 0 is distinguishable by the message "connection closed").
+Status ReadFull(int fd, uint8_t* buf, size_t n, int64_t deadline_micros);
+
+/// Writes exactly `n` bytes (MSG_NOSIGNAL: a dead peer is a kIOError,
+/// not a SIGPIPE).
+Status WriteFull(int fd, const uint8_t* buf, size_t n,
+                 int64_t deadline_micros);
+
+/// Writes one whole frame (header + payload). The net.write fault site
+/// fires per frame and surfaces as kIOError, exercising the
+/// mid-response-loss paths.
+Status WriteFrame(int fd, FrameType type, std::string_view payload,
+                  int64_t deadline_micros);
+
+/// Reads one whole frame. Header-level violations (bad magic, unknown
+/// version/type, oversized payload) surface as the decoder's
+/// kParseError — the stream is poisoned and the caller must close.
+Result<std::pair<FrameHeader, std::string>> ReadFrame(
+    int fd, int64_t deadline_micros);
+
+}  // namespace net
+}  // namespace xjoin
+
+#endif  // XJOIN_NET_SOCKET_H_

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/string_util.h"
 
@@ -193,6 +196,77 @@ TEST(StringUtilTest, ParseDouble) {
   EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
   EXPECT_FALSE(ParseDouble("3.5z").ok());
   EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, ParseUint64) {
+  EXPECT_EQ(*ParseUint64("42"), 42u);
+  EXPECT_EQ(*ParseUint64(" 1234 "), 1234u);
+  EXPECT_EQ(*ParseUint64("18446744073709551615"), UINT64_MAX);
+  // strtoull would silently wrap "-1"; the parser must reject signs.
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("+3").ok());
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("12x").ok());
+  EXPECT_FALSE(ParseUint64("banana").ok());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());  // overflow
+}
+
+TEST(StringUtilTest, EnvUint64OrDefaultHandlesUnsetValidAndGarbage) {
+  const char* kName = "XJOIN_TEST_ENV_U64";
+  ::unsetenv(kName);
+  EXPECT_EQ(EnvUint64OrDefault(kName, 7), 7u);
+  ::setenv(kName, "1234", 1);
+  EXPECT_EQ(EnvUint64OrDefault(kName, 7), 1234u);
+  // A typo'd value must warn and fall back deterministically, not
+  // silently become 0 (the old strtoull behavior).
+  ::setenv(kName, "banana", 1);
+  EXPECT_EQ(EnvUint64OrDefault(kName, 7), 7u);
+  ::setenv(kName, "-3", 1);
+  EXPECT_EQ(EnvUint64OrDefault(kName, 7), 7u);
+  ::setenv(kName, "", 1);
+  EXPECT_EQ(EnvUint64OrDefault(kName, 7), 7u);
+  ::unsetenv(kName);
+}
+
+TEST(SimdTest, EnvCapParsesValidLevels) {
+  EXPECT_EQ(SimdCapFromEnvValue("scalar"), SimdLevel::kScalar);
+  EXPECT_EQ(SimdCapFromEnvValue("sse42"), SimdLevel::kSse42);
+  EXPECT_EQ(SimdCapFromEnvValue("sse4.2"), SimdLevel::kSse42);
+  EXPECT_EQ(SimdCapFromEnvValue("avx2"), SimdLevel::kAvx2);
+}
+
+TEST(SimdTest, MalformedEnvCapWarnsAndLeavesDispatchUncapped) {
+  // Garbage in XJOIN_SIMD must not cap dispatch (and must not crash);
+  // the warning is logged once at first use.
+  EXPECT_EQ(SimdCapFromEnvValue(nullptr), SimdLevel::kAvx2);
+  EXPECT_EQ(SimdCapFromEnvValue(""), SimdLevel::kAvx2);
+  EXPECT_EQ(SimdCapFromEnvValue("banana"), SimdLevel::kAvx2);
+  EXPECT_EQ(SimdCapFromEnvValue("AVX2"), SimdLevel::kAvx2);  // case-sensitive
+}
+
+TEST(StatusTest, RetryInfoAttachesAndComparesEqual) {
+  Status plain = Status::ResourceExhausted("full");
+  EXPECT_FALSE(plain.retry_info().has_value());
+  Status hinted = plain.WithRetryInfo(RetryInfo{5000, 3});
+  ASSERT_TRUE(hinted.retry_info().has_value());
+  EXPECT_EQ(hinted.retry_info()->retry_after_micros, 5000);
+  EXPECT_EQ(hinted.retry_info()->queue_depth, 3);
+  // retry_info participates in equality: a hinted status is not the
+  // plain one.
+  EXPECT_FALSE(plain == hinted);
+  EXPECT_TRUE(hinted == plain.WithRetryInfo(RetryInfo{5000, 3}));
+  // No-op on success.
+  EXPECT_FALSE(Status::OK().WithRetryInfo(RetryInfo{1, 1}).retry_info());
+}
+
+TEST(StatusTest, WithContextPreservesRetryInfo) {
+  Status st = Status::ResourceExhausted("pool full")
+                  .WithRetryInfo(RetryInfo{2500, 8})
+                  .WithContext("tenant admission");
+  ASSERT_TRUE(st.retry_info().has_value());
+  EXPECT_EQ(st.retry_info()->retry_after_micros, 2500);
+  EXPECT_EQ(st.retry_info()->queue_depth, 8);
+  EXPECT_EQ(st.message(), "tenant admission: pool full");
 }
 
 TEST(StringUtilTest, StartsEndsWith) {

@@ -7,17 +7,25 @@
 // injection at the catalogued sites.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <functional>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/fault.h"
+#include "common/string_util.h"
 #include "core/database.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/socket.h"
 
 namespace xjoin {
 namespace {
@@ -838,6 +846,223 @@ TEST_F(ServingTest, AdmissionCountersSurfaceEverywhere) {
   EXPECT_EQ(metrics.Get("db.admission.admitted"), 1);
 }
 
+// ---------------------------------------------------------------------------
+// Drain paths of the network front-end: the same serving core behind a
+// live loopback socket. The scenarios that cannot be reached from the
+// in-process API — shutdown racing queued and executing requests,
+// clients vanishing mid-query — land here.
+
+// Connects to `server` and sends `query` without reading the reply;
+// returns the raw fd (caller closes).
+int SendRawQuery(const net::XJoinServer& server, const std::string& query) {
+  auto fd = net::ConnectTcp("127.0.0.1", server.port(),
+                            net::SteadyNowMicros() + 2'000'000);
+  EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+  if (!fd.ok()) return -1;
+  net::QueryRequest request;
+  request.text = query;
+  const Status wrote =
+      net::WriteFrame(*fd, net::FrameType::kQuery,
+                      net::EncodeQueryRequest(request),
+                      net::SteadyNowMicros() + 2'000'000);
+  EXPECT_TRUE(wrote.ok()) << wrote.ToString();
+  return *fd;
+}
+
+// Reads one kError frame off `fd` and returns the decoded Status.
+Status ReadErrorReply(int fd) {
+  auto reply = net::ReadFrame(fd, net::SteadyNowMicros() + 10'000'000);
+  EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+  if (!reply.ok()) return reply.status();
+  EXPECT_EQ(reply->first.type, net::FrameType::kError);
+  Status decoded;
+  const Status parsed = net::DecodeErrorStatus(reply->second, &decoded);
+  EXPECT_TRUE(parsed.ok()) << parsed.ToString();
+  return parsed.ok() ? decoded : parsed;
+}
+
+class NetDrainTest : public ServingTest {
+ protected:
+  void SetUp() override {
+    ServingTest::SetUp();
+    // The blocker join (~3M output rows) holds a worker busy long
+    // enough for shutdown and disconnect races to be forced.
+    ASSERT_TRUE(
+        db_.RegisterRelationCsv("RB", MakeCsv("A", "B", 3000, 3, 0)).ok());
+    ASSERT_TRUE(
+        db_.RegisterRelationCsv("SB", MakeCsv("C", "B", 3000, 3, 0)).ok());
+  }
+
+  void StartServer(net::ServerOptions options) {
+    server_ = std::make_unique<net::XJoinServer>(&db_, options);
+    const Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  bool WaitFor(const std::function<bool()>& pred, int64_t timeout_micros) {
+    const int64_t deadline = net::SteadyNowMicros() + timeout_micros;
+    while (net::SteadyNowMicros() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return pred();
+  }
+
+  std::unique_ptr<net::XJoinServer> server_;
+  const std::string blocker_q_ = "QB(*) := RB, SB";
+};
+
+TEST_F(NetDrainTest, ShutdownWhileRunningCancelsAtDrainDeadline) {
+  net::ServerOptions options;
+  options.num_workers = 1;
+  StartServer(options);
+  const int blocker = SendRawQuery(*server_, blocker_q_);
+  ASSERT_GE(blocker, 0);
+  ASSERT_TRUE(WaitFor([&] { return server_->stats().inflight >= 1; },
+                      5'000'000))
+      << "blocker query never started executing";
+
+  // The drain deadline is far shorter than the blocker join: phase 1
+  // expires, phase 2 cancels the in-flight token, and the client reads
+  // a typed kCancelled before the socket closes.
+  server_->Shutdown(/*drain_deadline_micros=*/25'000);
+  if (server_->stats().cancelled_drain == 0) {
+    ::close(blocker);
+    FAIL() << "blocker finished before the drain deadline was enforced";
+  }
+  const Status cancelled = ReadErrorReply(blocker);
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled)
+      << cancelled.ToString();
+  EXPECT_NE(cancelled.ToString().find("drain deadline"), std::string::npos)
+      << cancelled.ToString();
+  ::close(blocker);
+  EXPECT_EQ(server_->stats().inflight, 0);
+}
+
+TEST_F(NetDrainTest, ShutdownWhileQueuedCancelsTheQueuedRequestToo) {
+  net::ServerOptions options;
+  options.num_workers = 1;  // the second request must queue
+  options.max_inflight = 4;
+  StartServer(options);
+  const int running = SendRawQuery(*server_, blocker_q_);
+  ASSERT_GE(running, 0);
+  ASSERT_TRUE(WaitFor([&] { return server_->stats().inflight >= 1; },
+                      5'000'000));
+  const int queued = SendRawQuery(*server_, blocker_q_);
+  ASSERT_GE(queued, 0);
+  ASSERT_TRUE(WaitFor([&] { return server_->stats().inflight >= 2; },
+                      5'000'000))
+      << "second request never reached the queue";
+
+  server_->Shutdown(/*drain_deadline_micros=*/25'000);
+  if (server_->stats().cancelled_drain == 0) {
+    ::close(running);
+    ::close(queued);
+    FAIL() << "blockers finished before the drain deadline was enforced";
+  }
+  // Both the executing and the still-queued request end kCancelled —
+  // the queued one runs against an already-cancelled token and unwinds
+  // immediately.
+  EXPECT_EQ(ReadErrorReply(running).code(), StatusCode::kCancelled);
+  EXPECT_EQ(ReadErrorReply(queued).code(), StatusCode::kCancelled);
+  ::close(running);
+  ::close(queued);
+  EXPECT_EQ(server_->stats().inflight, 0);
+  EXPECT_GE(server_->stats().cancelled_drain, 2);
+}
+
+TEST_F(NetDrainTest, ClientDisconnectMidQueryCancelsCooperatively) {
+  net::ServerOptions options;
+  options.num_workers = 1;
+  StartServer(options);
+  const int blocker = SendRawQuery(*server_, blocker_q_);
+  ASSERT_GE(blocker, 0);
+  ASSERT_TRUE(WaitFor([&] { return server_->stats().inflight >= 1; },
+                      5'000'000));
+
+  // Hang up without reading: the event loop notices, cancels the
+  // request token, and the engine unwinds within one budget-check
+  // interval — long before the join would have finished.
+  ::close(blocker);
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        const net::ServerStats stats = server_->stats();
+        return stats.cancelled_disconnect >= 1 && stats.inflight == 0;
+      },
+      10'000'000))
+      << "disconnect did not cancel the in-flight query";
+
+  // The serving core is unharmed: a clean request still answers.
+  const int fd = SendRawQuery(*server_, q_);
+  ASSERT_GE(fd, 0);
+  auto reply = net::ReadFrame(fd, net::SteadyNowMicros() + 10'000'000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->first.type, net::FrameType::kResult);
+  ::close(fd);
+  server_->Shutdown();
+}
+
+TEST_F(NetDrainTest, DisconnectTortureLeavesServerConsistent) {
+  // TSan leg: a storm of connections that vanish at every stage of the
+  // request lifecycle — before writing, mid-header, after the query is
+  // queued or executing — must leave no race, no leaked connection,
+  // and a server that still answers correctly.
+  net::ServerOptions options;
+  options.num_workers = 2;
+  StartServer(options);
+  for (int i = 0; i < 30; ++i) {
+    auto fd = net::ConnectTcp("127.0.0.1", server_->port(),
+                              net::SteadyNowMicros() + 2'000'000);
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    switch (i % 4) {
+      case 0:  // connect, say nothing, vanish
+        break;
+      case 1: {  // torn header, then vanish
+        const uint8_t half[6] = {0x49, 0x4f, 0x4a, 0x58, 1, 1};
+        (void)net::WriteFull(*fd, half, sizeof(half),
+                             net::SteadyNowMicros() + 1'000'000);
+        break;
+      }
+      case 2: {  // cheap query, vanish without reading the result
+        net::QueryRequest request;
+        request.text = q_;
+        (void)net::WriteFrame(*fd, net::FrameType::kQuery,
+                              net::EncodeQueryRequest(request),
+                              net::SteadyNowMicros() + 1'000'000);
+        break;
+      }
+      case 3: {  // expensive query, vanish mid-execution
+        net::QueryRequest request;
+        request.text = blocker_q_;
+        (void)net::WriteFrame(*fd, net::FrameType::kQuery,
+                              net::EncodeQueryRequest(request),
+                              net::SteadyNowMicros() + 1'000'000);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        break;
+      }
+    }
+    ::close(*fd);
+  }
+  // Every in-flight remnant drains (disconnect cancellation), and the
+  // server still serves a correct answer afterwards.
+  EXPECT_TRUE(WaitFor([&] { return server_->stats().inflight == 0; },
+                      30'000'000));
+  const auto expected = db_.Query(q_)->ToTuples();
+  const int fd = SendRawQuery(*server_, q_);
+  ASSERT_GE(fd, 0);
+  auto reply = net::ReadFrame(fd, net::SteadyNowMicros() + 10'000'000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->first.type, net::FrameType::kResult);
+  auto rows = net::DecodeQueryResultSet(reply->second);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), expected.size());
+  ::close(fd);
+  server_->Shutdown();
+  const net::ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.active_connections, 0);
+  EXPECT_EQ(stats.inflight, 0);
+}
+
 #ifdef XJOIN_FAULTS_ENABLED
 // ---------------------------------------------------------------------------
 // Deterministic fault injection (XJOIN_FAULTS=ON builds only).
@@ -891,6 +1116,43 @@ TEST_F(ServingTest, FaultForcedQueueFullRejectsThenRecovers) {
   EXPECT_EQ((*db_.tenant_pool_stats("acme")).rejected, 1);
 }
 
+TEST_F(ServingTest, FaultMorselHandoffFailsQueryWithTypedInternal) {
+  // A dropped morsel hand-off must never surface as a silently partial
+  // result: the barrier notices the missing shard and the whole query
+  // fails kInternal.
+  ScopedFaultInjection scoped;
+  const auto expected = db_.Query(q_)->ToTuples();
+  QueryOptions options;
+  options.xjoin.num_threads = 4;  // the site lives in the sharded driver
+  FaultInjector::Global().FailAt("gj.morsel", 1);
+  auto result = db_.OpenSession().Query(q_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal)
+      << result.status().ToString();
+  EXPECT_GE(FaultInjector::Global().hits("gj.morsel"), 1);
+  FaultInjector::Global().Disarm();
+  auto calm = db_.OpenSession().Query(q_, options);
+  ASSERT_TRUE(calm.ok());
+  EXPECT_EQ(calm->ToTuples(), expected);
+}
+
+TEST_F(ServingTest, FaultResultMergeFailureIsTypedAndRecoverable) {
+  ScopedFaultInjection scoped;
+  const auto expected = db_.Query(q_)->ToTuples();
+  QueryOptions options;
+  options.xjoin.num_threads = 4;
+  FaultInjector::Global().FailAt("gj.result_merge", 1);
+  auto result = db_.OpenSession().Query(q_, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal)
+      << result.status().ToString();
+  EXPECT_GE(FaultInjector::Global().hits("gj.result_merge"), 1);
+  FaultInjector::Global().Disarm();
+  auto calm = db_.OpenSession().Query(q_, options);
+  ASSERT_TRUE(calm.ok());
+  EXPECT_EQ(calm->ToTuples(), expected);
+}
+
 TEST_F(ServingTest, FaultTickHandlerCancelsDeterministicallyMidQuery) {
   // The gj.tick observer fires at the engine's budget-poll cadence;
   // cancelling there proves a mid-expansion Cancel() aborts within one
@@ -919,10 +1181,9 @@ TEST_F(ServingTest, FaultSeededChaosAlwaysReturnsTypedStatuses) {
   // result, or a poisoned cache.
   ScopedFaultInjection scoped;
   const auto expected = db_.Query(q_)->ToTuples();
-  uint64_t seed = 42;
-  if (const char* env = std::getenv("XJOIN_FAULT_SEED")) {
-    seed = std::strtoull(env, nullptr, 10);
-  }
+  // Hardened parse: a garbled XJOIN_FAULT_SEED warns and falls back
+  // deterministically instead of silently wrapping.
+  const uint64_t seed = EnvUint64OrDefault("XJOIN_FAULT_SEED", 42);
   FaultInjector::Global().SetSeed(seed, 0.05);
   for (int i = 0; i < 50; ++i) {
     if (i % 7 == 0) db_.ClearTrieCache();  // force rebuilds through faults
